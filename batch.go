@@ -1,0 +1,73 @@
+package gridrank
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchResult pairs one query's answer with its position in the input.
+type BatchResult[T any] struct {
+	Query int
+	Value T
+	Err   error
+}
+
+// ReverseTopKBatch answers many reverse top-k queries concurrently on up
+// to workers goroutines (0 means GOMAXPROCS). The index is immutable, so
+// queries share it safely; results are returned in input order.
+func (ix *Index) ReverseTopKBatch(queries []Vector, k, workers int) []BatchResult[[]int] {
+	return runBatch(queries, workers, func(q Vector) ([]int, error) {
+		return ix.ReverseTopK(q, k)
+	})
+}
+
+// ReverseKRanksBatch answers many reverse k-ranks queries concurrently.
+func (ix *Index) ReverseKRanksBatch(queries []Vector, k, workers int) []BatchResult[[]Match] {
+	return runBatch(queries, workers, func(q Vector) ([]Match, error) {
+		return ix.ReverseKRanks(q, k)
+	})
+}
+
+func runBatch[T any](queries []Vector, workers int, f func(Vector) (T, error)) []BatchResult[T] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]BatchResult[T], len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(queries) {
+					return
+				}
+				res := BatchResult[T]{Query: i}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							res.Err = fmt.Errorf("gridrank: query %d panicked: %v", i, r)
+						}
+					}()
+					res.Value, res.Err = f(queries[i])
+				}()
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

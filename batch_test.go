@@ -1,0 +1,82 @@
+package gridrank
+
+import (
+	"strings"
+	"testing"
+)
+
+func batchIndex(t *testing.T) (*Index, []Vector) {
+	t.Helper()
+	P, err := GenerateProducts(11, Uniform, 600, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := GeneratePreferences(12, Uniform, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(P, W, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, P
+}
+
+func TestBatchMatchesSequential(t *testing.T) {
+	ix, P := batchIndex(t)
+	queries := P[:40]
+	for _, workers := range []int{0, 1, 3, 64} {
+		rtk := ix.ReverseTopKBatch(queries, 15, workers)
+		rkr := ix.ReverseKRanksBatch(queries, 15, workers)
+		if len(rtk) != len(queries) || len(rkr) != len(queries) {
+			t.Fatalf("workers=%d: wrong result count", workers)
+		}
+		for i, q := range queries {
+			if rtk[i].Query != i || rtk[i].Err != nil {
+				t.Fatalf("workers=%d rtk[%d]: %+v", workers, i, rtk[i])
+			}
+			want, err := ix.ReverseTopK(q, 15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != len(rtk[i].Value) {
+				t.Fatalf("workers=%d query %d: batch %v vs sequential %v",
+					workers, i, rtk[i].Value, want)
+			}
+			for j := range want {
+				if rtk[i].Value[j] != want[j] {
+					t.Fatalf("workers=%d query %d: batch %v vs sequential %v",
+						workers, i, rtk[i].Value, want)
+				}
+			}
+			wantKR, err := ix.ReverseKRanks(q, 15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range wantKR {
+				if rkr[i].Value[j] != wantKR[j] {
+					t.Fatalf("workers=%d query %d RKR mismatch", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	ix, _ := batchIndex(t)
+	if got := ix.ReverseTopKBatch(nil, 5, 4); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+}
+
+func TestBatchReportsPerQueryErrors(t *testing.T) {
+	ix, P := batchIndex(t)
+	queries := []Vector{P[0], {1, 2}, P[1]} // middle query has wrong dim
+	res := ix.ReverseTopKBatch(queries, 5, 2)
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Error("valid queries should succeed")
+	}
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "dimension") {
+		t.Errorf("bad query error = %v", res[1].Err)
+	}
+}

@@ -1,0 +1,162 @@
+package gridrank
+
+// One benchmark per table and figure of the paper's evaluation, each
+// driving the corresponding internal/exp runner at a reduced scale
+// (raise the scale through cmd/experiments for paper-sized runs), plus
+// micro-benchmarks of the core query path. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/exp"
+	"gridrank/internal/stats"
+)
+
+// benchConfig keeps each experiment iteration around tens of milliseconds.
+func benchConfig() exp.Config {
+	return exp.Config{Seed: 9, SizeP: 600, SizeW: 300, Queries: 2, K: 20, N: 32, Capacity: 32}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkTable2(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkFigure8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFigure10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFigure15a(b *testing.B) { benchExperiment(b, "fig15a") }
+func BenchmarkFigure15b(b *testing.B) { benchExperiment(b, "fig15b") }
+func BenchmarkModel(b *testing.B)     { benchExperiment(b, "model") }
+
+// Micro-benchmarks: the head-to-head query costs the experiments
+// aggregate, isolated per algorithm on a fixed 6-d uniform workload.
+
+type benchData struct {
+	P, W []Vector
+	q    Vector
+}
+
+func makeBenchData(b *testing.B, nP, nW, d int) benchData {
+	b.Helper()
+	P, err := GenerateProducts(1, Uniform, nP, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	W, err := GeneratePreferences(2, Uniform, nW, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return benchData{P: P, W: W, q: P[len(P)/2]}
+}
+
+func BenchmarkGIRReverseTopK(b *testing.B) {
+	data := makeBenchData(b, 4000, 1000, 6)
+	gir := algo.NewGIR(data.P, data.W, DefaultRange, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gir.ReverseTopK(data.q, 100, nil)
+	}
+}
+
+func BenchmarkSIMReverseTopK(b *testing.B) {
+	data := makeBenchData(b, 4000, 1000, 6)
+	sim := algo.NewSIM(data.P, data.W)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ReverseTopK(data.q, 100, nil)
+	}
+}
+
+func BenchmarkBBRReverseTopK(b *testing.B) {
+	data := makeBenchData(b, 4000, 1000, 6)
+	bbr := algo.NewBBR(data.P, data.W, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bbr.ReverseTopK(data.q, 100, nil)
+	}
+}
+
+func BenchmarkGIRReverseKRanks(b *testing.B) {
+	data := makeBenchData(b, 4000, 1000, 6)
+	gir := algo.NewGIR(data.P, data.W, DefaultRange, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gir.ReverseKRanks(data.q, 100, nil)
+	}
+}
+
+func BenchmarkSIMReverseKRanks(b *testing.B) {
+	data := makeBenchData(b, 4000, 1000, 6)
+	sim := algo.NewSIM(data.P, data.W)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ReverseKRanks(data.q, 100, nil)
+	}
+}
+
+func BenchmarkMPAReverseKRanks(b *testing.B) {
+	data := makeBenchData(b, 4000, 1000, 6)
+	mpa, err := algo.NewMPA(data.P, data.W, 64, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mpa.ReverseKRanks(data.q, 100, nil)
+	}
+}
+
+// BenchmarkGIRHighDim isolates the paper's headline regime: d = 30, where
+// the grid filter keeps the scan cheap while trees degenerate.
+func BenchmarkGIRHighDim(b *testing.B) {
+	data := makeBenchData(b, 2000, 500, 30)
+	gir := algo.NewGIR(data.P, data.W, DefaultRange, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gir.ReverseKRanks(data.q, 50, nil)
+	}
+}
+
+func BenchmarkIndexConstruction(b *testing.B) {
+	data := makeBenchData(b, 4000, 1000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(data.P, data.W, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFilterRateReport reports the realized filter rate alongside
+// time, so regressions in bound quality are visible in bench output.
+func BenchmarkFilterRateReport(b *testing.B) {
+	data := makeBenchData(b, 4000, 1000, 6)
+	gir := algo.NewGIR(data.P, data.W, DefaultRange, 32)
+	var c stats.Counters
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gir.ReverseKRanks(data.q, 100, &c)
+	}
+	b.ReportMetric(100*c.FilterRate(), "filter%")
+	b.ReportMetric(float64(c.PairwiseMults)/float64(b.N), "mults/query")
+}

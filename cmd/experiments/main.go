@@ -1,0 +1,108 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig10
+//	experiments -run all -sizep 20000 -sizew 20000 -queries 10
+//	experiments -run table3 -csv out/
+//
+// Default cardinalities are reduced from the paper's 100K×100K so the
+// full suite finishes in minutes; raise -sizep/-sizew/-queries to
+// approach paper scale. EXPERIMENTS.md records the reference outputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gridrank/internal/exp"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "experiment ID to run, or 'all'")
+		seed     = flag.Int64("seed", 1, "random seed")
+		sizeP    = flag.Int("sizep", 0, "base |P| (default 5000)")
+		sizeW    = flag.Int("sizew", 0, "base |W| (default 5000)")
+		queries  = flag.Int("queries", 0, "queries per measurement (default 4)")
+		k        = flag.Int("k", 0, "k (default 100)")
+		n        = flag.Int("n", 0, "grid partitions (default 32)")
+		capacity = flag.Int("capacity", 0, "R-tree node capacity (default 64)")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		verbose  = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Printf("%-8s %-28s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -run <id>|all or -list required")
+		os.Exit(2)
+	}
+	cfg := exp.Config{
+		Seed: *seed, SizeP: *sizeP, SizeW: *sizeW,
+		Queries: *queries, K: *k, N: *n, Capacity: *capacity,
+	}
+	if *verbose {
+		cfg.Out = os.Stderr
+	}
+
+	var todo []exp.Experiment
+	if *run == "all" {
+		todo = exp.Registry()
+	} else {
+		e, ok := exp.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		todo = []exp.Experiment{e}
+	}
+	for _, e := range todo {
+		fmt.Printf("=== %s (%s): %s ===\n", e.ID, e.Paper, e.Title)
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for ti, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, e.ID, ti, t); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir, id string, ti int, t *exp.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%d.csv", id, ti))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

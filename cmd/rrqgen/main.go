@@ -1,0 +1,37 @@
+// Command rrqgen generates product and preference data sets in the
+// library's binary or CSV formats, for use with rrqquery and external
+// tooling.
+//
+// Usage:
+//
+//	rrqgen -kind products  -dist UN -n 100000 -d 6 -out p.grd
+//	rrqgen -kind prefs     -dist CL -n 100000 -d 6 -out w.grd
+//	rrqgen -kind products  -dist DIANPING -n 209132 -out rest.grd
+//	rrqgen -kind products  -dist UN -n 1000 -d 4 -format csv -out p.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridrank/internal/cli"
+)
+
+func main() {
+	var opts cli.GenOptions
+	flag.StringVar(&opts.Kind, "kind", "products", "what to generate: products or prefs")
+	flag.StringVar(&opts.Dist, "dist", "UN", "distribution: UN, CL, AC, NO, EX, HOUSE, COLOR, DIANPING")
+	flag.IntVar(&opts.N, "n", 10000, "number of vectors")
+	flag.IntVar(&opts.D, "d", 6, "dimensionality (ignored by HOUSE/COLOR/DIANPING)")
+	flag.Int64Var(&opts.Seed, "seed", 1, "random seed")
+	flag.StringVar(&opts.Out, "out", "", "output file (required)")
+	flag.StringVar(&opts.Format, "format", "binary", "output format: binary or csv")
+	flag.Parse()
+	msg, err := cli.Generate(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrqgen:", err)
+		os.Exit(1)
+	}
+	fmt.Println(msg)
+}

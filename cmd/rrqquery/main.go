@@ -1,0 +1,38 @@
+// Command rrqquery runs one reverse rank query over data-set files
+// produced by rrqgen, with a selectable algorithm.
+//
+// Usage:
+//
+//	rrqquery -p p.grd -w w.grd -type rtk -k 100 -qi 0
+//	rrqquery -p p.grd -w w.grd -type rkr -k 10 -q "120.5,80,3000,42,7,9"
+//	rrqquery -p p.grd -w w.grd -type rtk -algo bbr -qi 3 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/cli"
+)
+
+func main() {
+	var opts cli.QueryOptions
+	flag.StringVar(&opts.PPath, "p", "", "products file (binary, or csv by extension)")
+	flag.StringVar(&opts.WPath, "w", "", "preferences file")
+	flag.StringVar(&opts.Type, "type", "rtk", "query type: rtk or rkr")
+	flag.StringVar(&opts.Algo, "algo", "gir", "algorithm: gir, sparse, sim, brute, bbr (rtk), mpa (rkr), rta (rtk)")
+	flag.IntVar(&opts.K, "k", 100, "k")
+	flag.IntVar(&opts.QIndex, "qi", -1, "query product index into the products file")
+	flag.StringVar(&opts.QRaw, "q", "", "query vector as comma-separated values (alternative to -qi)")
+	flag.IntVar(&opts.N, "n", algo.DefaultPartitions, "grid partitions for gir/sparse")
+	flag.IntVar(&opts.Capacity, "capacity", 64, "R-tree node capacity for bbr/mpa")
+	flag.BoolVar(&opts.ShowStats, "stats", false, "print operation counters")
+	flag.IntVar(&opts.Limit, "limit", 20, "max result rows printed (0 = all)")
+	flag.Parse()
+	if err := cli.RunQuery(os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "rrqquery:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Command rrqserver serves reverse rank queries over HTTP.
+//
+// Load an index saved by the library, or generate a synthetic one:
+//
+//	rrqserver -index catalogue.gri -addr :8080
+//	rrqserver -demo -dist DIANPING -np 20000 -nw 5000 -addr :8080
+//
+// Endpoints (JSON): GET /healthz, GET /v1/index,
+// POST /v1/reverse-topk, /v1/reverse-kranks, /v1/topk, /v1/rank.
+//
+//	curl -s localhost:8080/v1/reverse-kranks \
+//	  -d '{"product": 42, "k": 10}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"gridrank"
+	"gridrank/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		index = flag.String("index", "", "index file saved with gridrank (see rrqgen + library Save)")
+		demo  = flag.Bool("demo", false, "serve a synthetic index instead of a file")
+		dist  = flag.String("dist", "UN", "demo distribution (UN, CL, AC, DIANPING, ...)")
+		np    = flag.Int("np", 10000, "demo products")
+		nw    = flag.Int("nw", 5000, "demo preferences")
+		d     = flag.Int("d", 6, "demo dimensionality")
+		seed  = flag.Int64("seed", 1, "demo seed")
+	)
+	flag.Parse()
+	ix, err := buildIndex(*index, *demo, *dist, *np, *nw, *d, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrqserver:", err)
+		os.Exit(1)
+	}
+	log.Printf("serving %d products × %d preferences (d=%d, grid n=%d) on %s",
+		ix.NumProducts(), ix.NumPreferences(), ix.Dim(), ix.GridPartitions(), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(ix),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func buildIndex(path string, demo bool, dist string, np, nw, d int, seed int64) (*gridrank.Index, error) {
+	switch {
+	case path != "" && demo:
+		return nil, fmt.Errorf("-index and -demo are mutually exclusive")
+	case path != "":
+		return gridrank.Load(path)
+	case demo:
+		P, err := gridrank.GenerateProducts(seed, gridrank.Distribution(dist), np, d)
+		if err != nil {
+			return nil, err
+		}
+		wdist := gridrank.Distribution(dist)
+		if wdist == gridrank.AntiCorrelated {
+			wdist = gridrank.Uniform // AC preferences are not defined
+		}
+		W, err := gridrank.GeneratePreferences(seed+1, wdist, nw, d)
+		if err != nil {
+			return nil, err
+		}
+		return gridrank.New(P, W, nil)
+	default:
+		return nil, fmt.Errorf("one of -index or -demo is required")
+	}
+}

@@ -1,0 +1,76 @@
+package gridrank
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gridrank/internal/dataset"
+)
+
+// Distribution selects a synthetic or simulated-real data generator.
+type Distribution string
+
+// Product distributions. Uniform, Clustered and AntiCorrelated follow the
+// synthetic-data conventions of the reverse top-k literature; House, Color
+// and Dianping are statistical simulators of the paper's real data sets
+// (see DESIGN.md §5).
+const (
+	Uniform        Distribution = "UN"
+	Clustered      Distribution = "CL"
+	AntiCorrelated Distribution = "AC"
+	Normal         Distribution = "NO"
+	Exponential    Distribution = "EX"
+	House          Distribution = "HOUSE"
+	Color          Distribution = "COLOR"
+	Dianping       Distribution = "DIANPING"
+)
+
+// DefaultRange is the default product attribute range [0, 10000), the
+// paper's setting.
+const DefaultRange = dataset.DefaultRange
+
+// GenerateProducts generates n d-dimensional products with attributes in
+// [0, DefaultRange), deterministically from seed. For the House, Color and
+// Dianping simulators, d is fixed by the data set and ignored.
+func GenerateProducts(seed int64, dist Distribution, n, d int) ([]Vector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gridrank: need n > 0, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch dist {
+	case Uniform, Clustered, AntiCorrelated, Normal, Exponential:
+		if d <= 0 {
+			return nil, fmt.Errorf("gridrank: need d > 0, got %d", d)
+		}
+		return dataset.GenerateProducts(rng, dataset.Distribution(dist), n, d, dataset.DefaultRange).Points, nil
+	case House:
+		return dataset.HouseProducts(rng, n).Points, nil
+	case Color:
+		return dataset.ColorProducts(rng, n).Points, nil
+	case Dianping:
+		return dataset.DianpingProducts(rng, n).Points, nil
+	default:
+		return nil, fmt.Errorf("gridrank: unknown product distribution %q", dist)
+	}
+}
+
+// GeneratePreferences generates n d-dimensional preference vectors on the
+// standard simplex, deterministically from seed. Supported distributions:
+// Uniform, Clustered, Normal, Exponential and Dianping (whose d is fixed).
+func GeneratePreferences(seed int64, dist Distribution, n, d int) ([]Vector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gridrank: need n > 0, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch dist {
+	case Uniform, Clustered, Normal, Exponential:
+		if d <= 0 {
+			return nil, fmt.Errorf("gridrank: need d > 0, got %d", d)
+		}
+		return dataset.GenerateWeights(rng, dataset.Distribution(dist), n, d).Points, nil
+	case Dianping:
+		return dataset.DianpingWeights(rng, n).Points, nil
+	default:
+		return nil, fmt.Errorf("gridrank: unknown preference distribution %q", dist)
+	}
+}

@@ -1,0 +1,80 @@
+// Quickstart: the paper's Figure 1 cell-phone example through the public
+// API — score a catalogue against user preferences, then answer both
+// reverse rank queries for every phone.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridrank"
+)
+
+func main() {
+	// Five phones scored on ("smart", "rating"); smaller is preferable.
+	phones := []gridrank.Vector{
+		{0.6, 0.7}, // p1
+		{0.2, 0.3}, // p2
+		{0.1, 0.6}, // p3
+		{0.7, 0.5}, // p4
+		{0.8, 0.2}, // p5
+	}
+	// Three users and how much each attribute matters to them.
+	users := []gridrank.Vector{
+		{0.8, 0.2}, // Tom cares about smartness
+		{0.3, 0.7}, // Jerry cares about the rating
+		{0.9, 0.1}, // Spike really cares about smartness
+	}
+	names := []string{"Tom", "Jerry", "Spike"}
+
+	ix, err := gridrank.New(phones, users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Top-2 phones per user (Definition 1):")
+	for ui, name := range names {
+		top, err := ix.TopK(users[ui], 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s", name)
+		for _, r := range top {
+			fmt.Printf("  p%d (score %.2f)", r.Index+1, r.Score)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nReverse top-2 per phone (who would shortlist it? — Figure 1b):")
+	for pi := range phones {
+		res, err := ix.ReverseTopK(phones[pi], 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  p%d: ", pi+1)
+		if len(res) == 0 {
+			fmt.Println("nobody — every user prefers two other phones")
+			continue
+		}
+		for i, wi := range res {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(names[wi])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nReverse 1-rank per phone (the single best-matching user — Figure 1c):")
+	for pi := range phones {
+		res, err := ix.ReverseKRanks(phones[pi], 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res[0]
+		fmt.Printf("  p%d: %s ranks it #%d of %d\n",
+			pi+1, names[m.WeightIndex], m.Rank+1, ix.NumProducts())
+	}
+}

@@ -1,0 +1,42 @@
+package gridrank
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadIndex ensures the index parser never panics and that parsed
+// indexes answer queries without crashing.
+func FuzzReadIndex(f *testing.F) {
+	P, err := GenerateProducts(51, Uniform, 30, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	W, err := GeneratePreferences(52, Uniform, 10, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ix, err := New(P, W, &Options{GridPartitions: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if _, err := ix.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:20])
+	f.Add([]byte("GRI1aaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed index must answer queries.
+		q := got.Products()[0]
+		if _, err := got.ReverseKRanks(q, 1); err != nil {
+			t.Fatalf("parsed index cannot query: %v", err)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module gridrank
+
+go 1.22

@@ -1,0 +1,364 @@
+// Package gridrank answers reverse rank queries — "which users would rank
+// this product highly?" — with the Grid-index (GIR) algorithm of Dong,
+// Chen, Furuse, Yu and Kitagawa, "Grid-Index Algorithm for Reverse Rank
+// Queries", EDBT 2017.
+//
+// Given a set of products P (d-dimensional points, smaller attribute
+// values preferable) and a set of user preferences W (non-negative weight
+// vectors summing to 1), the score of product p for user w is the inner
+// product f_w(p) = Σ w[i]·p[i] and rank(w, q) counts the products scoring
+// strictly below q. Two queries are supported:
+//
+//   - Reverse top-k (RTK): all users who place the query product in their
+//     personal top-k.
+//   - Reverse k-ranks (RKR): the k users who rank the query product best,
+//     which is never empty — useful for unpopular products.
+//
+// The Grid-index pre-computes an (n+1)×(n+1) table of partition-boundary
+// products and a compact approximate vector per product and user; at query
+// time most products are decided against most users using only table
+// lookups and additions, making the scan robust to high dimensionality
+// where tree-based indexes degenerate.
+//
+// # Quick start
+//
+//	ix, err := gridrank.New(products, preferences, nil)
+//	if err != nil { ... }
+//	users, err := ix.ReverseTopK(myProduct, 10)   // RTK
+//	best, err := ix.ReverseKRanks(myProduct, 5)   // RKR
+//
+// The internal packages additionally provide the paper's baselines (simple
+// scan, BBR, MPA, RTA) and the full benchmark harness; see cmd/experiments
+// and DESIGN.md.
+package gridrank
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/model"
+	"gridrank/internal/stats"
+	"gridrank/internal/topk"
+)
+
+// Vector is a d-dimensional product point or preference vector.
+type Vector = []float64
+
+// Match is one reverse k-ranks result: a preference index and the number
+// of products ranked strictly above the query for that preference (the
+// query's 1-based rank is Rank+1).
+type Match struct {
+	WeightIndex int
+	Rank        int
+}
+
+// Result is one top-k result: a product index and its score.
+type Result struct {
+	Index int
+	Score float64
+}
+
+// Stats reports the work a query performed.
+type Stats struct {
+	// PairwiseMults is the number of exact inner products computed.
+	PairwiseMults int64
+	// BoundSums is the number of Grid-index bound evaluations (additions
+	// and lookups only).
+	BoundSums int64
+	// Filtered is the number of points decided by bounds alone.
+	Filtered int64
+	// Refined is the number of points needing an exact score.
+	Refined int64
+}
+
+// FilterRate is Filtered / (Filtered + Refined), the fraction of examined
+// points the Grid-index decided without a multiplication.
+func (s Stats) FilterRate() float64 {
+	if s.Filtered+s.Refined == 0 {
+		return 0
+	}
+	return float64(s.Filtered) / float64(s.Filtered+s.Refined)
+}
+
+func fromCounters(c *stats.Counters) Stats {
+	return Stats{
+		PairwiseMults: c.PairwiseMults,
+		BoundSums:     c.BoundSums,
+		Filtered:      c.Filtered,
+		Refined:       c.Refinements,
+	}
+}
+
+// Options configures index construction. The zero value (or nil) uses the
+// paper's defaults.
+type Options struct {
+	// GridPartitions is the per-axis partition count n of the Grid-index.
+	// Default 32, the paper's setting, sufficient for >99% worst-case
+	// model filtering up to d ≈ 20.
+	GridPartitions int
+
+	// TargetFiltering, when in (0, 1), sizes the grid automatically with
+	// Theorem 1 so the model's worst-case filtering performance exceeds
+	// it, overriding GridPartitions. For example 0.99 requests ε = 1%.
+	TargetFiltering float64
+}
+
+// ErrDimensionMismatch reports a query vector whose dimensionality does
+// not match the index.
+var ErrDimensionMismatch = errors.New("gridrank: dimension mismatch")
+
+// ErrBadK reports a non-positive k.
+var ErrBadK = errors.New("gridrank: k must be positive")
+
+// Index holds the Grid-index over one product set and one preference set.
+// It is immutable after construction and safe for concurrent queries.
+type Index struct {
+	products    []Vector
+	preferences []Vector
+	dim         int
+	rangeP      float64
+	gir         *algo.GIR
+}
+
+// New validates the data sets and builds the Grid-index. Products must
+// have non-negative attributes of a consistent dimensionality; preferences
+// must be non-negative weight vectors of the same dimensionality summing
+// to 1 (within 1e-6).
+func New(products, preferences []Vector, opts *Options) (*Index, error) {
+	if len(products) == 0 {
+		return nil, errors.New("gridrank: empty product set")
+	}
+	if len(preferences) == 0 {
+		return nil, errors.New("gridrank: empty preference set")
+	}
+	d := len(products[0])
+	if d == 0 {
+		return nil, errors.New("gridrank: zero-dimensional products")
+	}
+	rangeP := 0.0
+	for i, p := range products {
+		if len(p) != d {
+			return nil, fmt.Errorf("%w: product %d has %d dimensions, want %d",
+				ErrDimensionMismatch, i, len(p), d)
+		}
+		for j, x := range p {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				return nil, fmt.Errorf("gridrank: product %d attribute %d = %v (must be finite and non-negative)", i, j, x)
+			}
+			if x > rangeP {
+				rangeP = x
+			}
+		}
+	}
+	if rangeP == 0 {
+		rangeP = 1 // all-zero products still index cleanly
+	}
+	for i, w := range preferences {
+		if len(w) != d {
+			return nil, fmt.Errorf("%w: preference %d has %d dimensions, want %d",
+				ErrDimensionMismatch, i, len(w), d)
+		}
+		sum := 0.0
+		for j, x := range w {
+			if math.IsNaN(x) || x < 0 {
+				return nil, fmt.Errorf("gridrank: preference %d weight %d = %v (must be non-negative)", i, j, x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return nil, fmt.Errorf("gridrank: preference %d weights sum to %v, want 1", i, sum)
+		}
+	}
+
+	n := algo.DefaultPartitions
+	if opts != nil {
+		if opts.GridPartitions < 0 {
+			return nil, fmt.Errorf("gridrank: negative GridPartitions %d", opts.GridPartitions)
+		}
+		if opts.GridPartitions > 0 {
+			n = opts.GridPartitions
+		}
+		if opts.TargetFiltering != 0 {
+			if opts.TargetFiltering <= 0 || opts.TargetFiltering >= 1 {
+				return nil, fmt.Errorf("gridrank: TargetFiltering %v outside (0, 1)", opts.TargetFiltering)
+			}
+			auto, err := model.RequiredPartitionsPow2(d, 1-opts.TargetFiltering)
+			if err != nil {
+				return nil, fmt.Errorf("gridrank: sizing grid: %w", err)
+			}
+			n = auto
+		}
+	}
+	// rangeP is the max observed value; nudge it up so the top value maps
+	// strictly inside the last cell even after floating-point rounding.
+	rangeP = math.Nextafter(rangeP, math.Inf(1))
+	return &Index{
+		products:    products,
+		preferences: preferences,
+		dim:         d,
+		rangeP:      rangeP,
+		gir:         algo.NewGIR(products, preferences, rangeP, n),
+	}, nil
+}
+
+// Dim returns the indexed dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// NumProducts returns |P|.
+func (ix *Index) NumProducts() int { return len(ix.products) }
+
+// NumPreferences returns |W|.
+func (ix *Index) NumPreferences() int { return len(ix.preferences) }
+
+// GridPartitions returns the grid resolution n chosen at construction.
+func (ix *Index) GridPartitions() int { return ix.gir.Grid().N() }
+
+// GridMemoryBytes returns the memory footprint of the boundary table.
+func (ix *Index) GridMemoryBytes() int { return ix.gir.Grid().MemoryBytes() }
+
+func (ix *Index) checkQuery(q Vector, k int) error {
+	if len(q) != ix.dim {
+		return fmt.Errorf("%w: query has %d dimensions, want %d", ErrDimensionMismatch, len(q), ix.dim)
+	}
+	for j, x := range q {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return fmt.Errorf("gridrank: query attribute %d = %v (must be finite and non-negative)", j, x)
+		}
+	}
+	if k <= 0 {
+		return fmt.Errorf("%w: got %d", ErrBadK, k)
+	}
+	return nil
+}
+
+// ReverseTopK returns, in ascending order, the indexes of every
+// preference vector that places q within its top-k products. An empty
+// answer means no user ranks q that highly (consider ReverseKRanks).
+func (ix *Index) ReverseTopK(q Vector, k int) ([]int, error) {
+	res, _, err := ix.ReverseTopKStats(q, k)
+	return res, err
+}
+
+// ReverseTopKStats is ReverseTopK with work statistics.
+func (ix *Index) ReverseTopKStats(q Vector, k int) ([]int, Stats, error) {
+	if err := ix.checkQuery(q, k); err != nil {
+		return nil, Stats{}, err
+	}
+	var c stats.Counters
+	res := ix.gir.ReverseTopK(q, k, &c)
+	return res, fromCounters(&c), nil
+}
+
+// ReverseKRanks returns the k preference vectors ranking q best, ordered
+// by ascending rank (ties toward smaller indexes). It never returns an
+// empty answer for k ≥ 1 — if fewer than k preferences exist, all are
+// returned.
+func (ix *Index) ReverseKRanks(q Vector, k int) ([]Match, error) {
+	res, _, err := ix.ReverseKRanksStats(q, k)
+	return res, err
+}
+
+// ReverseKRanksStats is ReverseKRanks with work statistics.
+func (ix *Index) ReverseKRanksStats(q Vector, k int) ([]Match, Stats, error) {
+	if err := ix.checkQuery(q, k); err != nil {
+		return nil, Stats{}, err
+	}
+	var c stats.Counters
+	matches := ix.gir.ReverseKRanks(q, k, &c)
+	out := make([]Match, len(matches))
+	for i, m := range matches {
+		out[i] = Match{WeightIndex: m.WeightIndex, Rank: m.Rank}
+	}
+	return out, fromCounters(&c), nil
+}
+
+// AggMatch is one aggregate reverse rank result: a preference index and
+// the bundle's total rank under it (smaller is better).
+type AggMatch struct {
+	WeightIndex int
+	AggRank     int
+}
+
+// AggregateReverseRank returns the k preferences that rank a whole bundle
+// of query products best, by the sum of per-product ranks — the aggregate
+// reverse rank query of Dong et al. (DEXA 2016), the bundling extension of
+// reverse k-ranks. Ties resolve toward smaller preference indexes.
+func (ix *Index) AggregateReverseRank(bundle []Vector, k int) ([]AggMatch, error) {
+	if len(bundle) == 0 {
+		return nil, errors.New("gridrank: empty bundle")
+	}
+	for _, q := range bundle {
+		if err := ix.checkQuery(q, k); err != nil {
+			return nil, err
+		}
+	}
+	res := ix.gir.AggregateReverseRank(bundle, k, nil)
+	out := make([]AggMatch, len(res))
+	for i, m := range res {
+		out[i] = AggMatch{WeightIndex: m.WeightIndex, AggRank: m.AggRank}
+	}
+	return out, nil
+}
+
+// TopK returns the k best-scoring (lowest) products for a preference
+// vector, the forward query of Definition 1.
+func (ix *Index) TopK(w Vector, k int) ([]Result, error) {
+	if len(w) != ix.dim {
+		return nil, fmt.Errorf("%w: preference has %d dimensions, want %d", ErrDimensionMismatch, len(w), ix.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
+	}
+	res := topk.TopK(ix.products, w, k, nil)
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{Index: r.Index, Score: r.Score}
+	}
+	return out, nil
+}
+
+// Rank returns rank(w, q): how many products score strictly below q under
+// w. The product's 1-based position in w's ranking is Rank+1.
+func (ix *Index) Rank(w, q Vector) (int, error) {
+	if len(w) != ix.dim || len(q) != ix.dim {
+		return 0, fmt.Errorf("%w: want dimension %d", ErrDimensionMismatch, ix.dim)
+	}
+	return topk.Rank(ix.products, w, q, nil), nil
+}
+
+// WeightInterval is a closed range [Lo, Hi] of λ values: every preference
+// (λ, 1−λ) inside it places the query product in its top-k.
+type WeightInterval struct {
+	Lo, Hi float64
+}
+
+// MonoReverseTopK answers the monochromatic reverse top-k query over a
+// 2-dimensional product set: instead of matching against a finite
+// preference set, it returns the regions of the whole weight space
+// {(λ, 1−λ) : λ ∈ [0, 1]} in which q ranks within the top-k. This is the
+// other reverse top-k variant of Vlachou et al. (the paper evaluates the
+// bichromatic one); it is only defined for d = 2.
+func MonoReverseTopK(products []Vector, q Vector, k int) ([]WeightInterval, error) {
+	ivs, err := algo.MonoRTK(products, q, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WeightInterval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = WeightInterval{Lo: iv.Lo, Hi: iv.Hi}
+	}
+	return out, nil
+}
+
+// RequiredPartitions returns Theorem 1's minimum grid resolution for a
+// d-dimensional data set so the model's worst-case filtering performance
+// exceeds target (for example 0.99), rounded up to a power of two so
+// approximate vectors bit-pack exactly.
+func RequiredPartitions(d int, target float64) (int, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("gridrank: target %v outside (0, 1)", target)
+	}
+	return model.RequiredPartitionsPow2(d, 1-target)
+}

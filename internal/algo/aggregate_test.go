@@ -1,0 +1,127 @@
+package algo
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridrank/internal/dataset"
+	"gridrank/internal/stats"
+	"gridrank/internal/vec"
+)
+
+func equalAgg(a, b []AggMatch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GIR's budgeted aggregate query must match brute force across bundle
+// sizes, dimensions and k.
+func TestAggregateCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []struct{ d, bundle int }{
+		{3, 1}, {3, 2}, {6, 3}, {6, 5}, {10, 4},
+	} {
+		P := dataset.GenerateProducts(rng, dataset.Uniform, 300, cfg.d, dataset.DefaultRange)
+		W := dataset.GenerateWeights(rng, dataset.Uniform, 120, cfg.d)
+		brute := NewBrute(P.Points, W.Points)
+		gir := NewGIR(P.Points, W.Points, P.Range, 32)
+		for trial := 0; trial < 5; trial++ {
+			Q := make([]vec.Vector, cfg.bundle)
+			for i := range Q {
+				Q[i] = P.Points[rng.Intn(len(P.Points))]
+			}
+			for _, k := range []int{1, 7, 30} {
+				want := brute.AggregateReverseRank(Q, k, nil)
+				got := gir.AggregateReverseRank(Q, k, nil)
+				if !equalAgg(got, want) {
+					t.Fatalf("d=%d |Q|=%d k=%d:\ngot  %+v\nwant %+v",
+						cfg.d, cfg.bundle, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// A singleton bundle must coincide with reverse k-ranks.
+func TestAggregateSingletonEqualsRKR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	P := dataset.GenerateProducts(rng, dataset.Clustered, 250, 4, 100)
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 80, 4)
+	gir := NewGIR(P.Points, W.Points, 100, 32)
+	for trial := 0; trial < 5; trial++ {
+		q := P.Points[rng.Intn(len(P.Points))]
+		agg := gir.AggregateReverseRank([]vec.Vector{q}, 9, nil)
+		rkr := gir.ReverseKRanks(q, 9, nil)
+		if len(agg) != len(rkr) {
+			t.Fatalf("lengths differ: %d vs %d", len(agg), len(rkr))
+		}
+		for i := range rkr {
+			if agg[i].WeightIndex != rkr[i].WeightIndex || agg[i].AggRank != rkr[i].Rank {
+				t.Fatalf("singleton bundle %d: %+v vs %+v", i, agg[i], rkr[i])
+			}
+		}
+	}
+}
+
+func TestAggregateEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	P := dataset.GenerateProducts(rng, dataset.Uniform, 60, 3, 100)
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 25, 3)
+	gir := NewGIR(P.Points, W.Points, 100, 16)
+	if got := gir.AggregateReverseRank(nil, 5, nil); got != nil {
+		t.Error("empty bundle should return nil")
+	}
+	if got := gir.AggregateReverseRank([]vec.Vector{P.Points[0]}, 0, nil); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	// k > |W|: everything returned, sorted by (rank, index).
+	got := gir.AggregateReverseRank([]vec.Vector{P.Points[0], P.Points[1]}, 100, nil)
+	if len(got) != len(W.Points) {
+		t.Fatalf("k>|W|: got %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].AggRank < got[i-1].AggRank ||
+			(got[i].AggRank == got[i-1].AggRank && got[i].WeightIndex < got[i-1].WeightIndex) {
+			t.Fatalf("results out of order: %+v", got)
+		}
+	}
+}
+
+// The budgeted exit must save work relative to ranking every bundle
+// member for every preference.
+func TestAggregateBudgetSavesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	P := dataset.GenerateProducts(rng, dataset.Uniform, 2000, 6, dataset.DefaultRange)
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 400, 6)
+	gir := NewGIR(P.Points, W.Points, P.Range, 32)
+	brute := NewBrute(P.Points, W.Points)
+	Q := []vec.Vector{P.Points[10], P.Points[20], P.Points[30], P.Points[40]}
+	var cGIR, cBrute stats.Counters
+	if !equalAgg(gir.AggregateReverseRank(Q, 5, &cGIR), brute.AggregateReverseRank(Q, 5, &cBrute)) {
+		t.Fatal("answers differ")
+	}
+	if cGIR.PairwiseMults*3 >= cBrute.PairwiseMults {
+		t.Errorf("budgeted GIR should save >3x multiplications: %d vs %d",
+			cGIR.PairwiseMults, cBrute.PairwiseMults)
+	}
+}
+
+// Heavy duplicate products in the bundle (same item twice) stay correct.
+func TestAggregateDuplicateBundleMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	P := dataset.GenerateProducts(rng, dataset.Uniform, 120, 3, 100)
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 40, 3)
+	gir := NewGIR(P.Points, W.Points, 100, 16)
+	brute := NewBrute(P.Points, W.Points)
+	Q := []vec.Vector{P.Points[7], P.Points[7], P.Points[7]}
+	if !equalAgg(gir.AggregateReverseRank(Q, 6, nil), brute.AggregateReverseRank(Q, 6, nil)) {
+		t.Fatal("duplicate bundle members break agreement")
+	}
+}

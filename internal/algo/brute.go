@@ -1,0 +1,78 @@
+package algo
+
+import (
+	"fmt"
+
+	"gridrank/internal/stats"
+	"gridrank/internal/topk"
+	"gridrank/internal/vec"
+)
+
+// Brute is the exact reference implementation: full rank counting over
+// every (p, w) pair with no pruning or early termination. It defines the
+// semantics every other algorithm must reproduce and is the ground truth
+// of the cross-validation tests. Complexity is Θ(|P|·|W|) per query.
+type Brute struct {
+	P []vec.Vector
+	W []vec.Vector
+}
+
+// NewBrute validates shapes and returns the reference algorithm.
+func NewBrute(P, W []vec.Vector) *Brute {
+	validateSets(P, W)
+	return &Brute{P: P, W: W}
+}
+
+// validateSets panics on empty or dimensionally inconsistent inputs; the
+// constructors of every algorithm share it.
+func validateSets(P, W []vec.Vector) {
+	if len(P) == 0 || len(W) == 0 {
+		panic("algo: empty data set")
+	}
+	d := len(P[0])
+	for i, p := range P {
+		if len(p) != d {
+			panic(fmt.Sprintf("algo: point %d has dimension %d, want %d", i, len(p), d))
+		}
+	}
+	for i, w := range W {
+		if len(w) != d {
+			panic(fmt.Sprintf("algo: weight %d has dimension %d, want %d", i, len(w), d))
+		}
+	}
+}
+
+// Name implements RTKAlgorithm and RKRAlgorithm.
+func (b *Brute) Name() string { return "BRUTE" }
+
+// ReverseTopK returns all weight indexes whose rank of q is below k.
+func (b *Brute) ReverseTopK(q vec.Vector, k int, c *stats.Counters) []int {
+	if c != nil {
+		defer func() { c.Queries++ }()
+	}
+	if k <= 0 {
+		return nil
+	}
+	var res []int
+	for wi, w := range b.W {
+		if topk.Rank(b.P, w, q, c) < k {
+			res = append(res, wi)
+		}
+	}
+	return res
+}
+
+// ReverseKRanks returns the k weights ranking q best.
+func (b *Brute) ReverseKRanks(q vec.Vector, k int, c *stats.Counters) []topk.Match {
+	if c != nil {
+		defer func() { c.Queries++ }()
+	}
+	if k <= 0 {
+		return nil
+	}
+	h := topk.NewKRankHeap(k)
+	for wi, w := range b.W {
+		h.Offer(topk.Match{WeightIndex: wi, Rank: topk.Rank(b.P, w, q, c)})
+	}
+	return h.Results()
+}

@@ -1,0 +1,251 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+
+	"gridrank/internal/grid"
+	"gridrank/internal/stats"
+	"gridrank/internal/topk"
+	"gridrank/internal/vec"
+)
+
+// GIR is the Grid-index algorithm of Section 4. Construction pre-computes
+// the Grid-index (boundary-product table) and the approximate vectors
+// P^(A) and W^(A); queries then scan the approximate vectors, decide most
+// points from the Grid bounds alone (Cases 1 and 2 of Section 3.1, d table
+// lookups and additions, zero multiplications), and compute exact scores
+// only for the Case-3 candidates that survive.
+type GIR struct {
+	P []vec.Vector
+	W []vec.Vector
+
+	// DisableDomin turns off the Domin buffer (Algorithm 1's dominating-
+	// point memoization). Queries stay correct; the flag exists for the
+	// ablation experiment that measures what the buffer is worth.
+	DisableDomin bool
+
+	g  grid.Bounder
+	pa *grid.Index // P^(A)
+	wa *grid.Index // W^(A)
+}
+
+// DefaultPartitions is the paper's default grid resolution n = 32
+// (sufficient for >99% filtering up to d ≈ 20 by Theorem 1).
+const DefaultPartitions = 32
+
+// NewGIR builds the Grid-index for point attributes in [0, rangeP) with n
+// partitions per axis and pre-computes both approximate vector sets.
+//
+// The weight axis is partitioned over [0, max observed weight component],
+// not [0, 1]: the paper divides each axis over "the range of the
+// attribute's values", and for simplex weights that range shrinks like
+// 1/d — partitioning the full unit interval would leave every weight in
+// the first couple of cells and make the upper bound useless in high
+// dimensions.
+func NewGIR(P, W []vec.Vector, rangeP float64, n int) *GIR {
+	validateSets(P, W)
+	if n < 1 {
+		panic(fmt.Sprintf("algo: grid partitions %d < 1", n))
+	}
+	return NewGIRWithBounder(P, W, grid.New(n, rangeP, maxComponent(W)))
+}
+
+// maxComponent returns the largest vector component, used as the weight
+// axis range. The result is nudged up one ulp so the maximum itself maps
+// strictly inside the last cell.
+func maxComponent(vs []vec.Vector) float64 {
+	m := 0.0
+	for _, v := range vs {
+		for _, x := range v {
+			if x > m {
+				m = x
+			}
+		}
+	}
+	if m <= 0 {
+		return 1
+	}
+	return math.Nextafter(m, math.Inf(1))
+}
+
+// NewGIRWithBounder builds GIR over any grid implementation — the paper's
+// equal-width Grid or the adaptive quantile grid of its future work
+// (grid.NewAdaptive) — and pre-computes both approximate vector sets.
+func NewGIRWithBounder(P, W []vec.Vector, g grid.Bounder) *GIR {
+	validateSets(P, W)
+	return &GIR{
+		P:  P,
+		W:  W,
+		g:  g,
+		pa: grid.NewPointIndex(g, P),
+		wa: grid.NewWeightIndex(g, W),
+	}
+}
+
+// Name implements RTKAlgorithm and RKRAlgorithm.
+func (gr *GIR) Name() string { return "GIR" }
+
+// Grid exposes the underlying Grid-index (for diagnostics and the
+// experiment harness).
+func (gr *GIR) Grid() grid.Bounder { return gr.g }
+
+// rankBounded is GInTop-k (Algorithm 1): it determines rank(w_i, q)
+// bounded by cutoff, scanning P^(A) and classifying each point with the
+// Grid bounds. ok is false when the rank reached cutoff (the paper's
+// "return -1").
+//
+// Two deliberate deviations from the paper's pseudocode, both discussed in
+// DESIGN.md: the Case-1 test uses strict U < f_w(q) so score ties never
+// count against q (Algorithm 1 prints "≤", which would miscount a point
+// whose score equals f_w(q) when the upper bound is tight), and the
+// cutoff test is rnk ≥ cutoff, matching the prose ("whenever rnk reaches
+// k") rather than the printed "rnk > k".
+func (gr *GIR) rankBounded(wi int, q vec.Vector, cutoff int, dom *domin, scratch *girScratch, c *stats.Counters) (int, bool) {
+	w := gr.W[wi]
+	fq := vec.Dot(w, q)
+	if c != nil {
+		c.PairwiseMults++
+	}
+	rnk := dom.count
+	if rnk >= cutoff {
+		return cutoff, false
+	}
+	// Interleave the grid columns selected by w's approximate vector into
+	// the flat per-query scratch: bnd[i·2n + 2·pc] is the lower addend and
+	// bnd[i·2n + 2·pc + 1] the upper addend for dimension i, point cell pc
+	// (Equations 3 and 4, column-wise). The two addends of a cell share a
+	// cache line and the whole block is d·2n floats — L1-resident for the
+	// paper's configurations.
+	wa := gr.wa.Row(wi)
+	d := len(wa)
+	n2 := 2 * gr.g.N()
+	bnd := scratch.bounds
+	for i, wc := range wa {
+		loCol := gr.g.LowerColumn(wc)
+		upCol := gr.g.UpperColumn(wc)
+		row := bnd[i*n2 : (i+1)*n2]
+		for pc := range loCol {
+			row[2*pc] = loCol[pc]
+			row[2*pc+1] = upCol[pc]
+		}
+	}
+	approx := gr.pa.Cells()
+	for pj := range gr.P {
+		if dom.has(pj) {
+			continue
+		}
+		pa := approx[pj*d : pj*d+d]
+		if c != nil {
+			c.BoundSums++
+			c.ApproxVisited++
+		}
+		// One fused pass evaluates both bounds: adjacent loads, one loop.
+		// (Computing the lower bound lazily, as Algorithm 1 suggests,
+		// measures slower: the second pass re-pays the loop for every
+		// non-Case-1 point.)
+		var u, l float64
+		off := 0
+		for _, pc := range pa {
+			j := off + 2*int(pc)
+			l += bnd[j]
+			u += bnd[j+1]
+			off += n2
+		}
+		if u < fq { // Case 1: p precedes q
+			rnk++
+			if c != nil {
+				c.Filtered++
+			}
+			if !gr.DisableDomin {
+				dom.observe(pj, gr.P[pj], q)
+			}
+			if rnk >= cutoff {
+				return cutoff, false
+			}
+			continue
+		}
+		if l <= fq {
+			// Case 3: incomparable — refine inline with the exact score.
+			// Algorithm 1 collects candidates and refines after the scan,
+			// but refining immediately keeps rnk an exact running count,
+			// so the cutoff fires at the same pair as SIM's scan (this is
+			// what makes the paper's Figure 11 observation — GIR and SIM
+			// perform the same number of pair accesses — hold).
+			if c != nil {
+				c.PairwiseMults++
+				c.Refinements++
+				c.PointsVisited++
+			}
+			if vec.Dot(w, gr.P[pj]) < fq {
+				rnk++
+				if !gr.DisableDomin {
+					dom.observe(pj, gr.P[pj], q)
+				}
+				if rnk >= cutoff {
+					return cutoff, false
+				}
+			}
+		} else if c != nil { // Case 2: q precedes p
+			c.Filtered++
+		}
+	}
+	return rnk, true
+}
+
+// girScratch holds the per-query buffer rankBounded reuses across weight
+// vectors: the interleaved (lower, upper) column pairs, d·2n floats.
+type girScratch struct {
+	bounds []float64
+}
+
+func (gr *GIR) newScratch() *girScratch {
+	return &girScratch{
+		bounds: make([]float64, gr.pa.Dim()*2*gr.g.N()),
+	}
+}
+
+// ReverseTopK is GIRTop-k (Algorithm 2).
+func (gr *GIR) ReverseTopK(q vec.Vector, k int, c *stats.Counters) []int {
+	if c != nil {
+		defer func() { c.Queries++ }()
+	}
+	if k <= 0 {
+		return nil
+	}
+	dom := newDomin(len(gr.P))
+	scratch := gr.newScratch()
+	var res []int
+	for wi := range gr.W {
+		if _, ok := gr.rankBounded(wi, q, k, dom, scratch, c); ok {
+			res = append(res, wi)
+		}
+		// Algorithm 2 lines 7–8: with k dominators, no weight can place q
+		// in its top-k.
+		if dom.count >= k {
+			return nil
+		}
+	}
+	return res
+}
+
+// ReverseKRanks is GIRk-Rank (Algorithm 3): the size-k heap's worst
+// retained rank (minRank) is passed to GInTop-k as the filtering cutoff
+// and tightens as better weights are found.
+func (gr *GIR) ReverseKRanks(q vec.Vector, k int, c *stats.Counters) []topk.Match {
+	if c != nil {
+		defer func() { c.Queries++ }()
+	}
+	if k <= 0 {
+		return nil
+	}
+	h := topk.NewKRankHeap(k)
+	dom := newDomin(len(gr.P))
+	scratch := gr.newScratch()
+	for wi := range gr.W {
+		if rnk, ok := gr.rankBounded(wi, q, h.Threshold(), dom, scratch, c); ok {
+			h.Offer(topk.Match{WeightIndex: wi, Rank: rnk})
+		}
+	}
+	return h.Results()
+}

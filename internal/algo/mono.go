@@ -1,0 +1,156 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"gridrank/internal/vec"
+)
+
+// Monochromatic reverse top-k (Vlachou et al., ICDE 2010 / TKDE 2011 —
+// the other variant the paper's Section 2 describes): instead of a finite
+// preference set W, the answer is the region of weight space in which the
+// query product ranks inside the top-k. In two dimensions every legal
+// preference is (λ, 1−λ) for λ ∈ [0, 1], so the answer is a union of
+// λ-intervals — the "k-polygon" boundary structure of Chester et al.
+// (DASFAA 2013) specialized to d=2.
+//
+// The sweep works on rank-change events: product p beats q at λ iff
+// λ·(p[0]−q[0]) + (1−λ)·(p[1]−q[1]) < 0. Each p contributes a half-line
+// or an interval of λ where it beats q; accumulating +1/−1 events and
+// sweeping λ from 0 to 1 yields rank(λ) piecewise-constantly, and the
+// answer is the closure of {λ : rank(λ) < k}.
+
+// Interval is a closed λ-range [Lo, Hi] ⊆ [0, 1] of weight vectors
+// (λ, 1−λ) for which the query product is in the top-k.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// MonoRTK answers the monochromatic reverse top-k query over a
+// 2-dimensional product set: the maximal intervals of λ for which q ranks
+// strictly better than all but at most k−1 products. It returns an error
+// for non-2-d data (the monochromatic sweep is a planar construction).
+func MonoRTK(P []vec.Vector, q vec.Vector, k int) ([]Interval, error) {
+	if len(q) != 2 {
+		return nil, fmt.Errorf("algo: MonoRTK needs 2-d data, got %d-d query", len(q))
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("algo: MonoRTK needs k >= 1, got %d", k)
+	}
+	// Events at λ boundaries: +1 when a product starts beating q, −1 when
+	// it stops. A product's beat-set is {λ : a·λ + b < 0} with
+	// a = (p[0]−q[0]) − (p[1]−q[1]) and b = p[1]−q[1]: a half-interval of
+	// [0, 1] (or all/none of it).
+	type event struct {
+		at    float64
+		delta int
+	}
+	var events []event
+	baseRank := 0 // products beating q on all of [0, 1]
+	for i, p := range P {
+		if len(p) != 2 {
+			return nil, fmt.Errorf("algo: MonoRTK needs 2-d data, product %d is %d-d", i, len(p))
+		}
+		d0 := p[0] - q[0]
+		d1 := p[1] - q[1]
+		a := d0 - d1
+		b := d1
+		switch {
+		case a == 0:
+			if b < 0 { // beats q everywhere
+				baseRank++
+			}
+		default:
+			// Root of a·λ + b = 0.
+			root := -b / a
+			if a > 0 {
+				// beats q for λ < root.
+				switch {
+				case root <= 0:
+					// never beats q on [0, 1]
+				case root >= 1:
+					baseRank++
+				default:
+					events = append(events,
+						event{at: 0, delta: +1},
+						event{at: root, delta: -1})
+				}
+			} else {
+				// beats q for λ > root.
+				switch {
+				case root >= 1:
+					// never
+				case root <= 0:
+					baseRank++
+				default:
+					events = append(events, event{at: root, delta: +1})
+					// implicit close at λ = 1
+				}
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+
+	// Sweep: rank(λ) between consecutive event positions is constant.
+	var out []Interval
+	rank := baseRank
+	cur := 0.0
+	open := false
+	var start float64
+	flushTo := func(to float64) {
+		inside := rank < k
+		if inside && !open {
+			start, open = cur, true
+		}
+		if !inside && open {
+			if start < cur {
+				out = append(out, Interval{Lo: start, Hi: cur})
+			}
+			open = false
+		}
+		cur = to
+	}
+	i := 0
+	for i < len(events) {
+		at := events[i].at
+		flushTo(at)
+		for i < len(events) && events[i].at == at {
+			rank += events[i].delta
+			i++
+		}
+	}
+	flushTo(1)
+	if open || rank < k {
+		// Close the trailing interval at λ = 1. If the final segment is
+		// inside but no interval is open (events ended exactly at 1), open
+		// a degenerate one only when a positive-length segment remains.
+		if !open {
+			start = cur
+		}
+		if start <= 1 {
+			out = append(out, Interval{Lo: start, Hi: 1})
+		}
+	}
+	return mergeIntervals(out), nil
+}
+
+// mergeIntervals coalesces touching intervals (events at identical λ can
+// split what is logically one region).
+func mergeIntervals(in []Interval) []Interval {
+	if len(in) == 0 {
+		return nil
+	}
+	out := []Interval{in[0]}
+	for _, iv := range in[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}

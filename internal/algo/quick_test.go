@@ -1,0 +1,218 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridrank/internal/vec"
+)
+
+// rawInstance decodes an arbitrary byte string into a small query
+// instance: dimension, point set, weight set, query point and k. Using
+// testing/quick's generator (rather than our distribution generators)
+// exercises degenerate shapes the workload generators never produce:
+// zero attributes, extreme skew, single-point sets, k beyond |P|.
+func rawInstance(data []byte) (P, W []vec.Vector, q vec.Vector, k int, ok bool) {
+	if len(data) < 8 {
+		return nil, nil, nil, 0, false
+	}
+	d := int(data[0])%4 + 1
+	nP := int(data[1])%12 + 1
+	nW := int(data[2])%8 + 1
+	k = int(data[3])%(nP+2) + 1
+	rest := data[4:]
+	at := 0
+	next := func() float64 {
+		if at >= len(rest) {
+			at = 0
+		}
+		v := float64(rest[at])
+		at++
+		return v
+	}
+	P = make([]vec.Vector, nP)
+	for i := range P {
+		p := make(vec.Vector, d)
+		for j := range p {
+			p[j] = next() // 0..255, includes exact duplicates and zeros
+		}
+		P[i] = p
+	}
+	W = make([]vec.Vector, nW)
+	for i := range W {
+		w := make(vec.Vector, d)
+		for {
+			for j := range w {
+				w[j] = next()
+			}
+			if vec.Normalize(w) {
+				break
+			}
+			// All-zero draw: force a legal weight.
+			w[0] = 1
+			break
+		}
+		W[i] = w
+	}
+	q = P[int(data[4])%nP]
+	return P, W, q, k, true
+}
+
+// Property: GIR at several grid resolutions and SIM agree with brute
+// force on arbitrary byte-derived instances.
+func TestQuickGIRMatchesBrute(t *testing.T) {
+	f := func(data []byte) bool {
+		P, W, q, k, ok := rawInstance(data)
+		if !ok {
+			return true
+		}
+		brute := NewBrute(P, W)
+		wantRTK := brute.ReverseTopK(q, k, nil)
+		wantRKR := brute.ReverseKRanks(q, k, nil)
+		for _, n := range []int{1, 3, 32} {
+			gir := NewGIR(P, W, 256, n)
+			if !equalInts(gir.ReverseTopK(q, k, nil), wantRTK) {
+				return false
+			}
+			if !equalMatches(gir.ReverseKRanks(q, k, nil), wantRKR) {
+				return false
+			}
+		}
+		sim := NewSIM(P, W)
+		return equalInts(sim.ReverseTopK(q, k, nil), wantRTK) &&
+			equalMatches(sim.ReverseKRanks(q, k, nil), wantRKR)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the tree-based baselines agree with brute force on the same
+// raw instances.
+func TestQuickTreesMatchBrute(t *testing.T) {
+	f := func(data []byte) bool {
+		P, W, q, k, ok := rawInstance(data)
+		if !ok {
+			return true
+		}
+		brute := NewBrute(P, W)
+		bbr := NewBBR(P, W, 3)
+		if !equalInts(bbr.ReverseTopK(q, k, nil), brute.ReverseTopK(q, k, nil)) {
+			return false
+		}
+		mpa, err := NewMPA(P, W, 3, 4)
+		if err != nil {
+			// Weights are normalized, so the histogram must accept them.
+			return false
+		}
+		return equalMatches(mpa.ReverseKRanks(q, k, nil), brute.ReverseKRanks(q, k, nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RTK answers are exactly the weights whose rank is below k
+// (the definitional identity between the two queries' primitives).
+func TestQuickRTKDefinitionalIdentity(t *testing.T) {
+	f := func(data []byte) bool {
+		P, W, q, k, ok := rawInstance(data)
+		if !ok {
+			return true
+		}
+		gir := NewGIR(P, W, 256, 8)
+		got := gir.ReverseTopK(q, k, nil)
+		inAnswer := map[int]bool{}
+		for _, wi := range got {
+			inAnswer[wi] = true
+		}
+		for wi, w := range W {
+			fq := vec.Dot(w, q)
+			rank := 0
+			for _, p := range P {
+				if vec.Dot(w, p) < fq {
+					rank++
+				}
+			}
+			if inAnswer[wi] != (rank < k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RKR results are sorted by (rank, index) and each reported
+// rank matches a direct recount.
+func TestQuickRKRSortedAndExact(t *testing.T) {
+	f := func(data []byte) bool {
+		P, W, q, k, ok := rawInstance(data)
+		if !ok {
+			return true
+		}
+		gir := NewGIR(P, W, 256, 8)
+		got := gir.ReverseKRanks(q, k, nil)
+		wantLen := k
+		if len(W) < k {
+			wantLen = len(W)
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		for i, m := range got {
+			if i > 0 {
+				prev := got[i-1]
+				if m.Rank < prev.Rank ||
+					(m.Rank == prev.Rank && m.WeightIndex < prev.WeightIndex) {
+					return false
+				}
+			}
+			fq := vec.Dot(W[m.WeightIndex], q)
+			rank := 0
+			for _, p := range P {
+				if vec.Dot(W[m.WeightIndex], p) < fq {
+					rank++
+				}
+			}
+			if rank != m.Rank {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// NaN-free guarantee: all algorithms tolerate weights with zero entries
+// (scores can tie at exactly 0).
+func TestZeroHeavyWeights(t *testing.T) {
+	P := []vec.Vector{{0, 5}, {3, 0}, {0, 0}, {7, 7}}
+	W := []vec.Vector{{1, 0}, {0, 1}, {0.5, 0.5}}
+	brute := NewBrute(P, W)
+	gir := NewGIR(P, W, 8, 4)
+	sim := NewSIM(P, W)
+	for qi, q := range P {
+		for k := 1; k <= 4; k++ {
+			want := brute.ReverseTopK(q, k, nil)
+			if !equalInts(gir.ReverseTopK(q, k, nil), want) {
+				t.Fatalf("GIR q=%d k=%d", qi, k)
+			}
+			if !equalInts(sim.ReverseTopK(q, k, nil), want) {
+				t.Fatalf("SIM q=%d k=%d", qi, k)
+			}
+			wantKR := brute.ReverseKRanks(q, k, nil)
+			if !equalMatches(gir.ReverseKRanks(q, k, nil), wantKR) {
+				t.Fatalf("GIR RKR q=%d k=%d", qi, k)
+			}
+		}
+	}
+	if math.IsNaN(vec.Dot(W[0], P[2])) {
+		t.Fatal("unexpected NaN")
+	}
+}

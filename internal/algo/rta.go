@@ -1,0 +1,116 @@
+package algo
+
+import (
+	"sort"
+
+	"gridrank/internal/stats"
+	"gridrank/internal/topk"
+	"gridrank/internal/vec"
+)
+
+// RTA is the reverse top-k threshold algorithm of Vlachou et al. (ICDE
+// 2010), included as the related-work baseline of Section 2: weight
+// vectors are processed in a similarity-preserving order and the top-k
+// result of the previous weight is kept as a buffer. For the next weight,
+// re-scoring just the k buffered points yields a threshold — the k-th
+// smallest buffered score upper-bounds the true k-th best score — that
+// often disqualifies q with k multiplications instead of |P|.
+type RTA struct {
+	P []vec.Vector
+	W []vec.Vector
+
+	// order visits weights lexicographically so that consecutive weights
+	// are similar and the buffered top-k changes slowly.
+	order []int
+}
+
+// NewRTA validates shapes and pre-computes the visiting order.
+func NewRTA(P, W []vec.Vector) *RTA {
+	validateSets(P, W)
+	order := make([]int, len(W))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := W[order[a]], W[order[b]]
+		for i := range wa {
+			if wa[i] != wb[i] {
+				return wa[i] < wb[i]
+			}
+		}
+		return order[a] < order[b]
+	})
+	return &RTA{P: P, W: W, order: order}
+}
+
+// Name implements RTKAlgorithm.
+func (r *RTA) Name() string { return "RTA" }
+
+// ReverseTopK returns all weight indexes whose rank of q is below k.
+func (r *RTA) ReverseTopK(q vec.Vector, k int, c *stats.Counters) []int {
+	if c != nil {
+		defer func() { c.Queries++ }()
+	}
+	if k <= 0 {
+		return nil
+	}
+	var res []int
+	var buffer []topk.Result // top-k of the previously evaluated weight
+	for _, wi := range r.order {
+		w := r.W[wi]
+		fq := vec.Dot(w, q)
+		if c != nil {
+			c.PairwiseMults++
+		}
+		if len(buffer) == k {
+			// Threshold test: the k-th smallest buffered score under the
+			// current weight upper-bounds the true k-th best score. If q
+			// scores strictly above it, at least k points beat q.
+			kth := kthScore(r.P, w, buffer, c)
+			if fq > kth {
+				if c != nil {
+					c.WeightsPruned++
+				}
+				continue
+			}
+		}
+		// Full evaluation; the fresh top-k becomes the next buffer. The
+		// buffer holds the k smallest scores, so the count of buffered
+		// scores strictly below fq equals min(rank(w,q), k) and decides
+		// membership exactly.
+		buffer = topk.TopK(r.P, w, k, c)
+		if rankOfScore(buffer, fq) < k {
+			res = append(res, wi)
+		}
+	}
+	sort.Ints(res)
+	return res
+}
+
+// kthScore re-scores the k buffered points under w and returns the k-th
+// smallest (i.e. largest buffered) score.
+func kthScore(P []vec.Vector, w vec.Vector, buffer []topk.Result, c *stats.Counters) float64 {
+	kth := 0.0
+	for i, r := range buffer {
+		s := vec.Dot(w, P[r.Index])
+		if c != nil {
+			c.PairwiseMults++
+		}
+		if i == 0 || s > kth {
+			kth = s
+		}
+	}
+	return kth
+}
+
+// rankOfScore counts the buffered results scoring strictly below fq. With
+// the buffer holding the exact top-k, this equals min(rank(w,q), k).
+func rankOfScore(buffer []topk.Result, fq float64) int {
+	rank := 0
+	for _, r := range buffer {
+		if r.Score < fq {
+			rank++
+		}
+	}
+	return rank
+}

@@ -1,0 +1,67 @@
+package algo
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridrank/internal/dataset"
+)
+
+// TestScaleCrossValidation re-runs the agreement check at a scale closer
+// to the benchmark harness defaults, catching bugs that only appear when
+// early-termination, the Domin buffer and the k-ranks threshold interact
+// over many thousands of points (e.g. counter or cutoff drift).
+func TestScaleCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale cross validation in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	P := dataset.GenerateProducts(rng, dataset.Uniform, 6000, 6, dataset.DefaultRange)
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 2500, 6)
+	brute := NewBrute(P.Points, W.Points)
+	gir := NewGIR(P.Points, W.Points, P.Range, 32)
+	sim := NewSIM(P.Points, W.Points)
+	bbr := NewBBR(P.Points, W.Points, 100)
+	mpa, err := NewMPA(P.Points, W.Points, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qi := range []int{0, 3000, 5999} {
+		q := P.Points[qi]
+		for _, k := range []int{1, 100, 500} {
+			want := brute.ReverseTopK(q, k, nil)
+			for _, a := range []RTKAlgorithm{gir, sim, bbr} {
+				if got := a.ReverseTopK(q, k, nil); !equalInts(got, want) {
+					t.Fatalf("%s RTK q=%d k=%d: %d results, want %d",
+						a.Name(), qi, k, len(got), len(want))
+				}
+			}
+			wantKR := brute.ReverseKRanks(q, k, nil)
+			for _, a := range []RKRAlgorithm{gir, sim, mpa} {
+				if got := a.ReverseKRanks(q, k, nil); !equalMatches(got, wantKR) {
+					t.Fatalf("%s RKR q=%d k=%d disagrees", a.Name(), qi, k)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterministicAnswers: identical inputs give identical outputs across
+// repeated queries (no hidden state leaks between queries).
+func TestDeterministicAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	P := dataset.GenerateProducts(rng, dataset.Clustered, 800, 5, 1000)
+	W := dataset.GenerateWeights(rng, dataset.Clustered, 300, 5)
+	gir := NewGIR(P.Points, W.Points, 1000, 32)
+	q := P.Points[123]
+	first := gir.ReverseKRanks(q, 20, nil)
+	for i := 0; i < 3; i++ {
+		// Interleave other queries to stress any shared state.
+		gir.ReverseTopK(P.Points[i], 5, nil)
+		gir.ReverseKRanks(P.Points[700+i], 9, nil)
+		again := gir.ReverseKRanks(q, 20, nil)
+		if !equalMatches(first, again) {
+			t.Fatalf("repeat %d differs: %+v vs %+v", i, again, first)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPacked(b *testing.B, bitsPerDim int) (*Packed, []uint16) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	p := NewPacked(10000, 6, bitsPerDim)
+	buf := make([]uint16, 6)
+	mask := uint16(1<<bitsPerDim - 1)
+	for i := 0; i < 10000; i++ {
+		for j := 0; j < 6; j++ {
+			p.Set(i, j, uint16(rng.Intn(1<<bitsPerDim))&mask)
+		}
+	}
+	return p, buf
+}
+
+func BenchmarkDecode6bit(b *testing.B) {
+	p, buf := benchPacked(b, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Decode(i%10000, buf)
+	}
+}
+
+func BenchmarkEncode6bit(b *testing.B) {
+	p, buf := benchPacked(b, 6)
+	for j := range buf {
+		buf[j] = uint16(j)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Encode(i%10000, buf)
+	}
+}

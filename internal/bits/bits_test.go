@@ -1,0 +1,182 @@
+package bits
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetAllWidths(t *testing.T) {
+	for b := 1; b <= MaxBitsPerDim; b++ {
+		p := NewPacked(17, 5, b)
+		rng := rand.New(rand.NewSource(int64(b)))
+		want := make([][]uint16, 17)
+		maxV := uint16(1<<b - 1)
+		for i := range want {
+			row := make([]uint16, 5)
+			for j := range row {
+				row[j] = uint16(rng.Intn(int(maxV) + 1))
+				p.Set(i, j, row[j])
+			}
+			want[i] = row
+		}
+		for i, row := range want {
+			for j, v := range row {
+				if got := p.Get(i, j); got != v {
+					t.Fatalf("b=%d: Get(%d,%d) = %d, want %d", b, i, j, got, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWordBoundarySpill(t *testing.T) {
+	// b=7, dim=10: vector 0 occupies bits 0..69, crossing the word boundary
+	// at bit 64 inside dimension 9.
+	p := NewPacked(3, 10, 7)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 10; j++ {
+			p.Set(i, j, uint16((i*10+j)%128))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 10; j++ {
+			if got := p.Get(i, j); got != uint16((i*10+j)%128) {
+				t.Fatalf("Get(%d,%d) = %d, want %d", i, j, got, (i*10+j)%128)
+			}
+		}
+	}
+}
+
+func TestSetOverwrites(t *testing.T) {
+	p := NewPacked(1, 1, 6)
+	p.Set(0, 0, 63)
+	p.Set(0, 0, 1)
+	if got := p.Get(0, 0); got != 1 {
+		t.Fatalf("overwrite failed: got %d", got)
+	}
+	// Neighbors untouched.
+	q := NewPacked(1, 3, 6)
+	q.Set(0, 0, 63)
+	q.Set(0, 1, 0)
+	q.Set(0, 2, 63)
+	q.Set(0, 1, 21)
+	if q.Get(0, 0) != 63 || q.Get(0, 2) != 63 || q.Get(0, 1) != 21 {
+		t.Fatal("Set disturbed neighboring cells")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := NewPacked(4, 8, 5)
+	src := []uint16{1, 2, 3, 4, 5, 6, 7, 31}
+	p.Encode(2, src)
+	dst := make([]uint16, 8)
+	p.Decode(2, dst)
+	for j := range src {
+		if dst[j] != src[j] {
+			t.Fatalf("decode[%d] = %d, want %d", j, dst[j], src[j])
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("b=0", func() { NewPacked(1, 1, 0) })
+	mustPanic("b too big", func() { NewPacked(1, 1, MaxBitsPerDim+1) })
+	mustPanic("negative count", func() { NewPacked(-1, 1, 4) })
+	mustPanic("zero dim", func() { NewPacked(1, 0, 4) })
+	mustPanic("value overflow", func() { NewPacked(1, 1, 4).Set(0, 0, 16) })
+	mustPanic("short decode buf", func() { NewPacked(1, 3, 4).Decode(0, make([]uint16, 2)) })
+	mustPanic("short encode buf", func() { NewPacked(1, 3, 4).Encode(0, make([]uint16, 2)) })
+}
+
+func TestSizeBytesMatchesPaperEstimate(t *testing.T) {
+	// Section 3.2: b=6, so an approximate vector costs 6/64 of the float
+	// data. 1000 vectors × 20 dims: floats = 160000 bytes, packed ≈ 15000.
+	p := NewPacked(1000, 20, 6)
+	floatBytes := 1000 * 20 * 8
+	if p.SizeBytes() > floatBytes/10 {
+		t.Errorf("packed size %d bytes exceeds 1/10 of float size %d", p.SizeBytes(), floatBytes)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := NewPacked(50, 7, 6)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 7; j++ {
+			p.Set(i, j, uint16(rng.Intn(64)))
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 50 || got.Dim() != 7 || got.BitsPerDim() != 6 {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 7; j++ {
+			if got.Get(i, j) != p.Get(i, j) {
+				t.Fatalf("cell (%d,%d) differs after round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXXXXXXXXXXXXXXXXXXXXXX"),
+		"truncated": func() []byte {
+			var buf bytes.Buffer
+			p := NewPacked(10, 4, 8)
+			p.Write(&buf)
+			return buf.Bytes()[:buf.Len()-4]
+		}(),
+	} {
+		if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
+		}
+	}
+}
+
+// Property: any sequence of Set operations is faithfully read back.
+func TestPackedQuick(t *testing.T) {
+	f := func(vals []uint16, bSeed uint8) bool {
+		b := int(bSeed)%MaxBitsPerDim + 1
+		dim := 3
+		count := (len(vals) + dim - 1) / dim
+		if count == 0 {
+			return true
+		}
+		p := NewPacked(count, dim, b)
+		mask := uint16(1<<b - 1)
+		for idx, v := range vals {
+			p.Set(idx/dim, idx%dim, v&mask)
+		}
+		for idx, v := range vals {
+			if p.Get(idx/dim, idx%dim) != v&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

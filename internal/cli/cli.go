@@ -1,0 +1,227 @@
+// Package cli holds the testable logic behind the command-line tools
+// (rrqgen, rrqquery); the main packages are thin flag-parsing wrappers.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/dataset"
+	"gridrank/internal/stats"
+	"gridrank/internal/vec"
+)
+
+// GenOptions configures dataset generation.
+type GenOptions struct {
+	Kind   string // "products" or "prefs"
+	Dist   string // UN, CL, AC, NO, EX, HOUSE, COLOR, DIANPING
+	N      int
+	D      int
+	Seed   int64
+	Out    string
+	Format string // "binary" or "csv"
+}
+
+// Generate creates a data set file per opts and reports what it wrote.
+func Generate(opts GenOptions) (string, error) {
+	if opts.Out == "" {
+		return "", fmt.Errorf("-out is required")
+	}
+	if opts.N <= 0 {
+		return "", fmt.Errorf("-n must be positive")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var ds *dataset.Dataset
+	switch opts.Kind {
+	case "products":
+		ds = dataset.GenerateProducts(rng, dataset.Distribution(opts.Dist), opts.N, opts.D, dataset.DefaultRange)
+	case "prefs":
+		ds = dataset.GenerateWeights(rng, dataset.Distribution(opts.Dist), opts.N, opts.D)
+	default:
+		return "", fmt.Errorf("unknown -kind %q (want products or prefs)", opts.Kind)
+	}
+	f, err := os.Create(opts.Out)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	switch opts.Format {
+	case "binary", "":
+		err = dataset.WriteBinary(f, ds)
+	case "csv":
+		err = dataset.WriteCSV(f, ds)
+	default:
+		return "", fmt.Errorf("unknown -format %q (want binary or csv)", opts.Format)
+	}
+	if err != nil {
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("wrote %d %s (%s, d=%d) to %s", ds.Len(), opts.Kind, opts.Dist, ds.Dim, opts.Out), nil
+}
+
+// LoadSet reads a data set, choosing the format by file extension
+// (".csv" for CSV, anything else binary).
+func LoadSet(path string) (*dataset.Dataset, error) {
+	if strings.HasSuffix(path, ".csv") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.ReadCSV(f)
+	}
+	return dataset.LoadBinary(path)
+}
+
+// QueryOptions configures one reverse rank query.
+type QueryOptions struct {
+	PPath, WPath string
+	Type         string // "rtk" or "rkr"
+	Algo         string // gir, sim, brute, bbr, rta, mpa
+	K            int
+	QIndex       int    // query product index, or -1
+	QRaw         string // comma-separated query vector, or ""
+	N            int    // grid partitions
+	Capacity     int    // R-tree capacity
+	ShowStats    bool
+	Limit        int // max printed result rows, 0 = all
+}
+
+// RunQuery executes one query and writes a human-readable report to w.
+func RunQuery(w io.Writer, opts QueryOptions) error {
+	if opts.PPath == "" || opts.WPath == "" {
+		return fmt.Errorf("-p and -w are required")
+	}
+	P, err := LoadSet(opts.PPath)
+	if err != nil {
+		return fmt.Errorf("loading products: %w", err)
+	}
+	W, err := LoadSet(opts.WPath)
+	if err != nil {
+		return fmt.Errorf("loading preferences: %w", err)
+	}
+	if P.Dim != W.Dim {
+		return fmt.Errorf("dimension mismatch: products %d, preferences %d", P.Dim, W.Dim)
+	}
+	q, err := resolveQueryVector(P, opts)
+	if err != nil {
+		return err
+	}
+	var c stats.Counters
+	switch opts.Type {
+	case "rtk":
+		a, err := BuildRTK(opts.Algo, P, W, opts.N, opts.Capacity)
+		if err != nil {
+			return err
+		}
+		res := a.ReverseTopK(q, opts.K, &c)
+		fmt.Fprintf(w, "RTK(k=%d) via %s: %d matching preferences\n", opts.K, a.Name(), len(res))
+		for i, wi := range res {
+			if opts.Limit > 0 && i >= opts.Limit {
+				fmt.Fprintf(w, "... and %d more\n", len(res)-opts.Limit)
+				break
+			}
+			fmt.Fprintf(w, "  w[%d] = %s\n", wi, FormatVector(W.Points[wi]))
+		}
+	case "rkr":
+		a, err := BuildRKR(opts.Algo, P, W, opts.N, opts.Capacity)
+		if err != nil {
+			return err
+		}
+		res := a.ReverseKRanks(q, opts.K, &c)
+		fmt.Fprintf(w, "RKR(k=%d) via %s:\n", opts.K, a.Name())
+		for i, m := range res {
+			if opts.Limit > 0 && i >= opts.Limit {
+				fmt.Fprintf(w, "... and %d more\n", len(res)-opts.Limit)
+				break
+			}
+			fmt.Fprintf(w, "  w[%d] ranks q at position %d\n", m.WeightIndex, m.Rank+1)
+		}
+	default:
+		return fmt.Errorf("unknown -type %q (want rtk or rkr)", opts.Type)
+	}
+	if opts.ShowStats {
+		fmt.Fprintln(w, "stats:", c.String())
+	}
+	return nil
+}
+
+func resolveQueryVector(P *dataset.Dataset, opts QueryOptions) (vec.Vector, error) {
+	switch {
+	case opts.QRaw != "":
+		var q vec.Vector
+		for _, field := range strings.Split(opts.QRaw, ",") {
+			x, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing -q: %w", err)
+			}
+			q = append(q, x)
+		}
+		if len(q) != P.Dim {
+			return nil, fmt.Errorf("-q has %d values, want %d", len(q), P.Dim)
+		}
+		return q, nil
+	case opts.QIndex >= 0:
+		if opts.QIndex >= P.Len() {
+			return nil, fmt.Errorf("-qi %d out of range (|P| = %d)", opts.QIndex, P.Len())
+		}
+		return P.Points[opts.QIndex], nil
+	default:
+		return nil, fmt.Errorf("one of -qi or -q is required")
+	}
+}
+
+// BuildRTK constructs a reverse top-k algorithm by name.
+func BuildRTK(name string, P, W *dataset.Dataset, n, capacity int) (algo.RTKAlgorithm, error) {
+	switch name {
+	case "gir":
+		return algo.NewGIR(P.Points, W.Points, P.Range, n), nil
+	case "sparse":
+		return algo.NewSparseGIR(P.Points, W.Points, P.Range, n), nil
+	case "sim":
+		return algo.NewSIM(P.Points, W.Points), nil
+	case "brute":
+		return algo.NewBrute(P.Points, W.Points), nil
+	case "bbr":
+		return algo.NewBBR(P.Points, W.Points, capacity), nil
+	case "rta":
+		return algo.NewRTA(P.Points, W.Points), nil
+	default:
+		return nil, fmt.Errorf("algorithm %q does not answer rtk queries", name)
+	}
+}
+
+// BuildRKR constructs a reverse k-ranks algorithm by name.
+func BuildRKR(name string, P, W *dataset.Dataset, n, capacity int) (algo.RKRAlgorithm, error) {
+	switch name {
+	case "gir":
+		return algo.NewGIR(P.Points, W.Points, P.Range, n), nil
+	case "sparse":
+		return algo.NewSparseGIR(P.Points, W.Points, P.Range, n), nil
+	case "sim":
+		return algo.NewSIM(P.Points, W.Points), nil
+	case "brute":
+		return algo.NewBrute(P.Points, W.Points), nil
+	case "mpa":
+		return algo.NewMPA(P.Points, W.Points, capacity, 5)
+	default:
+		return nil, fmt.Errorf("algorithm %q does not answer rkr queries", name)
+	}
+}
+
+// FormatVector renders a vector compactly for CLI output.
+func FormatVector(v vec.Vector) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.FormatFloat(x, 'g', 4, 64)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

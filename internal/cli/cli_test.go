@@ -1,0 +1,164 @@
+package cli
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func genFiles(t *testing.T) (pPath, wPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	pPath = filepath.Join(dir, "p.grd")
+	wPath = filepath.Join(dir, "w.grd")
+	if _, err := Generate(GenOptions{Kind: "products", Dist: "UN", N: 500, D: 4, Seed: 1, Out: pPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(GenOptions{Kind: "prefs", Dist: "UN", N: 200, D: 4, Seed: 2, Out: wPath}); err != nil {
+		t.Fatal(err)
+	}
+	return pPath, wPath
+}
+
+func TestGenerateAndLoadBinary(t *testing.T) {
+	pPath, _ := genFiles(t)
+	ds, err := LoadSet(pPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 500 || ds.Dim != 4 {
+		t.Fatalf("loaded %d×%d", ds.Len(), ds.Dim)
+	}
+}
+
+func TestGenerateCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.csv")
+	msg, err := Generate(GenOptions{Kind: "products", Dist: "CL", N: 100, D: 3, Seed: 3, Out: path, Format: "csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "100 products") {
+		t.Errorf("message: %q", msg)
+	}
+	ds, err := LoadSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 100 {
+		t.Fatalf("CSV round trip: %d rows", ds.Len())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []GenOptions{
+		{Kind: "products", Dist: "UN", N: 10, D: 2},                                    // missing out
+		{Kind: "products", Dist: "UN", N: 0, D: 2, Out: "x"},                           // n=0
+		{Kind: "bogus", Dist: "UN", N: 10, D: 2, Out: filepath.Join(t.TempDir(), "x")}, // bad kind
+		{Kind: "products", Dist: "UN", N: 10, D: 2, Out: "/nonexistent-dir/file"},      // bad path
+		{Kind: "products", Dist: "UN", N: 10, D: 2, Out: "x", Format: "parquet"},       // bad format
+	}
+	for i, opts := range cases {
+		if _, err := Generate(opts); err == nil {
+			t.Errorf("case %d should fail: %+v", i, opts)
+		}
+	}
+}
+
+func TestRunQueryRTKAndRKR(t *testing.T) {
+	pPath, wPath := genFiles(t)
+	base := QueryOptions{
+		PPath: pPath, WPath: wPath, K: 10, QIndex: 0,
+		N: 16, Capacity: 16, Limit: 5, ShowStats: true,
+	}
+	for _, typ := range []string{"rtk", "rkr"} {
+		for _, algoName := range []string{"gir", "sparse", "sim", "brute"} {
+			opts := base
+			opts.Type = typ
+			opts.Algo = algoName
+			var buf bytes.Buffer
+			if err := RunQuery(&buf, opts); err != nil {
+				t.Fatalf("%s/%s: %v", typ, algoName, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, strings.ToUpper(typ)) {
+				t.Errorf("%s/%s output missing header: %q", typ, algoName, out)
+			}
+			if !strings.Contains(out, "stats:") {
+				t.Errorf("%s/%s output missing stats", typ, algoName)
+			}
+		}
+	}
+	// Tree algorithms on their supported query type.
+	for _, c := range []struct{ typ, algoName string }{{"rtk", "bbr"}, {"rtk", "rta"}, {"rkr", "mpa"}} {
+		opts := base
+		opts.Type = c.typ
+		opts.Algo = c.algoName
+		var buf bytes.Buffer
+		if err := RunQuery(&buf, opts); err != nil {
+			t.Fatalf("%s/%s: %v", c.typ, c.algoName, err)
+		}
+	}
+}
+
+func TestRunQueryInlineVector(t *testing.T) {
+	pPath, wPath := genFiles(t)
+	var buf bytes.Buffer
+	err := RunQuery(&buf, QueryOptions{
+		PPath: pPath, WPath: wPath, Type: "rkr", Algo: "gir", K: 3,
+		QIndex: -1, QRaw: "100, 200, 300, 400", N: 16, Capacity: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "position") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestRunQueryErrors(t *testing.T) {
+	pPath, wPath := genFiles(t)
+	base := QueryOptions{PPath: pPath, WPath: wPath, Type: "rtk", Algo: "gir", K: 5, QIndex: 0, N: 16, Capacity: 16}
+	cases := []func(*QueryOptions){
+		func(o *QueryOptions) { o.PPath = "" },
+		func(o *QueryOptions) { o.PPath = "/missing" },
+		func(o *QueryOptions) { o.Type = "bogus" },
+		func(o *QueryOptions) { o.Algo = "mpa" },                    // mpa cannot answer rtk
+		func(o *QueryOptions) { o.Type = "rkr"; o.Algo = "bbr" },    // bbr cannot answer rkr
+		func(o *QueryOptions) { o.QIndex = -1 },                     // no query at all
+		func(o *QueryOptions) { o.QIndex = 100000 },                 // out of range
+		func(o *QueryOptions) { o.QIndex = -1; o.QRaw = "1,2" },     // wrong dim
+		func(o *QueryOptions) { o.QIndex = -1; o.QRaw = "1,2,x,4" }, // not numeric
+	}
+	for i, mutate := range cases {
+		opts := base
+		mutate(&opts)
+		var buf bytes.Buffer
+		if err := RunQuery(&buf, opts); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestRunQueryMismatchedDims(t *testing.T) {
+	dir := t.TempDir()
+	pPath := filepath.Join(dir, "p.grd")
+	wPath := filepath.Join(dir, "w.grd")
+	if _, err := Generate(GenOptions{Kind: "products", Dist: "UN", N: 50, D: 3, Seed: 1, Out: pPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(GenOptions{Kind: "prefs", Dist: "UN", N: 50, D: 5, Seed: 2, Out: wPath}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := RunQuery(&buf, QueryOptions{PPath: pPath, WPath: wPath, Type: "rtk", Algo: "gir", K: 5, QIndex: 0, N: 16, Capacity: 16})
+	if err == nil || !strings.Contains(err.Error(), "dimension mismatch") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFormatVector(t *testing.T) {
+	if got := FormatVector([]float64{1, 2.5}); got != "(1, 2.5)" {
+		t.Errorf("FormatVector = %q", got)
+	}
+}

@@ -1,0 +1,278 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gridrank/internal/vec"
+)
+
+func TestGenerateProductsAllDistributionsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dist := range []Distribution{Uniform, Clustered, AntiCorrelated, Normal, Exponential} {
+		t.Run(string(dist), func(t *testing.T) {
+			ds := GenerateProducts(rng, dist, 500, 6, DefaultRange)
+			if ds.Len() != 500 {
+				t.Fatalf("got %d points, want 500", ds.Len())
+			}
+			if ds.Dim != 6 || ds.Range != DefaultRange {
+				t.Fatalf("bad metadata: %+v", ds)
+			}
+			if err := ds.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGenerateProductsUnknownDistPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown distribution should panic")
+		}
+	}()
+	GenerateProducts(rand.New(rand.NewSource(1)), "XX", 10, 2, 1)
+}
+
+func TestGenerateWeightsAllDistributionsOnSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dist := range []Distribution{Uniform, Clustered, Normal, Exponential, Dianping} {
+		t.Run(string(dist), func(t *testing.T) {
+			ds := GenerateWeights(rng, dist, 500, 6)
+			if ds.Len() != 500 {
+				t.Fatalf("got %d weights, want 500", ds.Len())
+			}
+			if err := ds.ValidateWeights(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUniformCoversRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := GenerateProducts(rng, Uniform, 5000, 3, 100)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range ds.Points {
+		for _, x := range p {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+	}
+	if lo > 5 || hi < 95 {
+		t.Errorf("uniform data should span the range, got [%v, %v]", lo, hi)
+	}
+}
+
+func TestClusteredIsClustered(t *testing.T) {
+	// Average nearest-centroid distance must be far below what uniform
+	// data would show: points sit within ~σ of a centroid.
+	rng := rand.New(rand.NewSource(4))
+	ds := GenerateProducts(rng, Clustered, 2000, 4, 1000)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Variance per dimension of clustered data (mixture) is dominated by
+	// the centroid spread; instead check local density: the distance from
+	// each point to its nearest other point should be much smaller than
+	// for uniform data of the same size.
+	avgCl := avgNNDist(ds.Points[:300])
+	un := GenerateProducts(rng, Uniform, 2000, 4, 1000)
+	avgUn := avgNNDist(un.Points[:300])
+	if avgCl >= avgUn {
+		t.Errorf("clustered data should be locally denser: clustered NN %v >= uniform NN %v", avgCl, avgUn)
+	}
+}
+
+func avgNNDist(pts []vec.Vector) float64 {
+	var total float64
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			var d2 float64
+			for k := range p {
+				v := p[k] - q[k]
+				d2 += v * v
+			}
+			best = math.Min(best, d2)
+		}
+		total += math.Sqrt(best)
+	}
+	return total / float64(len(pts))
+}
+
+func TestAntiCorrelatedNegativeCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := GenerateProducts(rng, AntiCorrelated, 5000, 2, 1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pearson correlation between dim 0 and dim 1 should be clearly negative.
+	var sx, sy, sxx, syy, sxy float64
+	n := float64(ds.Len())
+	for _, p := range ds.Points {
+		sx += p[0]
+		sy += p[1]
+		sxx += p[0] * p[0]
+		syy += p[1] * p[1]
+		sxy += p[0] * p[1]
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	r := cov / math.Sqrt(vx*vy)
+	if r > -0.3 {
+		t.Errorf("anti-correlated data has correlation %v, want clearly negative", r)
+	}
+}
+
+func TestExponentialSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := GenerateProducts(rng, Exponential, 5000, 1, 1000)
+	var mean float64
+	for _, p := range ds.Points {
+		mean += p[0]
+	}
+	mean /= float64(ds.Len())
+	// Exp data piles up near zero: mean well below the range midpoint.
+	if mean > 400 {
+		t.Errorf("exponential mean %v too high, want << 500", mean)
+	}
+	var below int
+	for _, p := range ds.Points {
+		if p[0] < mean {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(ds.Len()); frac < 0.55 {
+		t.Errorf("exponential data should be right-skewed, %v below mean", frac)
+	}
+}
+
+func TestNormalConcentration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := GenerateProducts(rng, Normal, 5000, 1, 1000)
+	within := 0
+	for _, p := range ds.Points {
+		if math.Abs(p[0]-500) <= 200 { // 2σ = 200
+			within++
+		}
+	}
+	if frac := float64(within) / float64(ds.Len()); frac < 0.90 {
+		t.Errorf("normal data: only %v within 2σ of the mean", frac)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	ds := &Dataset{Dim: 2, Range: 10, Points: []vec.Vector{{1, 2}, {3}}}
+	if err := ds.Validate(); err == nil {
+		t.Error("dimension mismatch not caught")
+	}
+	ds = &Dataset{Dim: 2, Range: 10, Points: []vec.Vector{{1, 11}}}
+	if err := ds.Validate(); err == nil {
+		t.Error("out-of-range value not caught")
+	}
+	ds = &Dataset{Dim: 2, Range: 10, Points: []vec.Vector{{1, math.NaN()}}}
+	if err := ds.Validate(); err == nil {
+		t.Error("NaN not caught")
+	}
+	ds = &Dataset{Dim: 0, Range: 10}
+	if err := ds.Validate(); err == nil {
+		t.Error("zero dimension not caught")
+	}
+	ds = &Dataset{Dim: 2, Range: 0}
+	if err := ds.Validate(); err == nil {
+		t.Error("zero range not caught")
+	}
+}
+
+func TestValidateWeightsCatchesViolations(t *testing.T) {
+	ds := &Dataset{Dim: 2, Range: 1, Points: []vec.Vector{{0.5, 0.6}}}
+	if err := ds.ValidateWeights(); err == nil {
+		t.Error("non-unit sum not caught")
+	}
+	ds = &Dataset{Dim: 2, Range: 1, Points: []vec.Vector{{-0.5, 1.5}}}
+	if err := ds.ValidateWeights(); err == nil {
+		t.Error("negative weight not caught")
+	}
+	ds = &Dataset{Dim: 2, Range: 1, Points: []vec.Vector{{0.4, 0.6}, {0.1}}}
+	if err := ds.ValidateWeights(); err == nil {
+		t.Error("dimension mismatch not caught")
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	a := GenerateProducts(rand.New(rand.NewSource(42)), Clustered, 100, 4, 100)
+	b := GenerateProducts(rand.New(rand.NewSource(42)), Clustered, 100, 4, 100)
+	for i := range a.Points {
+		if !vec.Equal(a.Points[i], b.Points[i]) {
+			t.Fatalf("point %d differs between identically seeded runs", i)
+		}
+	}
+}
+
+func TestSparseWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, nnz := range []int{1, 3, 8} {
+		ds := SparseWeights(rng, 300, 8, nnz)
+		if err := ds.ValidateWeights(); err != nil {
+			t.Fatalf("nnz=%d: %v", nnz, err)
+		}
+		for i, w := range ds.Points {
+			nz := 0
+			for _, x := range w {
+				if x != 0 {
+					nz++
+				}
+			}
+			if nz != nnz {
+				t.Fatalf("nnz=%d: weight %d has %d non-zeros", nnz, i, nz)
+			}
+		}
+	}
+	// Every dimension gets used across the set.
+	ds := SparseWeights(rng, 500, 6, 2)
+	used := map[int]bool{}
+	for _, w := range ds.Points {
+		for j, x := range w {
+			if x != 0 {
+				used[j] = true
+			}
+		}
+	}
+	if len(used) != 6 {
+		t.Errorf("only %d of 6 dimensions ever non-zero", len(used))
+	}
+}
+
+func TestSparseWeightsPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, nnz := range []int{0, 7} {
+		nnz := nnz
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("nnz=%d should panic for d=6", nnz)
+				}
+			}()
+			SparseWeights(rng, 10, 6, nnz)
+		}()
+	}
+}
+
+func TestNumClusters(t *testing.T) {
+	if numClusters(0) != 1 {
+		t.Error("numClusters(0) should clamp to 1")
+	}
+	if got := numClusters(1000); got != 9 && got != 10 {
+		// cbrt(1000)=10 but float truncation may give 9
+		t.Errorf("numClusters(1000) = %d", got)
+	}
+	if got := numClusters(100000); got < 40 || got > 47 {
+		t.Errorf("numClusters(100000) = %d, want ≈46", got)
+	}
+}

@@ -1,0 +1,209 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"gridrank/internal/vec"
+)
+
+// This file implements the statistical simulators for the paper's three
+// real data sets. The real files are not redistributable; the simulators
+// reproduce the structure the query algorithms react to (correlation,
+// clustering, per-dimension skew). DESIGN.md §5 documents each substitution.
+
+// HouseSize is the cardinality of the paper's HOUSE data set: 201,760
+// 6-dimensional tuples of a US household's annual expense distribution on
+// gas, electricity, water, heating, insurance and property tax.
+const HouseSize = 201760
+
+// HouseDim is the dimensionality of HOUSE.
+const HouseDim = 6
+
+// houseAlpha are Dirichlet concentration parameters per expense category.
+// Heating and property tax dominate and are the most variable (heavy right
+// tail across households); water is small and stable. The absolute values
+// only need to reproduce budget-share skew, not census-exact numbers.
+var houseAlpha = [HouseDim]float64{
+	2.0, // gas
+	3.0, // electricity
+	1.2, // water
+	4.0, // heating
+	2.5, // insurance
+	5.0, // property tax
+}
+
+// HouseProducts simulates the HOUSE data set: n 6-d expense-share vectors
+// (percentages of annual payment) scaled into [0, DefaultRange).
+// Pass n <= 0 for the full paper cardinality.
+func HouseProducts(rng *rand.Rand, n int) *Dataset {
+	if n <= 0 {
+		n = HouseSize
+	}
+	ds := &Dataset{Dim: HouseDim, Range: DefaultRange, Points: make([]vec.Vector, n)}
+	for i := range ds.Points {
+		p := dirichlet(rng, houseAlpha[:])
+		for j := range p {
+			p[j] = clamp(p[j]*DefaultRange, DefaultRange)
+		}
+		ds.Points[i] = p
+	}
+	return ds
+}
+
+// ColorSize is the cardinality of the paper's COLOR data set: 68,040
+// 9-dimensional HSV color features of images.
+const ColorSize = 68040
+
+// ColorDim is the dimensionality of COLOR.
+const ColorDim = 9
+
+// ColorProducts simulates the COLOR data set: image features cluster
+// strongly (images of similar scenes share color statistics), and the
+// higher moments have smaller variance than the means. We draw a
+// Gaussian mixture with ∛n components and per-dimension variance decay.
+// Pass n <= 0 for the full paper cardinality.
+func ColorProducts(rng *rand.Rand, n int) *Dataset {
+	if n <= 0 {
+		n = ColorSize
+	}
+	const r = DefaultRange
+	nc := numClusters(n)
+	// Per-dimension spread decays: the mean dims (first three: H,S,V means)
+	// span the full range while the higher-moment dims concentrate, as in
+	// the real HSV feature files.
+	spread := make([]float64, ColorDim)
+	for j := range spread {
+		spread[j] = 1 / (1 + float64(j)/3)
+	}
+	centroids := make([]vec.Vector, nc)
+	for i := range centroids {
+		c := make(vec.Vector, ColorDim)
+		for j := range c {
+			c[j] = rng.Float64() * r * spread[j]
+		}
+		centroids[i] = c
+	}
+	ds := &Dataset{Dim: ColorDim, Range: r, Points: make([]vec.Vector, n)}
+	for i := range ds.Points {
+		c := centroids[rng.Intn(nc)]
+		p := make(vec.Vector, ColorDim)
+		for j := range p {
+			sigma := 0.12 * r * spread[j]
+			p[j] = clamp(c[j]+rng.NormFloat64()*sigma, r)
+		}
+		ds.Points[i] = p
+	}
+	return ds
+}
+
+// DianpingRestaurants and DianpingUsers are the paper's DIANPING
+// cardinalities: 209,132 restaurants and 510,071 users, 6 review aspects
+// (rate, food flavor, cost, service, environment, waiting time).
+const (
+	DianpingRestaurants = 209132
+	DianpingUsers       = 510071
+	DianpingDim         = 6
+)
+
+// DianpingProducts simulates the restaurant side of DIANPING: each
+// restaurant's attribute vector is the average of its review scores per
+// aspect. Averages concentrate around a latent per-restaurant quality, and
+// aspects are positively correlated (a good restaurant tends to be good at
+// most aspects), with cost and waiting time the least correlated.
+// Pass n <= 0 for the full paper cardinality.
+func DianpingProducts(rng *rand.Rand, n int) *Dataset {
+	if n <= 0 {
+		n = DianpingRestaurants
+	}
+	const r = DefaultRange
+	// Correlation loadings per aspect on the latent quality factor.
+	loading := [DianpingDim]float64{0.9, 0.85, 0.4, 0.8, 0.75, 0.35}
+	ds := &Dataset{Dim: DianpingDim, Range: r, Points: make([]vec.Vector, n)}
+	for i := range ds.Points {
+		quality := rng.NormFloat64() // latent restaurant quality
+		p := make(vec.Vector, DianpingDim)
+		for j := range p {
+			l := loading[j]
+			z := l*quality + math.Sqrt(1-l*l)*rng.NormFloat64()
+			// Review scores live on a 0..5-star scale averaged over many
+			// reviews; map the latent z to the attribute range. Smaller is
+			// preferable in this library, so z is used directly (a low
+			// value means "ranked early").
+			p[j] = clamp((0.5+z*0.15)*r, r)
+		}
+		ds.Points[i] = p
+	}
+	return ds
+}
+
+// dianpingProfiles are archetypal aspect-importance profiles: overall-rate
+// driven, foodies, budget eaters, service-sensitive, ambience-sensitive,
+// and the impatient. User preferences are Dirichlet draws around a profile.
+var dianpingProfiles = [][]float64{
+	{8, 3, 2, 2, 2, 1}, // rate-driven
+	{3, 9, 2, 2, 2, 1}, // foodie
+	{2, 3, 9, 1, 1, 2}, // budget
+	{2, 2, 1, 9, 3, 2}, // service
+	{2, 2, 1, 3, 9, 2}, // ambience
+	{3, 2, 2, 2, 1, 9}, // impatient
+}
+
+// DianpingWeights simulates the user side of DIANPING: each user's
+// preference vector is the average emphasis of the user's reviews across
+// the six aspects, drawn as a Dirichlet around one of six archetypal
+// profiles. Pass n <= 0 for the full paper cardinality.
+func DianpingWeights(rng *rand.Rand, n int) *Dataset {
+	if n <= 0 {
+		n = DianpingUsers
+	}
+	ds := &Dataset{Dim: DianpingDim, Range: 1, Points: make([]vec.Vector, n)}
+	for i := range ds.Points {
+		profile := dianpingProfiles[rng.Intn(len(dianpingProfiles))]
+		ds.Points[i] = dirichlet(rng, profile)
+	}
+	return ds
+}
+
+// dirichlet draws from Dirichlet(alpha) via normalized Gamma variates.
+func dirichlet(rng *rand.Rand, alpha []float64) vec.Vector {
+	w := make(vec.Vector, len(alpha))
+	for {
+		for j, a := range alpha {
+			w[j] = gammaDraw(rng, a)
+		}
+		if vec.Normalize(w) {
+			return w
+		}
+	}
+}
+
+// gammaDraw samples Gamma(shape, 1) using Marsaglia–Tsang for shape >= 1
+// and the boost transform for shape < 1.
+func gammaDraw(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaDraw(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

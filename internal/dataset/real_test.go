@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHouseProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := HouseProducts(rng, 2000)
+	if ds.Dim != HouseDim || ds.Len() != 2000 {
+		t.Fatalf("bad shape: dim=%d n=%d", ds.Dim, ds.Len())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expense shares: each tuple's attributes sum to ~Range (they are
+	// percentages of the annual payment).
+	for i, p := range ds.Points[:50] {
+		var s float64
+		for _, x := range p {
+			s += x
+		}
+		if math.Abs(s-DefaultRange) > DefaultRange*0.001 {
+			t.Fatalf("tuple %d shares sum to %v, want ≈%v", i, s, DefaultRange)
+		}
+	}
+	// Property tax (alpha=5) should on average exceed water (alpha=1.2).
+	var tax, water float64
+	for _, p := range ds.Points {
+		water += p[2]
+		tax += p[5]
+	}
+	if tax <= water {
+		t.Errorf("expected property tax share (%v) > water share (%v)", tax, water)
+	}
+}
+
+func TestHouseDefaultCardinality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HOUSE cardinality in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2))
+	ds := HouseProducts(rng, 0)
+	if ds.Len() != HouseSize {
+		t.Fatalf("default cardinality %d, want %d", ds.Len(), HouseSize)
+	}
+}
+
+func TestColorProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := ColorProducts(rng, 3000)
+	if ds.Dim != ColorDim || ds.Len() != 3000 {
+		t.Fatalf("bad shape: dim=%d n=%d", ds.Dim, ds.Len())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Variance decays across dimensions (higher moments are tighter).
+	v0 := dimVariance(ds, 0)
+	v8 := dimVariance(ds, 8)
+	if v8 >= v0 {
+		t.Errorf("expected variance decay: dim0 var %v <= dim8 var %v", v0, v8)
+	}
+}
+
+func dimVariance(ds *Dataset, j int) float64 {
+	var s, ss float64
+	for _, p := range ds.Points {
+		s += p[j]
+		ss += p[j] * p[j]
+	}
+	n := float64(ds.Len())
+	return ss/n - (s/n)*(s/n)
+}
+
+func TestDianpingProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := DianpingProducts(rng, 4000)
+	if ds.Dim != DianpingDim || ds.Len() != 4000 {
+		t.Fatalf("bad shape: dim=%d n=%d", ds.Dim, ds.Len())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Aspects 0 (rate) and 1 (food) share the quality factor strongly:
+	// their correlation must exceed that of 0 (rate) and 2 (cost).
+	r01 := pearson(ds, 0, 1)
+	r02 := pearson(ds, 0, 2)
+	if r01 <= r02 {
+		t.Errorf("rate–food correlation %v should exceed rate–cost %v", r01, r02)
+	}
+	if r01 < 0.4 {
+		t.Errorf("rate–food correlation %v too weak for latent-factor data", r01)
+	}
+}
+
+func pearson(ds *Dataset, a, b int) float64 {
+	var sx, sy, sxx, syy, sxy float64
+	n := float64(ds.Len())
+	for _, p := range ds.Points {
+		sx += p[a]
+		sy += p[b]
+		sxx += p[a] * p[a]
+		syy += p[b] * p[b]
+		sxy += p[a] * p[b]
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	return cov / math.Sqrt(vx*vy)
+}
+
+func TestDianpingWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := DianpingWeights(rng, 3000)
+	if ds.Dim != DianpingDim || ds.Len() != 3000 {
+		t.Fatalf("bad shape: dim=%d n=%d", ds.Dim, ds.Len())
+	}
+	if err := ds.ValidateWeights(); err != nil {
+		t.Fatal(err)
+	}
+	// Archetypal profiles should make the max-weight dimension vary:
+	// every aspect should be some user's dominant concern.
+	domSeen := map[int]bool{}
+	for _, w := range ds.Points {
+		best, arg := -1.0, -1
+		for j, x := range w {
+			if x > best {
+				best, arg = x, j
+			}
+		}
+		domSeen[arg] = true
+	}
+	if len(domSeen) != DianpingDim {
+		t.Errorf("only %d of %d aspects ever dominant", len(domSeen), DianpingDim)
+	}
+}
+
+func TestGammaDrawMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, shape := range []float64{0.5, 1, 2.5, 7} {
+		var s float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			x := gammaDraw(rng, shape)
+			if x < 0 {
+				t.Fatalf("gamma draw negative: %v", x)
+			}
+			s += x
+		}
+		mean := s / n
+		if math.Abs(mean-shape) > shape*0.1 {
+			t.Errorf("gamma(%v) sample mean %v, want ≈%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestDirichletOnSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alpha := []float64{1, 2, 3}
+	var means [3]float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		w := dirichlet(rng, alpha)
+		var s float64
+		for j, x := range w {
+			if x < 0 {
+				t.Fatalf("negative Dirichlet component %v", x)
+			}
+			s += x
+			means[j] += x
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("Dirichlet draw sums to %v", s)
+		}
+	}
+	// E[w_j] = alpha_j / Σalpha = 1/6, 2/6, 3/6.
+	for j, want := range []float64{1.0 / 6, 2.0 / 6, 3.0 / 6} {
+		got := means[j] / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Dirichlet mean[%d] = %v, want ≈%v", j, got, want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/dataset"
+	"gridrank/internal/grid"
+	"gridrank/internal/stats"
+	"gridrank/internal/vec"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "baselines",
+		Paper: "(ours) full baseline matrix",
+		Title: "Every implemented algorithm head-to-head (incl. RTA, sparse, adaptive)",
+		Run:   runBaselines,
+	})
+	register(Experiment{
+		ID:    "throughput",
+		Paper: "(ours) concurrency",
+		Title: "Batch query throughput vs worker count",
+		Run:   runThroughput,
+	})
+}
+
+// runBaselines runs every RTK and RKR implementation — including the RTA
+// related-work baseline and the future-work sparse/adaptive variants — on
+// one uniform workload, reporting time, multiplications and pair accesses.
+func runBaselines(cfg Config) ([]*Table, error) {
+	cfg = cfg.Defaults()
+	const d = 6
+	rng := cfg.rng()
+	P := dataset.GenerateProducts(rng, dataset.Uniform, cfg.SizeP, d, dataset.DefaultRange)
+	W := dataset.GenerateWeights(rng, dataset.Uniform, cfg.SizeW, d)
+	qs := pickQueries(rng, P.Points, cfg.Queries)
+
+	rtk := &Table{
+		Title:   fmt.Sprintf("All RTK algorithms, UN %d×%d, d=%d, k=%d", cfg.SizeP, cfg.SizeW, d, cfg.K),
+		Columns: []string{"algorithm", "avg ms/query", "mults/query", "pair accesses/query"},
+	}
+	mpa, err := algo.NewMPA(P.Points, W.Points, cfg.Capacity, 5)
+	if err != nil {
+		return nil, err
+	}
+	adaptiveGIR := algo.NewGIRWithBounder(P.Points, W.Points,
+		grid.NewAdaptive(cfg.N, P.Points, W.Points, P.Range))
+	for _, a := range []algo.RTKAlgorithm{
+		algo.NewGIR(P.Points, W.Points, P.Range, cfg.N),
+		adaptiveGIR,
+		algo.NewSparseGIR(P.Points, W.Points, P.Range, cfg.N),
+		algo.NewSIM(P.Points, W.Points),
+		algo.NewBBR(P.Points, W.Points, cfg.Capacity),
+		algo.NewRTA(P.Points, W.Points),
+	} {
+		cfg.logf("baselines rtk: %s\n", a.Name())
+		m := measureRTK(a, qs, cfg.K)
+		name := a.Name()
+		if a == adaptiveGIR {
+			name = "GIR-ADAPTIVE"
+		}
+		rtk.AddRow(name, ms(m.avg), itoa64(m.perQueryMults()), itoa64(m.perQueryAccesses()))
+	}
+
+	rkr := &Table{
+		Title:   fmt.Sprintf("All RKR algorithms, UN %d×%d, d=%d, k=%d", cfg.SizeP, cfg.SizeW, d, cfg.K),
+		Columns: []string{"algorithm", "avg ms/query", "mults/query", "pair accesses/query"},
+	}
+	for _, a := range []algo.RKRAlgorithm{
+		algo.NewGIR(P.Points, W.Points, P.Range, cfg.N),
+		adaptiveGIR,
+		algo.NewSparseGIR(P.Points, W.Points, P.Range, cfg.N),
+		algo.NewSIM(P.Points, W.Points),
+		mpa,
+	} {
+		cfg.logf("baselines rkr: %s\n", a.Name())
+		m := measureRKR(a, qs, cfg.K)
+		name := a.Name()
+		if a == adaptiveGIR {
+			name = "GIR-ADAPTIVE"
+		}
+		rkr.AddRow(name, ms(m.avg), itoa64(m.perQueryMults()), itoa64(m.perQueryAccesses()))
+	}
+	return []*Table{rtk, rkr}, nil
+}
+
+// runThroughput measures reverse k-ranks throughput as query workers
+// grow, demonstrating that the immutable index parallelizes linearly up
+// to the core count.
+func runThroughput(cfg Config) ([]*Table, error) {
+	cfg = cfg.Defaults()
+	const d = 6
+	rng := cfg.rng()
+	P := dataset.GenerateProducts(rng, dataset.Uniform, cfg.SizeP, d, dataset.DefaultRange)
+	W := dataset.GenerateWeights(rng, dataset.Uniform, cfg.SizeW, d)
+	gir := algo.NewGIR(P.Points, W.Points, P.Range, cfg.N)
+	numQueries := cfg.Queries * 8
+	qs := pickQueries(rng, P.Points, numQueries)
+
+	t := &Table{
+		Title: fmt.Sprintf("RKR batch throughput, UN %d×%d, d=%d, k=%d, %d queries (GOMAXPROCS=%d)",
+			cfg.SizeP, cfg.SizeW, d, cfg.K, numQueries, runtime.GOMAXPROCS(0)),
+		Columns: []string{"workers", "total time", "queries/sec", "speedup"},
+	}
+	var base time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg.logf("throughput: %d workers\n", workers)
+		elapsed := runParallel(gir, qs, cfg.K, workers)
+		if workers == 1 {
+			base = elapsed
+		}
+		qps := float64(numQueries) / elapsed.Seconds()
+		t.AddRow(itoa(workers),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", qps),
+			fmt.Sprintf("%.2fx", float64(base)/float64(elapsed)))
+	}
+	return []*Table{t}, nil
+}
+
+func runParallel(gir *algo.GIR, qs []vec.Vector, k, workers int) time.Duration {
+	type job struct{ q vec.Vector }
+	jobs := make(chan job)
+	done := make(chan struct{})
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		go func() {
+			var c stats.Counters
+			for j := range jobs {
+				gir.ReverseKRanks(j.q, k, &c)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for _, q := range qs {
+		jobs <- job{q: q}
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return time.Since(start)
+}

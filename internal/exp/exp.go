@@ -1,0 +1,247 @@
+// Package exp is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (Section 6). Each experiment is a
+// registered runner that builds the workload, executes the algorithms,
+// and reports a table whose rows mirror what the paper plots.
+//
+// Default cardinalities are reduced from the paper's 100K×100K×1000-query
+// setting so the whole suite runs in minutes; Config.SizeP/SizeW/Queries
+// restore any scale. Absolute times differ from the paper's C++ testbed;
+// the shapes (who wins, by what factor, where the crossovers fall) are
+// the reproduction target, as recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/stats"
+	"gridrank/internal/vec"
+)
+
+// Config holds the knobs shared by all experiments.
+type Config struct {
+	Seed     int64
+	SizeP    int       // base |P| (default 5000)
+	SizeW    int       // base |W| (default 5000)
+	Queries  int       // queries averaged per cell (default 4)
+	K        int       // k for top-k / k-ranks (default 100)
+	N        int       // Grid-index partitions (default 32)
+	Capacity int       // R-tree node capacity (default 64)
+	Out      io.Writer // optional progress sink
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SizeP == 0 {
+		c.SizeP = 5000
+	}
+	if c.SizeW == 0 {
+		c.SizeW = 5000
+	}
+	if c.Queries == 0 {
+		c.Queries = 4
+	}
+	if c.K == 0 {
+		c.K = 100
+	}
+	if c.N == 0 {
+		c.N = algo.DefaultPartitions
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 64
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}
+
+// rng returns the experiment's seeded random source.
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values (cells containing commas
+// are quoted).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(quoted, ","))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment is a registered reproduction of one paper artifact.
+type Experiment struct {
+	ID    string // harness id, e.g. "fig10"
+	Paper string // the artifact it regenerates, e.g. "Figure 10"
+	Title string
+	Run   func(cfg Config) ([]*Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Registry returns all experiments sorted by ID.
+func Registry() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// measurement is one averaged algorithm run.
+type measurement struct {
+	avg      time.Duration
+	counters stats.Counters
+}
+
+// perQueryMults returns the average pairwise multiplications per query.
+func (m measurement) perQueryMults() int64 {
+	if m.counters.Queries == 0 {
+		return 0
+	}
+	return m.counters.PairwiseMults / m.counters.Queries
+}
+
+// perQueryAccesses returns the average number of pairs examined per query
+// — the paper's "pairwise computations" axis. For the grid scan this is
+// the approximate-vector classifications (each refined pair was already
+// classified, so adding PointsVisited would double-count); for the exact
+// methods it is the points scored.
+func (m measurement) perQueryAccesses() int64 {
+	if m.counters.Queries == 0 {
+		return 0
+	}
+	n := m.counters.PointsVisited
+	if m.counters.ApproxVisited > 0 {
+		n = m.counters.ApproxVisited
+	}
+	return n / m.counters.Queries
+}
+
+func measureRTK(a algo.RTKAlgorithm, queries []vec.Vector, k int) measurement {
+	var m measurement
+	start := time.Now()
+	for _, q := range queries {
+		a.ReverseTopK(q, k, &m.counters)
+	}
+	m.avg = time.Since(start) / time.Duration(len(queries))
+	return m
+}
+
+func measureRKR(a algo.RKRAlgorithm, queries []vec.Vector, k int) measurement {
+	var m measurement
+	start := time.Now()
+	for _, q := range queries {
+		a.ReverseKRanks(q, k, &m.counters)
+	}
+	m.avg = time.Since(start) / time.Duration(len(queries))
+	return m
+}
+
+// pickQueries selects cfg.Queries random query points from P (the paper's
+// protocol: "the query point q is randomly selected from P").
+func pickQueries(rng *rand.Rand, P []vec.Vector, n int) []vec.Vector {
+	qs := make([]vec.Vector, n)
+	for i := range qs {
+		qs[i] = P[rng.Intn(len(P))]
+	}
+	return qs
+}
+
+// ms formats a duration in milliseconds with three significant decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

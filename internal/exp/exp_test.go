@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps every experiment's test run under a second or two.
+func tinyConfig() Config {
+	return Config{Seed: 3, SizeP: 400, SizeW: 200, Queries: 2, K: 10, N: 16, Capacity: 16}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2", "table2", "table3", "table4", "fig8",
+		"fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15a", "fig15b", "model", "ablation", "baselines", "throughput",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown id should fail")
+	}
+	reg := Registry()
+	for i := 1; i < len(reg); i++ {
+		if reg[i-1].ID >= reg[i].ID {
+			t.Errorf("Registry not sorted: %q >= %q", reg[i-1].ID, reg[i].ID)
+		}
+	}
+}
+
+// Every registered experiment must run to completion at tiny scale and
+// produce well-formed, renderable tables. This is the smoke test that
+// keeps all paper artifacts reproducible.
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests in -short mode")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(tinyConfig())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if tb.Title == "" || len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("%s produced a degenerate table: %+v", e.ID, tb)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("%s: row width %d != %d columns", e.ID, len(row), len(tb.Columns))
+					}
+				}
+				var buf bytes.Buffer
+				if err := tb.Render(&buf); err != nil {
+					t.Fatalf("%s render: %v", e.ID, err)
+				}
+				if !strings.Contains(buf.String(), tb.Title) {
+					t.Fatalf("%s render missing title", e.ID)
+				}
+				buf.Reset()
+				if err := tb.CSV(&buf); err != nil {
+					t.Fatalf("%s csv: %v", e.ID, err)
+				}
+				if lines := strings.Count(buf.String(), "\n"); lines != len(tb.Rows)+1 {
+					t.Fatalf("%s csv has %d lines, want %d", e.ID, lines, len(tb.Rows)+1)
+				}
+			}
+		})
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+	}
+	tb.AddRow("x", "1")
+	tb.AddRow("longer-cell", "2")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header, separator, two rows, plus the title line.
+	if len(lines) != 4+1 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	// Separator must be as wide as the widest cell per column.
+	if !strings.Contains(lines[2], strings.Repeat("-", len("longer-cell"))) {
+		t.Errorf("separator not sized to data: %q", lines[2])
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := &Table{Title: "q", Columns: []string{"a"}}
+	tb.AddRow(`va"l,ue`)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a\n\"va\"\"l,ue\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.SizeP == 0 || c.SizeW == 0 || c.Queries == 0 || c.K == 0 || c.N == 0 || c.Capacity == 0 || c.Seed == 0 {
+		t.Errorf("Defaults left zero fields: %+v", c)
+	}
+	custom := Config{SizeP: 7, K: 3}.Defaults()
+	if custom.SizeP != 7 || custom.K != 3 {
+		t.Error("Defaults must not override set fields")
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	if got := ms(1500 * 1000); got != "1.500" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := pct(0.5); got != "50.00%" {
+		t.Errorf("pct = %q", got)
+	}
+}

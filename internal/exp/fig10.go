@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/dataset"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig10",
+		Paper: "Figure 10",
+		Title: "GIR vs BBR (RTK) and GIR vs MPA (RKR) on synthetic data, d = 2–8",
+		Run:   runFig10,
+	})
+}
+
+// runFig10 reproduces the low-dimension comparison: one table per P
+// distribution (UN, CL, AC; W uniform) for each query type. The paper's
+// claims: GIR beats BBR beyond d≈4, beats MPA beyond d≈4, and always
+// beats SIM by ≥2×; CL data is where the trees hold on longest.
+func runFig10(cfg Config) ([]*Table, error) {
+	cfg = cfg.Defaults()
+	var tables []*Table
+	rng := cfg.rng()
+	// The paper sweeps P over UN/CL/AC and W over UN/CL (Table 5); the
+	// W=CL pairing is run against uniform P, matching the sub-figures.
+	combos := []struct{ pd, wd dataset.Distribution }{
+		{dataset.Uniform, dataset.Uniform},
+		{dataset.Clustered, dataset.Uniform},
+		{dataset.AntiCorrelated, dataset.Uniform},
+		{dataset.Uniform, dataset.Clustered},
+	}
+	for _, combo := range combos {
+		pd, wd := combo.pd, combo.wd
+		rtk := &Table{
+			Title:   fmt.Sprintf("Figure 10 RTK, P=%s, W=%s: avg ms/query", distName(pd), distName(wd)),
+			Columns: []string{"d", "GIR", "SIM", "BBR"},
+		}
+		rkr := &Table{
+			Title:   fmt.Sprintf("Figure 10 RKR, P=%s, W=%s: avg ms/query", distName(pd), distName(wd)),
+			Columns: []string{"d", "GIR", "SIM", "MPA"},
+		}
+		for _, d := range []int{2, 4, 6, 8} {
+			cfg.logf("fig10: P=%s W=%s d=%d\n", pd, wd, d)
+			P := dataset.GenerateProducts(rng, pd, cfg.SizeP, d, dataset.DefaultRange)
+			W := dataset.GenerateWeights(rng, wd, cfg.SizeW, d)
+			qs := pickQueries(rng, P.Points, cfg.Queries)
+
+			gir := algo.NewGIR(P.Points, W.Points, P.Range, cfg.N)
+			sim := algo.NewSIM(P.Points, W.Points)
+			bbr := algo.NewBBR(P.Points, W.Points, cfg.Capacity)
+			mpa, err := algo.NewMPA(P.Points, W.Points, cfg.Capacity, 5)
+			if err != nil {
+				return nil, err
+			}
+
+			rtk.AddRow(itoa(d),
+				ms(measureRTK(gir, qs, cfg.K).avg),
+				ms(measureRTK(sim, qs, cfg.K).avg),
+				ms(measureRTK(bbr, qs, cfg.K).avg))
+			rkr.AddRow(itoa(d),
+				ms(measureRKR(gir, qs, cfg.K).avg),
+				ms(measureRKR(sim, qs, cfg.K).avg),
+				ms(measureRKR(mpa, qs, cfg.K).avg))
+		}
+		tables = append(tables, rtk, rkr)
+	}
+	return tables, nil
+}

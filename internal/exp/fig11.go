@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"gridrank/internal/algo"
+	"gridrank/internal/dataset"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Paper: "Figure 11",
+		Title: "High-dimensional performance (d = 10–50): CPU time and pairwise computations",
+		Run:   runFig11,
+	})
+}
+
+// runFig11 reproduces the high-dimension sweep. The paper's claims: the
+// tree methods blow up (overlapping MBRs, no prunable volume) and perform
+// MORE pairwise computations than a plain scan, while GIR grows only
+// gently with d. GIR and SIM access the same number of pairs ("SCAN" in
+// the paper's plots); GIR's advantage is that almost none of those
+// accesses require a multiplication.
+func runFig11(cfg Config) ([]*Table, error) {
+	cfg = cfg.Defaults()
+	timeRTK := &Table{
+		Title:   "Figure 11a (RTK): avg ms/query",
+		Columns: []string{"d", "GIR", "SIM", "BBR"},
+	}
+	compRTK := &Table{
+		Title:   "Figure 11b (RTK): avg pair accesses per query (SCAN = GIR = SIM) and exact multiplications",
+		Columns: []string{"d", "SCAN accesses (GIR)", "SCAN accesses (SIM)", "BBR accesses", "GIR mults", "SIM mults", "BBR mults"},
+	}
+	timeRKR := &Table{
+		Title:   "Figure 11c (RKR): avg ms/query",
+		Columns: []string{"d", "GIR", "SIM", "MPA"},
+	}
+	compRKR := &Table{
+		Title:   "Figure 11d (RKR): avg pair accesses per query and exact multiplications",
+		Columns: []string{"d", "SCAN accesses (GIR)", "SCAN accesses (SIM)", "MPA accesses", "GIR mults", "SIM mults", "MPA mults"},
+	}
+	rng := cfg.rng()
+	for _, d := range []int{10, 20, 30, 40, 50} {
+		cfg.logf("fig11: d=%d\n", d)
+		P := dataset.GenerateProducts(rng, dataset.Uniform, cfg.SizeP, d, dataset.DefaultRange)
+		W := dataset.GenerateWeights(rng, dataset.Uniform, cfg.SizeW, d)
+		qs := pickQueries(rng, P.Points, cfg.Queries)
+
+		gir := algo.NewGIR(P.Points, W.Points, P.Range, cfg.N)
+		sim := algo.NewSIM(P.Points, W.Points)
+		bbr := algo.NewBBR(P.Points, W.Points, cfg.Capacity)
+		mpa, err := algo.NewMPA(P.Points, W.Points, cfg.Capacity, 5)
+		if err != nil {
+			return nil, err
+		}
+
+		g := measureRTK(gir, qs, cfg.K)
+		s := measureRTK(sim, qs, cfg.K)
+		b := measureRTK(bbr, qs, cfg.K)
+		timeRTK.AddRow(itoa(d), ms(g.avg), ms(s.avg), ms(b.avg))
+		compRTK.AddRow(itoa(d),
+			itoa64(g.perQueryAccesses()), itoa64(s.perQueryAccesses()), itoa64(b.perQueryAccesses()),
+			itoa64(g.perQueryMults()), itoa64(s.perQueryMults()), itoa64(b.perQueryMults()))
+
+		g = measureRKR(gir, qs, cfg.K)
+		s = measureRKR(sim, qs, cfg.K)
+		m := measureRKR(mpa, qs, cfg.K)
+		timeRKR.AddRow(itoa(d), ms(g.avg), ms(s.avg), ms(m.avg))
+		compRKR.AddRow(itoa(d),
+			itoa64(g.perQueryAccesses()), itoa64(s.perQueryAccesses()), itoa64(m.perQueryAccesses()),
+			itoa64(g.perQueryMults()), itoa64(s.perQueryMults()), itoa64(m.perQueryMults()))
+	}
+	return []*Table{timeRTK, compRTK, timeRKR, compRKR}, nil
+}
+
+func itoa64(n int64) string { return itoa(int(n)) }

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"math/rand"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/dataset"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig12",
+		Paper: "Figure 12",
+		Title: "Real-data workloads (COLOR, HOUSE, DIANPING simulators), varying k = 100–500",
+		Run:   runFig12,
+	})
+}
+
+// runFig12 reproduces the real-data evaluation using the statistical
+// simulators of DESIGN.md §5: COLOR with RTK, HOUSE with RKR, and
+// DIANPING with both, sweeping k. The paper's claims: GIR is consistently
+// fastest and every algorithm is nearly flat in k (k ≪ |P|, |W|).
+func runFig12(cfg Config) ([]*Table, error) {
+	cfg = cfg.Defaults()
+	rng := cfg.rng()
+	ks := []int{100, 200, 300, 400, 500}
+
+	var tables []*Table
+
+	// (a) COLOR + RTK, W uniform.
+	color := dataset.ColorProducts(rng, cfg.SizeP)
+	wColor := dataset.GenerateWeights(rng, dataset.Uniform, cfg.SizeW, color.Dim)
+	tables = append(tables, sweepKRTK(cfg, rng, "Figure 12a: COLOR (simulated), RTK", color, wColor, ks))
+
+	// (b) HOUSE + RKR, W uniform.
+	house := dataset.HouseProducts(rng, cfg.SizeP)
+	wHouse := dataset.GenerateWeights(rng, dataset.Uniform, cfg.SizeW, house.Dim)
+	t, err := sweepKRKR(cfg, rng, "Figure 12b: HOUSE (simulated), RKR", house, wHouse, ks)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+
+	// (c, d) DIANPING + RTK and RKR, W from the user-profile simulator.
+	dp := dataset.DianpingProducts(rng, cfg.SizeP)
+	wdp := dataset.DianpingWeights(rng, cfg.SizeW)
+	tables = append(tables, sweepKRTK(cfg, rng, "Figure 12c: DIANPING (simulated), RTK", dp, wdp, ks))
+	t, err = sweepKRKR(cfg, rng, "Figure 12d: DIANPING (simulated), RKR", dp, wdp, ks)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+	return tables, nil
+}
+
+func sweepKRTK(cfg Config, rng *rand.Rand, title string, P, W *dataset.Dataset, ks []int) *Table {
+	t := &Table{Title: title + ": avg ms/query", Columns: []string{"k", "GIR", "SIM", "BBR"}}
+	gir := algo.NewGIR(P.Points, W.Points, P.Range, cfg.N)
+	sim := algo.NewSIM(P.Points, W.Points)
+	bbr := algo.NewBBR(P.Points, W.Points, cfg.Capacity)
+	qs := pickQueries(rng, P.Points, cfg.Queries)
+	for _, k := range ks {
+		cfg.logf("%s: k=%d\n", title, k)
+		t.AddRow(itoa(k),
+			ms(measureRTK(gir, qs, k).avg),
+			ms(measureRTK(sim, qs, k).avg),
+			ms(measureRTK(bbr, qs, k).avg))
+	}
+	return t
+}
+
+func sweepKRKR(cfg Config, rng *rand.Rand, title string, P, W *dataset.Dataset, ks []int) (*Table, error) {
+	t := &Table{Title: title + ": avg ms/query", Columns: []string{"k", "GIR", "SIM", "MPA"}}
+	gir := algo.NewGIR(P.Points, W.Points, P.Range, cfg.N)
+	sim := algo.NewSIM(P.Points, W.Points)
+	mpa, err := algo.NewMPA(P.Points, W.Points, cfg.Capacity, 5)
+	if err != nil {
+		return nil, err
+	}
+	qs := pickQueries(rng, P.Points, cfg.Queries)
+	for _, k := range ks {
+		cfg.logf("%s: k=%d\n", title, k)
+		t.AddRow(itoa(k),
+			ms(measureRKR(gir, qs, k).avg),
+			ms(measureRKR(sim, qs, k).avg),
+			ms(measureRKR(mpa, qs, k).avg))
+	}
+	return t, nil
+}

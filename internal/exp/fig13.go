@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"gridrank/internal/algo"
+	"gridrank/internal/dataset"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig13",
+		Paper: "Figure 13",
+		Title: "Scalability with varying |P| and |W| (d=6, k=100)",
+		Run:   runFig13,
+	})
+}
+
+// runFig13 reproduces the scalability sweep: growing |P| with |W| fixed
+// and vice versa. The paper's claim: GIR's advantage over both the trees
+// and SIM widens with cardinality. The paper's tiers reach 5M; here the
+// tiers are multiples of the configured base so any scale can be
+// requested.
+func runFig13(cfg Config) ([]*Table, error) {
+	cfg = cfg.Defaults()
+	tiers := []float64{0.5, 1, 2, 4}
+	rng := cfg.rng()
+	const d = 6
+
+	varyP := &Table{
+		Title:   "Figure 13a/b: varying |P|, fixed |W|: avg ms/query (RTK and RKR)",
+		Columns: []string{"|P|", "GIR rtk", "SIM rtk", "BBR rtk", "GIR rkr", "SIM rkr", "MPA rkr"},
+	}
+	for _, tier := range tiers {
+		nP := int(float64(cfg.SizeP) * tier)
+		cfg.logf("fig13: |P|=%d\n", nP)
+		P := dataset.GenerateProducts(rng, dataset.Uniform, nP, d, dataset.DefaultRange)
+		W := dataset.GenerateWeights(rng, dataset.Uniform, cfg.SizeW, d)
+		row, err := scalabilityRow(cfg, sizeLabel(nP), P, W)
+		if err != nil {
+			return nil, err
+		}
+		varyP.AddRow(row...)
+	}
+
+	varyW := &Table{
+		Title:   "Figure 13c/d: varying |W|, fixed |P|: avg ms/query (RTK and RKR)",
+		Columns: []string{"|W|", "GIR rtk", "SIM rtk", "BBR rtk", "GIR rkr", "SIM rkr", "MPA rkr"},
+	}
+	for _, tier := range tiers {
+		nW := int(float64(cfg.SizeW) * tier)
+		cfg.logf("fig13: |W|=%d\n", nW)
+		P := dataset.GenerateProducts(rng, dataset.Uniform, cfg.SizeP, d, dataset.DefaultRange)
+		W := dataset.GenerateWeights(rng, dataset.Uniform, nW, d)
+		row, err := scalabilityRow(cfg, sizeLabel(nW), P, W)
+		if err != nil {
+			return nil, err
+		}
+		varyW.AddRow(row...)
+	}
+	return []*Table{varyP, varyW}, nil
+}
+
+func scalabilityRow(cfg Config, label string, P, W *dataset.Dataset) ([]string, error) {
+	gir := algo.NewGIR(P.Points, W.Points, P.Range, cfg.N)
+	sim := algo.NewSIM(P.Points, W.Points)
+	bbr := algo.NewBBR(P.Points, W.Points, cfg.Capacity)
+	mpa, err := algo.NewMPA(P.Points, W.Points, cfg.Capacity, 5)
+	if err != nil {
+		return nil, err
+	}
+	qs := pickQueries(cfg.rng(), P.Points, cfg.Queries)
+	return []string{
+		label,
+		ms(measureRTK(gir, qs, cfg.K).avg),
+		ms(measureRTK(sim, qs, cfg.K).avg),
+		ms(measureRTK(bbr, qs, cfg.K).avg),
+		ms(measureRKR(gir, qs, cfg.K).avg),
+		ms(measureRKR(sim, qs, cfg.K).avg),
+		ms(measureRKR(mpa, qs, cfg.K).avg),
+	}, nil
+}

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"gridrank/internal/algo"
+	"gridrank/internal/dataset"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Paper: "Figure 2",
+		Title: "Tree-based algorithms (BBR, MPA) vs simple scan (SIM) on varying d",
+		Run:   runFig2,
+	})
+}
+
+// runFig2 reproduces the motivation figure: CPU time of the tree-based
+// methods against the simple scan as dimensionality grows from 2 to 20.
+// The paper's claim: the trees win only in very low dimensions and fall
+// behind SIM — badly — as d grows.
+func runFig2(cfg Config) ([]*Table, error) {
+	cfg = cfg.Defaults()
+	rtk := &Table{
+		Title:   "Figure 2 (RTK): avg CPU time per query, ms",
+		Columns: []string{"d", "SIM", "BBR"},
+	}
+	rkr := &Table{
+		Title:   "Figure 2 (RKR): avg CPU time per query, ms",
+		Columns: []string{"d", "SIM", "MPA"},
+	}
+	rng := cfg.rng()
+	for _, d := range []int{2, 4, 6, 8, 12, 16, 20} {
+		cfg.logf("fig2: d=%d\n", d)
+		P := dataset.GenerateProducts(rng, dataset.Uniform, cfg.SizeP, d, dataset.DefaultRange)
+		W := dataset.GenerateWeights(rng, dataset.Uniform, cfg.SizeW, d)
+		qs := pickQueries(rng, P.Points, cfg.Queries)
+
+		sim := algo.NewSIM(P.Points, W.Points)
+		bbr := algo.NewBBR(P.Points, W.Points, cfg.Capacity)
+		mpa, err := algo.NewMPA(P.Points, W.Points, cfg.Capacity, 5)
+		if err != nil {
+			return nil, err
+		}
+
+		simRTK := measureRTK(sim, qs, cfg.K)
+		bbrRTK := measureRTK(bbr, qs, cfg.K)
+		rtk.AddRow(itoa(d), ms(simRTK.avg), ms(bbrRTK.avg))
+
+		simRKR := measureRKR(sim, qs, cfg.K)
+		mpaRKR := measureRKR(mpa, qs, cfg.K)
+		rkr.AddRow(itoa(d), ms(simRKR.avg), ms(mpaRKR.avg))
+	}
+	return []*Table{rtk, rkr}, nil
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/dataset"
+	"gridrank/internal/model"
+	"gridrank/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "model",
+		Paper: "Section 5 (Theorem 1, Eq. 10, Eq. 28)",
+		Title: "Analytical model: required partitions, predicted vs measured filtering, R-tree volume bound",
+		Run:   runModel,
+	})
+}
+
+// runModel evaluates the paper's analytical results directly: Theorem 1's
+// required n per dimension, the worst-case filtering guarantee at the
+// default n=32, the measured examined-pair rate for comparison, and the
+// Section 5.2 bound on prunable volume for tree-based methods.
+func runModel(cfg Config) ([]*Table, error) {
+	cfg = cfg.Defaults()
+	t := &Table{
+		Title: "Theorem 1 and Section 5.2 model vs measurement (ε=1%)",
+		Columns: []string{
+			"d", "required n", "pow2 n", "F_worst(n=32)",
+			"measured examined rate (n=32)", "R-tree Vol_max (g=d/2)",
+		},
+	}
+	rng := cfg.rng()
+	for _, d := range []int{2, 6, 10, 20, 30, 50} {
+		cfg.logf("model: d=%d\n", d)
+		n, err := model.RequiredPartitions(d, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		p2, err := model.RequiredPartitionsPow2(d, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		// Measure the examined-pair rate on a reduced workload.
+		sizeP, sizeW := cfg.SizeP/2, cfg.SizeW/2
+		if sizeP < 500 {
+			sizeP = 500
+		}
+		if sizeW < 500 {
+			sizeW = 500
+		}
+		P := dataset.GenerateProducts(rng, dataset.Uniform, sizeP, d, dataset.DefaultRange)
+		W := dataset.GenerateWeights(rng, dataset.Uniform, sizeW, d)
+		gir := algo.NewGIR(P.Points, W.Points, P.Range, 32)
+		var c stats.Counters
+		for _, q := range pickQueries(rng, P.Points, cfg.Queries) {
+			gir.ReverseKRanks(q, cfg.K, &c)
+		}
+		t.AddRow(
+			itoa(d),
+			itoa(n),
+			itoa(p2),
+			pct(model.WorstCaseFiltering(d, 32)),
+			pct(c.FilterRate()),
+			fmt.Sprintf("%.3e", model.RTreeFilterVolume(d/2, 0)),
+		)
+	}
+
+	// The worked example of Equation 28.
+	ex := &Table{
+		Title:   "Eq. 28 worked example: d=20, ε=1%",
+		Columns: []string{"quantity", "value"},
+	}
+	halfDelta, err := model.InvUpperTail(0.495)
+	if err != nil {
+		return nil, err
+	}
+	ex.AddRow("δ/2 with Φ(δ/2)=0.495", fmt.Sprintf("%.4f", halfDelta))
+	n20, err := model.RequiredPartitions(20, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	ex.AddRow("required n (exact)", itoa(n20))
+	p20, err := model.RequiredPartitionsPow2(20, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	ex.AddRow("required n (power of two, paper's choice)", itoa(p20))
+	ex.AddRow("Grid memory at n=32 (bytes)", itoa(32*32*8))
+	return []*Table{t, ex}, nil
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/dataset"
+	"gridrank/internal/stats"
+	"gridrank/internal/vec"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Paper: "Table 2",
+		Title: "Time for reading data vs processing RRQ vs pairwise computations (d=6)",
+		Run:   runTable2,
+	})
+}
+
+// runTable2 reproduces the cost-breakdown observation that motivates the
+// whole paper: reading the data is negligible; the pairwise computations
+// dominate the processing time. For each cardinality we (1) write and
+// re-read the binary data files, (2) run the SIM reverse top-k workload,
+// and (3) time the same number of raw inner products the workload
+// performed, isolating the pairwise share.
+func runTable2(cfg Config) ([]*Table, error) {
+	cfg = cfg.Defaults()
+	const d = 6
+	t := &Table{
+		Title:   "Table 2: elapsed time (ms), d=6",
+		Columns: []string{"Data size", "Reading data", "Processing RRQ", "-Pairwise computations"},
+	}
+	dir, err := os.MkdirTemp("", "gridrank-table2-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	rng := cfg.rng()
+	sizes := []int{1000, 10000}
+	if cfg.SizeP > 10000 {
+		sizes = append(sizes, cfg.SizeP)
+	}
+	for _, n := range sizes {
+		cfg.logf("table2: n=%d\n", n)
+		P := dataset.GenerateProducts(rng, dataset.Uniform, n, d, dataset.DefaultRange)
+		W := dataset.GenerateWeights(rng, dataset.Uniform, n, d)
+
+		pPath := filepath.Join(dir, fmt.Sprintf("p-%d.grd", n))
+		wPath := filepath.Join(dir, fmt.Sprintf("w-%d.grd", n))
+		if err := dataset.SaveBinary(pPath, P); err != nil {
+			return nil, err
+		}
+		if err := dataset.SaveBinary(wPath, W); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := dataset.LoadBinary(pPath); err != nil {
+			return nil, err
+		}
+		if _, err := dataset.LoadBinary(wPath); err != nil {
+			return nil, err
+		}
+		readTime := time.Since(start)
+
+		sim := algo.NewSIM(P.Points, W.Points)
+		qs := pickQueries(rng, P.Points, cfg.Queries)
+		var c stats.Counters
+		start = time.Now()
+		for _, q := range qs {
+			sim.ReverseTopK(q, cfg.K, &c)
+		}
+		procTime := time.Since(start)
+
+		pairTime := timePairwise(P.Points, W.Points, c.PairwiseMults)
+
+		t.AddRow(sizeLabel(n), ms(readTime), ms(procTime), ms(pairTime))
+	}
+	return []*Table{t}, nil
+}
+
+// timePairwise times count raw inner products over the data, cycling
+// through (p, w) pairs the way the scan does.
+func timePairwise(P, W []vec.Vector, count int64) time.Duration {
+	if count <= 0 {
+		return 0
+	}
+	var sink float64
+	start := time.Now()
+	pi, wi := 0, 0
+	for i := int64(0); i < count; i++ {
+		sink += vec.Dot(W[wi], P[pi])
+		pi++
+		if pi == len(P) {
+			pi = 0
+			wi++
+			if wi == len(W) {
+				wi = 0
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if sink == 0 { // defeat dead-code elimination; never true for real data
+		fmt.Fprintln(os.Stderr, "timePairwise: zero checksum")
+	}
+	return elapsed
+}
+
+func sizeLabel(n int) string {
+	if n%1000 == 0 {
+		return fmt.Sprintf("%dK", n/1000)
+	}
+	return itoa(n)
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

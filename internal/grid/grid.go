@@ -1,0 +1,357 @@
+// Package grid implements the paper's core contribution: the Grid-index
+// (Section 3), a small table of pre-computed boundary products that turns
+// the inner-product score into cheap lower and upper bounds, plus the
+// approximate vectors P^(A) and W^(A) that index into it.
+//
+// With the value range of points divided into n partitions (boundaries
+// α_p[i] = i·r_p/n) and likewise for weights (α_w[j] = j·r_w/n, r_w = 1),
+// the Grid-index is the (n+1)×(n+1) table
+//
+//	Grid[i][j] = α_p[i] · α_w[j]
+//
+// For a point p with approximate vector p^(a) and weight w with w^(a),
+//
+//	L[f_w(p)] = Σ_i Grid[p^(a)[i]][w^(a)[i]]
+//	U[f_w(p)] = Σ_i Grid[p^(a)[i]+1][w^(a)[i]+1]
+//
+// bracket the true score using additions and table lookups only; no
+// multiplications. The three-way precedence classification (Cases 1–3 of
+// Section 3.1) drives the GIR filtering.
+package grid
+
+import (
+	"fmt"
+
+	"gridrank/internal/bits"
+	"gridrank/internal/vec"
+)
+
+// MaxPartitions bounds the per-axis partition count so approximate cells
+// fit one byte. The paper's largest evaluated grid is n = 128; byte cells
+// keep P^(A) and W^(A) eight times denser than the raw float data, which
+// is what makes the bound scan memory-bound-friendly.
+const MaxPartitions = 256
+
+// Bounder is the contract shared by the equal-width Grid of the paper and
+// the adaptive (quantile-boundary) grid of its future-work Section 7: map
+// values to partition cells and turn approximate vectors into score
+// bounds. All implementations must guarantee Lower ≤ f_w(p) ≤ Upper.
+type Bounder interface {
+	// N returns the partition count per axis.
+	N() int
+	// MemoryBytes returns the footprint of the pre-computed tables.
+	MemoryBytes() int
+	// ApproxPoint fills dst with the point's approximate vector.
+	ApproxPoint(p vec.Vector, dst []uint8) []uint8
+	// ApproxWeight fills dst with the weight's approximate vector.
+	ApproxWeight(w vec.Vector, dst []uint8) []uint8
+	// Lower evaluates the lower score bound of Equation 3.
+	Lower(pa, wa []uint8) float64
+	// Upper evaluates the upper score bound of Equation 4.
+	Upper(pa, wa []uint8) float64
+	// Bounds returns both bounds in one pass.
+	Bounds(pa, wa []uint8) (lower, upper float64)
+	// LowerColumn returns the lower-bound addends for weight cell j,
+	// indexed by point cell: col[pc] = Grid[pc][j]. The scan algorithms
+	// gather one column per dimension once per weight vector and then
+	// evaluate bounds with tight, cache-resident indexed loads.
+	LowerColumn(j uint8) []float64
+	// UpperColumn returns the upper-bound addends for weight cell j:
+	// col[pc] = Grid[pc+1][j+1].
+	UpperColumn(j uint8) []float64
+}
+
+// Grid is an equal-width Grid-index over a point value range [0, RangeP)
+// and the weight range [0, RangeW).
+type Grid struct {
+	n      int     // number of partitions per axis
+	rangeP float64 // point attribute range r_p
+	rangeW float64 // weight range r_w (1 for simplex weights)
+	// table is the flattened (n+1)×(n+1) boundary-product table.
+	table []float64
+	// loCols and upCols are column-major views of the table used by the
+	// scan hot loops: loCols[j][pc] = table[pc][j] and
+	// upCols[j][pc] = table[pc+1][j+1], each n entries long.
+	loCols [][]float64
+	upCols [][]float64
+	// alphaP, alphaW are the n+1 partition boundaries per axis.
+	alphaP []float64
+	alphaW []float64
+}
+
+// New builds an n-partition Grid-index for point attributes in [0, rangeP)
+// and weights in [0, rangeW). It panics on invalid parameters — grid shape
+// is program configuration, not user input.
+func New(n int, rangeP, rangeW float64) *Grid {
+	if n < 1 || n > MaxPartitions {
+		panic(fmt.Sprintf("grid: partitions %d outside [1, %d]", n, MaxPartitions))
+	}
+	if rangeP <= 0 || rangeW <= 0 {
+		panic(fmt.Sprintf("grid: non-positive range (%v, %v)", rangeP, rangeW))
+	}
+	g := &Grid{
+		n:      n,
+		rangeP: rangeP,
+		rangeW: rangeW,
+		table:  make([]float64, (n+1)*(n+1)),
+		alphaP: make([]float64, n+1),
+		alphaW: make([]float64, n+1),
+	}
+	for i := 0; i <= n; i++ {
+		g.alphaP[i] = float64(i) * rangeP / float64(n)
+		g.alphaW[i] = float64(i) * rangeW / float64(n)
+	}
+	for i := 0; i <= n; i++ {
+		row := g.table[i*(n+1):]
+		for j := 0; j <= n; j++ {
+			row[j] = g.alphaP[i] * g.alphaW[j]
+		}
+	}
+	g.loCols, g.upCols = buildColumns(g.table, n)
+	return g
+}
+
+// buildColumns transposes the boundary table into the per-weight-cell
+// column slices served by LowerColumn and UpperColumn.
+func buildColumns(table []float64, n int) (lo, up [][]float64) {
+	stride := n + 1
+	lo = make([][]float64, n)
+	up = make([][]float64, n)
+	for j := 0; j < n; j++ {
+		l := make([]float64, n)
+		u := make([]float64, n)
+		for pc := 0; pc < n; pc++ {
+			l[pc] = table[pc*stride+j]
+			u[pc] = table[(pc+1)*stride+j+1]
+		}
+		lo[j] = l
+		up[j] = u
+	}
+	return lo, up
+}
+
+// N returns the number of partitions per axis.
+func (g *Grid) N() int { return g.n }
+
+// RangeP returns the point attribute range.
+func (g *Grid) RangeP() float64 { return g.rangeP }
+
+// RangeW returns the weight range.
+func (g *Grid) RangeW() float64 { return g.rangeW }
+
+// MemoryBytes returns the size of the boundary-product table, the memory
+// cost discussed at the end of Section 5.3 (n=32 → below 8 KiB + bounds).
+func (g *Grid) MemoryBytes() int {
+	return 8 * (len(g.table) + 2*g.n*g.n + len(g.alphaP) + len(g.alphaW))
+}
+
+// At returns Grid[i][j] = α_p[i]·α_w[j].
+func (g *Grid) At(i, j int) float64 { return g.table[i*(g.n+1)+j] }
+
+// CellP returns the partition index of a point attribute value:
+// ⌊x·n/r_p⌋ clamped into [0, n-1], so x = r_p and small floating-point
+// excursions land in the last cell.
+func (g *Grid) CellP(x float64) uint8 { return cell(x, g.rangeP, g.n) }
+
+// CellW returns the partition index of a weight value.
+func (g *Grid) CellW(x float64) uint8 { return cell(x, g.rangeW, g.n) }
+
+func cell(x, r float64, n int) uint8 {
+	if x <= 0 {
+		return 0
+	}
+	c := int(x * float64(n) / r)
+	if c >= n {
+		c = n - 1
+	}
+	return uint8(c)
+}
+
+// ApproxPoint fills dst with the approximate vector p^(a) of a point.
+func (g *Grid) ApproxPoint(p vec.Vector, dst []uint8) []uint8 {
+	if len(dst) != len(p) {
+		panic(fmt.Sprintf("grid: approx buffer length %d, want %d", len(dst), len(p)))
+	}
+	for i, x := range p {
+		dst[i] = g.CellP(x)
+	}
+	return dst
+}
+
+// ApproxWeight fills dst with the approximate vector w^(a) of a weight.
+func (g *Grid) ApproxWeight(w vec.Vector, dst []uint8) []uint8 {
+	if len(dst) != len(w) {
+		panic(fmt.Sprintf("grid: approx buffer length %d, want %d", len(dst), len(w)))
+	}
+	for i, x := range w {
+		dst[i] = g.CellW(x)
+	}
+	return dst
+}
+
+// Lower evaluates Equation (3): the lower score bound from approximate
+// vectors pa and wa, using d additions and d table lookups.
+func (g *Grid) Lower(pa, wa []uint8) float64 {
+	stride := g.n + 1
+	var s float64
+	for i, pi := range pa {
+		s += g.table[int(pi)*stride+int(wa[i])]
+	}
+	return s
+}
+
+// Upper evaluates Equation (4): the upper score bound.
+func (g *Grid) Upper(pa, wa []uint8) float64 {
+	stride := g.n + 1
+	var s float64
+	for i, pi := range pa {
+		s += g.table[(int(pi)+1)*stride+int(wa[i])+1]
+	}
+	return s
+}
+
+// LowerColumn returns the lower-bound addends for weight cell j.
+// The returned slice is the grid's own storage; callers must not modify it.
+func (g *Grid) LowerColumn(j uint8) []float64 { return g.loCols[j] }
+
+// UpperColumn returns the upper-bound addends for weight cell j.
+func (g *Grid) UpperColumn(j uint8) []float64 { return g.upCols[j] }
+
+// Bounds returns both bounds in one pass.
+func (g *Grid) Bounds(pa, wa []uint8) (lower, upper float64) {
+	stride := g.n + 1
+	for i, pi := range pa {
+		base := int(pi)*stride + int(wa[i])
+		lower += g.table[base]
+		upper += g.table[base+stride+1]
+	}
+	return lower, upper
+}
+
+// Precedence is the three-way classification of Section 3.1.
+type Precedence int8
+
+const (
+	// PrecedesQ: Case 1, U[f_w(p)] < f_w(q): p ranks above q under w.
+	PrecedesQ Precedence = iota - 1
+	// Incomparable: Case 3, the bounds straddle f_w(q); refinement needed.
+	Incomparable
+	// QPrecedes: Case 2, L[f_w(p)] > f_w(q): p cannot affect q's rank.
+	QPrecedes
+)
+
+// Classify applies the three cases to approximate vectors against the exact
+// query score fq = f_w(q). Following Algorithm 1 (line 5), ties on the
+// upper bound count as Case 1 (U ≤ fq ⇒ p precedes), which is safe under
+// Definition 2's q-favouring tie rule only when scores are continuous; the
+// GIR algorithms treat the boundary case as incomparable to stay exact, so
+// Classify uses strict inequalities on both sides.
+func (g *Grid) Classify(pa, wa []uint8, fq float64) Precedence {
+	lo, hi := g.Bounds(pa, wa)
+	switch {
+	case hi < fq:
+		return PrecedesQ
+	case lo > fq:
+		return QPrecedes
+	default:
+		return Incomparable
+	}
+}
+
+// Index pairs a Bounder with the pre-computed approximate vectors of a
+// data set (P^(A) or W^(A) of the paper), stored unpacked for the hot
+// loops and optionally bit-packed for storage (Section 3.2).
+type Index struct {
+	grid Bounder
+	dim  int
+	// approx holds count×dim cells contiguously, one byte per cell.
+	approx []uint8
+}
+
+// NewPointIndex pre-computes P^(A) for a point set.
+func NewPointIndex(g Bounder, points []vec.Vector) *Index {
+	return newIndex(g, points, true)
+}
+
+// NewWeightIndex pre-computes W^(A) for a weight set.
+func NewWeightIndex(g Bounder, weights []vec.Vector) *Index {
+	return newIndex(g, weights, false)
+}
+
+func newIndex(g Bounder, data []vec.Vector, isPoint bool) *Index {
+	if len(data) == 0 {
+		panic("grid: empty data set")
+	}
+	dim := len(data[0])
+	ix := &Index{grid: g, dim: dim, approx: make([]uint8, len(data)*dim)}
+	for i, v := range data {
+		if len(v) != dim {
+			panic(fmt.Sprintf("grid: vector %d has dimension %d, want %d", i, len(v), dim))
+		}
+		row := ix.approx[i*dim : (i+1)*dim]
+		if isPoint {
+			g.ApproxPoint(v, row)
+		} else {
+			g.ApproxWeight(v, row)
+		}
+	}
+	return ix
+}
+
+// Grid returns the underlying Grid.
+func (ix *Index) Grid() Bounder { return ix.grid }
+
+// Dim returns the dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Count returns the number of indexed vectors.
+func (ix *Index) Count() int { return len(ix.approx) / ix.dim }
+
+// Row returns the approximate vector of element i. The returned slice
+// aliases the index storage and must not be modified.
+func (ix *Index) Row(i int) []uint8 {
+	return ix.approx[i*ix.dim : (i+1)*ix.dim]
+}
+
+// Cells returns the flat cell store (Count()·Dim() bytes, row-major). The
+// scan hot loops slice it directly; callers must not modify it.
+func (ix *Index) Cells() []uint8 { return ix.approx }
+
+// Pack compresses the approximate vectors into a bit-string store with
+// ⌈log₂ n⌉ bits per dimension (Section 3.2).
+func (ix *Index) Pack() *bits.Packed {
+	b := bitsFor(ix.grid.N())
+	p := bits.NewPacked(ix.Count(), ix.dim, b)
+	buf := make([]uint16, ix.dim)
+	for i := 0; i < ix.Count(); i++ {
+		row := ix.Row(i)
+		for j, v := range row {
+			buf[j] = uint16(v)
+		}
+		p.Encode(i, buf)
+	}
+	return p
+}
+
+// UnpackIndex reconstructs an Index from a packed store and its Grid.
+func UnpackIndex(g Bounder, p *bits.Packed) *Index {
+	ix := &Index{grid: g, dim: p.Dim(), approx: make([]uint8, p.Count()*p.Dim())}
+	buf := make([]uint16, p.Dim())
+	for i := 0; i < p.Count(); i++ {
+		p.Decode(i, buf)
+		row := ix.approx[i*ix.dim : (i+1)*ix.dim]
+		for j, v := range buf {
+			row[j] = uint8(v)
+		}
+	}
+	return ix
+}
+
+// bitsFor returns ⌈log₂ n⌉, at least 1.
+func bitsFor(n int) int {
+	b := 1
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridrank/internal/dataset"
+	"gridrank/internal/vec"
+)
+
+func benchSetup(b *testing.B, n, d int) (*Grid, *Index, *Index, []vec.Vector, []vec.Vector) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	P := dataset.GenerateProducts(rng, dataset.Uniform, 2000, d, 1)
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 200, d)
+	g := New(n, 1, 1)
+	return g, NewPointIndex(g, P.Points), NewWeightIndex(g, W.Points), P.Points, W.Points
+}
+
+func BenchmarkBounds6d(b *testing.B) {
+	g, pix, wix, _, _ := benchSetup(b, 32, 6)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		lo, hi := g.Bounds(pix.Row(i%pix.Count()), wix.Row(i%wix.Count()))
+		sink += lo + hi
+	}
+	_ = sink
+}
+
+func BenchmarkBounds20d(b *testing.B) {
+	g, pix, wix, _, _ := benchSetup(b, 32, 20)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		lo, hi := g.Bounds(pix.Row(i%pix.Count()), wix.Row(i%wix.Count()))
+		sink += lo + hi
+	}
+	_ = sink
+}
+
+// BenchmarkDot20d is the multiplication path the bounds replace, for
+// comparison in the same output.
+func BenchmarkDot20d(b *testing.B) {
+	_, _, _, P, W := benchSetup(b, 32, 20)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += vec.Dot(P[i%len(P)], W[i%len(W)])
+	}
+	_ = sink
+}
+
+func BenchmarkApproxPoint(b *testing.B) {
+	g, _, _, P, _ := benchSetup(b, 32, 6)
+	dst := make([]uint8, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ApproxPoint(P[i%len(P)], dst)
+	}
+}
+
+func BenchmarkAdaptiveCell(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	P := dataset.GenerateProducts(rng, dataset.Exponential, 500, 6, 1000)
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 100, 6)
+	a := NewAdaptive(32, P.Points, W.Points, 1000)
+	dst := make([]uint8, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ApproxPoint(P.Points[i%len(P.Points)], dst)
+	}
+}
+
+func BenchmarkIndexConstruction100K(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	P := dataset.GenerateProducts(rng, dataset.Uniform, 100000, 6, 1)
+	g := New(32, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPointIndex(g, P.Points)
+	}
+}

@@ -1,0 +1,149 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gridrank/internal/dataset"
+	"gridrank/internal/vec"
+)
+
+func TestNewGroupsWeights(t *testing.T) {
+	weights := []vec.Vector{
+		{0.1, 0.9}, // cell (0, 4) at c=5
+		{0.15, 0.85},
+		{0.9, 0.1}, // cell (4, 0)
+	}
+	h, err := New(weights, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Buckets()) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(h.Buckets()))
+	}
+	b0 := h.Buckets()[0]
+	if len(b0.Weights) != 2 || b0.Weights[0] != 0 || b0.Weights[1] != 1 {
+		t.Errorf("bucket 0 weights = %v", b0.Weights)
+	}
+	if b0.Lo[0] != 0 || b0.Lo[1] != 0.8 || b0.Hi[0] != 0.2 || b0.Hi[1] != 1.0 {
+		t.Errorf("bucket 0 box = [%v, %v]", b0.Lo, b0.Hi)
+	}
+}
+
+func TestEveryWeightInItsBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	W := dataset.GenerateWeights(rng, dataset.Clustered, 2000, 5).Points
+	h, err := New(W, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(W))
+	for _, b := range h.Buckets() {
+		for _, wi := range b.Weights {
+			if seen[wi] {
+				t.Fatalf("weight %d assigned twice", wi)
+			}
+			seen[wi] = true
+			for j, x := range W[wi] {
+				if x < b.Lo[j]-1e-12 || x > b.Hi[j]+1e-12 {
+					t.Fatalf("weight %d dim %d = %v outside bucket [%v, %v]",
+						wi, j, x, b.Lo[j], b.Hi[j])
+				}
+			}
+		}
+	}
+	for wi, ok := range seen {
+		if !ok {
+			t.Fatalf("weight %d not assigned to any bucket", wi)
+		}
+	}
+}
+
+func TestBoundaryValueOne(t *testing.T) {
+	// A weight of exactly 1.0 must clamp into the last interval.
+	h, err := New([]vec.Vector{{1, 0}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := h.Buckets()[0]
+	if b.Hi[0] != 1.0 || b.Lo[0] != 0.8 {
+		t.Errorf("value 1.0 landed in [%v, %v]", b.Lo[0], b.Hi[0])
+	}
+}
+
+func TestRejectsBadWeights(t *testing.T) {
+	if _, err := New([]vec.Vector{{0.5, 1.5}}, 5); err == nil {
+		t.Error("out-of-domain weight accepted")
+	}
+	if _, err := New([]vec.Vector{{0.5, -0.1}}, 5); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := New([]vec.Vector{{0.5, math.NaN()}}, 5); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := New([]vec.Vector{{0.5, 0.5}, {0.5}}, 5); err == nil {
+		t.Error("ragged weights accepted")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("c=0", func() { New([]vec.Vector{{0.5}}, 0) })
+	mustPanic("empty", func() { New(nil, 5) })
+}
+
+// Section 5.1's observation: for fixed |W|, raising d makes nearly every
+// weight occupy its own bucket, so group pruning degenerates.
+func TestOccupancyGrowsWithDimension(t *testing.T) {
+	// Simplex weights concentrate near 1/d per component, so at the
+	// paper's c=5 the effect is partially masked by all cells collapsing
+	// into the lowest interval (the other face of the same degeneration:
+	// the boxes stop resolving anything). c=10 exposes the blow-up.
+	rng := rand.New(rand.NewSource(2))
+	ratio := func(d int) float64 {
+		W := dataset.GenerateWeights(rng, dataset.Uniform, 3000, d).Points
+		h, err := New(W, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.OccupancyRatio(len(W))
+	}
+	low := ratio(2)
+	high := ratio(10)
+	if low > 0.05 {
+		t.Errorf("2-d occupancy ratio %v: expected strong grouping", low)
+	}
+	if high < 0.5 {
+		t.Errorf("10-d occupancy ratio %v: expected bucket-per-weight degeneration", high)
+	}
+}
+
+func TestConceptualBuckets(t *testing.T) {
+	h, err := New([]vec.Vector{{0.1, 0.2, 0.3, 0.1, 0.1, 0.1, 0.05, 0.03, 0.01, 0.01}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: c=5, d=10 → ≈9 million conceptual buckets.
+	if got := h.ConceptualBuckets(); got != math.Pow(5, 10) {
+		t.Errorf("ConceptualBuckets = %v", got)
+	}
+}
+
+func TestOccupancyRatioEmptyDenominator(t *testing.T) {
+	h, err := New([]vec.Vector{{0.5, 0.5}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.OccupancyRatio(0) != 0 {
+		t.Error("zero denominator should yield 0")
+	}
+}

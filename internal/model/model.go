@@ -1,0 +1,208 @@
+// Package model implements the analytical performance models of the
+// paper's Section 5: the normal approximation of Grid-index score
+// distributions (Lemma 1), the worst-case filtering performance (Lemma 2,
+// Equation 25), Theorem 1's required partition count, the exact
+// dice-problem score distribution (Equation 15), and the R-tree filtering
+// volume bound of Section 5.2 (Equation 10).
+//
+// Following the paper's notation, Φ(x) here is the upper tail
+// P(Z > x) of the standard normal distribution (the paper uses
+// Φ(0.0125) = 0.495), not the CDF.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalCDF returns P(Z ≤ x) for Z ~ N(0, 1).
+func NormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// UpperTail is the paper's Φ(·): P(Z > x) for Z ~ N(0, 1).
+func UpperTail(x float64) float64 { return 1 - NormalCDF(x) }
+
+// NormalPDF returns the standard normal density at x.
+func NormalPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// InvUpperTail returns the x with UpperTail(x) = p, for p in (0, 0.5].
+// It solves by bisection on the monotone tail, to ~1e-12 accuracy — the
+// programmatic version of the paper's "look up the SND table".
+func InvUpperTail(p float64) (float64, error) {
+	if p <= 0 || p > 0.5 {
+		return 0, fmt.Errorf("model: InvUpperTail needs p in (0, 0.5], got %v", p)
+	}
+	lo, hi := 0.0, 1.0
+	for UpperTail(hi) > p {
+		hi *= 2
+		if hi > 1e9 {
+			return 0, fmt.Errorf("model: InvUpperTail(%v) did not bracket", p)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-13; i++ {
+		mid := (lo + hi) / 2
+		if UpperTail(mid) > p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// ScoreMoments returns the normal approximation's parameters for the score
+// of a d-dimensional point whose per-dimension sub-scores w[i]·p[i] are
+// uniform on [0, r) (Equation 19): mean μ' = rd/2 and standard deviation
+// σ' = √d·r / (2√3).
+func ScoreMoments(d int, r float64) (mean, std float64) {
+	mean = 0.5 * r * float64(d)
+	std = math.Sqrt(float64(d)) * r / (2 * math.Sqrt(3))
+	return mean, std
+}
+
+// WorstCaseFiltering returns F_worst of Equation 25: the guaranteed
+// filtering performance of an n-partition Grid-index on d-dimensional
+// data, 2·Φ(√(3d)/n²), evaluated at the distribution's densest interval.
+func WorstCaseFiltering(d, n int) float64 {
+	if d < 1 || n < 1 {
+		panic(fmt.Sprintf("model: invalid d=%d n=%d", d, n))
+	}
+	z := math.Sqrt(3*float64(d)) / float64(n*n)
+	return 2 * UpperTail(z)
+}
+
+// RequiredPartitions returns Theorem 1's minimum n guaranteeing filtering
+// performance above 1−ε: the smallest integer n with
+// n > sqrt(2·sqrt(3d)/δ) where Φ(δ/2) = (1−ε)/2.
+func RequiredPartitions(d int, eps float64) (int, error) {
+	if d < 1 {
+		return 0, fmt.Errorf("model: invalid dimension %d", d)
+	}
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("model: ε must be in (0, 1), got %v", eps)
+	}
+	halfDelta, err := InvUpperTail((1 - eps) / 2)
+	if err != nil {
+		return 0, err
+	}
+	delta := 2 * halfDelta
+	n := math.Sqrt(2 * math.Sqrt(3*float64(d)) / delta)
+	return int(math.Floor(n)) + 1, nil
+}
+
+// RequiredPartitionsPow2 rounds RequiredPartitions up to the next power of
+// two, matching the paper's choice of n = 32 for d = 20, ε = 1% (the grid
+// is usually sized to a power of two so approximate vectors bit-pack
+// exactly).
+func RequiredPartitionsPow2(d int, eps float64) (int, error) {
+	n, err := RequiredPartitions(d, eps)
+	if err != nil {
+		return 0, err
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p, nil
+}
+
+// DiceProb returns the probability that the sum of d fair dice with the
+// given number of faces (each face valued 1..faces) equals s — the
+// paper's Equation 15, with a die modelling one dimension's score
+// interval among the n² Grid partitions. Computed by exact dynamic-
+// programming convolution; the closed-form alternating sum overflows
+// float64 binomials long before interesting d.
+func DiceProb(s, d, faces int) float64 {
+	if d < 1 || faces < 1 {
+		panic(fmt.Sprintf("model: invalid dice d=%d faces=%d", d, faces))
+	}
+	if s < d || s > d*faces {
+		return 0
+	}
+	// dp[v] = number of ways (scaled) to reach sum v.
+	// Work in probabilities to avoid overflow: each die contributes 1/faces.
+	dp := make([]float64, d*faces+1)
+	for f := 1; f <= faces; f++ {
+		dp[f] = 1 / float64(faces)
+	}
+	cur := faces
+	for die := 2; die <= d; die++ {
+		next := make([]float64, d*faces+1)
+		for v := die - 1; v <= cur; v++ {
+			if dp[v] == 0 {
+				continue
+			}
+			contrib := dp[v] / float64(faces)
+			for f := 1; f <= faces; f++ {
+				next[v+f] += contrib
+			}
+		}
+		dp = next
+		cur += faces
+	}
+	return dp[s]
+}
+
+// DiceClosedForm evaluates Equation 15 literally:
+//
+//	P(s, d, n) = n^(−2d) · Σ_k (−1)^k · C(d, k) · C(s − n²k − 1, d − 1)
+//
+// with n² faces. It is only numerically trustworthy for small d and faces
+// (binomials grow fast); it exists to cross-check DiceProb in tests.
+func DiceClosedForm(s, d, faces int) float64 {
+	if s < d || s > d*faces {
+		return 0
+	}
+	total := 0.0
+	for k := 0; k <= (s-d)/faces; k++ {
+		term := binom(d, k) * binom(s-faces*k-1, d-1)
+		if k%2 == 1 {
+			term = -term
+		}
+		total += term
+	}
+	return total / math.Pow(float64(faces), float64(d))
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	v := 1.0
+	for i := 0; i < k; i++ {
+		v = v * float64(n-i) / float64(i+1)
+	}
+	return v
+}
+
+// RTreeFilterVolume returns Equation 10's upper bound on the fraction of
+// the data space an R-tree-based method can prune for reverse rank
+// queries: Vol_max = (1−γ)^g / g!, where g is the number of dimensions in
+// which the pruned region is a hyper-tetrahedron (the paper argues g ≈ d/2)
+// and γ is the relative position of the MBR (γ = 0 gives the most
+// optimistic bound).
+func RTreeFilterVolume(g int, gamma float64) float64 {
+	if g < 0 {
+		panic(fmt.Sprintf("model: invalid g=%d", g))
+	}
+	if gamma < 0 || gamma > 1 {
+		panic(fmt.Sprintf("model: γ must be in [0, 1], got %v", gamma))
+	}
+	v := 1.0
+	for i := 1; i <= g; i++ {
+		v = v * (1 - gamma) / float64(i)
+	}
+	return v
+}
+
+// GridDelta returns Equation 23's Δ = r·d/n², the score-interval width the
+// paper's model assigns to a d-dimensional Grid-index bound.
+func GridDelta(d, n int, r float64) float64 {
+	return r * float64(d) / float64(n*n)
+}

@@ -1,0 +1,151 @@
+// Package rtree implements the d-dimensional R-tree used as the substrate
+// of the tree-based baselines BBR and MPA, with both STR bulk loading and
+// Guttman quadratic-split insertion, plus the MBR statistics the paper
+// reports in Table 3 and Figure 15a (count, diagonal, shape ratio, overlap
+// rate with range queries, volume).
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"gridrank/internal/vec"
+)
+
+// Rect is an axis-aligned minimum bounding rectangle [Lo, Hi].
+type Rect struct {
+	Lo, Hi vec.Vector
+}
+
+// RectOf returns the degenerate rectangle covering a single point. The
+// point is cloned, so later mutation of p does not corrupt the tree.
+func RectOf(p vec.Vector) Rect {
+	return Rect{Lo: vec.Clone(p), Hi: vec.Clone(p)}
+}
+
+// Dim returns the dimensionality.
+func (r Rect) Dim() int { return len(r.Lo) }
+
+// Clone returns a deep copy.
+func (r Rect) Clone() Rect {
+	return Rect{Lo: vec.Clone(r.Lo), Hi: vec.Clone(r.Hi)}
+}
+
+// Expand grows r in place to cover o.
+func (r *Rect) Expand(o Rect) {
+	for i := range r.Lo {
+		if o.Lo[i] < r.Lo[i] {
+			r.Lo[i] = o.Lo[i]
+		}
+		if o.Hi[i] > r.Hi[i] {
+			r.Hi[i] = o.Hi[i]
+		}
+	}
+}
+
+// ExpandPoint grows r in place to cover point p.
+func (r *Rect) ExpandPoint(p vec.Vector) {
+	for i := range r.Lo {
+		if p[i] < r.Lo[i] {
+			r.Lo[i] = p[i]
+		}
+		if p[i] > r.Hi[i] {
+			r.Hi[i] = p[i]
+		}
+	}
+}
+
+// ContainsPoint reports whether p lies inside r (inclusive).
+func (r Rect) ContainsPoint(p vec.Vector) bool {
+	for i := range r.Lo {
+		if p[i] < r.Lo[i] || p[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r and o overlap (boundary contact counts).
+func (r Rect) Intersects(o Rect) bool {
+	for i := range r.Lo {
+		if r.Hi[i] < o.Lo[i] || o.Hi[i] < r.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the d-dimensional volume Π (Hi[i]-Lo[i]).
+func (r Rect) Volume() float64 {
+	v := 1.0
+	for i := range r.Lo {
+		v *= r.Hi[i] - r.Lo[i]
+	}
+	return v
+}
+
+// Margin returns Σ (Hi[i]-Lo[i]), the perimeter surrogate used by split
+// heuristics.
+func (r Rect) Margin() float64 {
+	var m float64
+	for i := range r.Lo {
+		m += r.Hi[i] - r.Lo[i]
+	}
+	return m
+}
+
+// Diagonal returns the Euclidean length of the main diagonal, the metric
+// of Table 3's "diagonal length" row.
+func (r Rect) Diagonal() float64 {
+	var s float64
+	for i := range r.Lo {
+		e := r.Hi[i] - r.Lo[i]
+		s += e * e
+	}
+	return math.Sqrt(s)
+}
+
+// ShapeRatio returns the ratio of the longest edge to the shortest, the
+// metric of Table 3's "Shape" row. Degenerate rectangles with a zero
+// shortest edge report +Inf unless all edges are zero, in which case the
+// ratio is 1 (a point is perfectly square).
+func (r Rect) ShapeRatio() float64 {
+	longest, shortest := 0.0, math.Inf(1)
+	for i := range r.Lo {
+		e := r.Hi[i] - r.Lo[i]
+		if e > longest {
+			longest = e
+		}
+		if e < shortest {
+			shortest = e
+		}
+	}
+	if longest == 0 {
+		return 1
+	}
+	if shortest == 0 {
+		return math.Inf(1)
+	}
+	return longest / shortest
+}
+
+// EnlargementVolume returns the volume increase of r if expanded to cover o.
+func (r Rect) EnlargementVolume(o Rect) float64 {
+	grown := r.Clone()
+	grown.Expand(o)
+	return grown.Volume() - r.Volume()
+}
+
+// validate panics when the rectangle is malformed; used by tree invariant
+// checks in tests.
+func (r Rect) validate() error {
+	if len(r.Lo) != len(r.Hi) {
+		return fmt.Errorf("rtree: rect lo/hi dimension mismatch %d/%d", len(r.Lo), len(r.Hi))
+	}
+	for i := range r.Lo {
+		if r.Lo[i] > r.Hi[i] {
+			return fmt.Errorf("rtree: inverted rect on dim %d: [%v, %v]", i, r.Lo[i], r.Hi[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+
+	"gridrank/internal/vec"
+)
+
+// LeafStats aggregates the MBR observations of the paper's Table 3 over
+// the leaf level of a tree.
+type LeafStats struct {
+	NumMBR      int     // "#MBR"
+	AvgDiagonal float64 // "diagonal length"
+	AvgShape    float64 // "Shape": longest/shortest edge ratio
+	AvgVolume   float64 // "Volume"
+}
+
+// CollectLeafStats computes Table 3's per-leaf averages. Leaves whose
+// shape ratio is infinite (a zero-width edge, possible with duplicate
+// coordinates) are excluded from the shape average, as the paper's finite
+// reported ratios imply.
+func CollectLeafStats(t *Tree) LeafStats {
+	leaves := Leaves(t.Root(), nil)
+	st := LeafStats{NumMBR: len(leaves)}
+	if len(leaves) == 0 {
+		return st
+	}
+	shapeCount := 0
+	for _, l := range leaves {
+		st.AvgDiagonal += l.MBR.Diagonal()
+		st.AvgVolume += l.MBR.Volume()
+		if s := l.MBR.ShapeRatio(); !math.IsInf(s, 1) {
+			st.AvgShape += s
+			shapeCount++
+		}
+	}
+	n := float64(len(leaves))
+	st.AvgDiagonal /= n
+	st.AvgVolume /= n
+	if shapeCount > 0 {
+		st.AvgShape /= float64(shapeCount)
+	}
+	return st
+}
+
+// OverlapFraction measures Table 3's "Overlaps in Query(1%)" row: the
+// average fraction of leaf MBRs intersecting a random range query whose
+// volume is frac of the data space [0, r)^d, over queries trials.
+func OverlapFraction(t *Tree, r float64, frac float64, queries int, rng *rand.Rand) float64 {
+	leaves := Leaves(t.Root(), nil)
+	if len(leaves) == 0 || queries <= 0 {
+		return 0
+	}
+	d := t.Dim()
+	side := math.Pow(frac, 1/float64(d)) * r
+	var total float64
+	for qi := 0; qi < queries; qi++ {
+		lo := make(vec.Vector, d)
+		hi := make(vec.Vector, d)
+		for i := 0; i < d; i++ {
+			start := rng.Float64() * (r - side)
+			lo[i] = start
+			hi[i] = start + side
+		}
+		q := Rect{Lo: lo, Hi: hi}
+		hitCount := 0
+		for _, l := range leaves {
+			if l.MBR.Intersects(q) {
+				hitCount++
+			}
+		}
+		total += float64(hitCount) / float64(len(leaves))
+	}
+	return total / float64(queries)
+}

@@ -1,0 +1,532 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"gridrank/internal/stats"
+	"gridrank/internal/vec"
+)
+
+// Entry is a leaf payload: a point and its index in the source data set.
+type Entry struct {
+	Index int
+	Point vec.Vector
+}
+
+// Node is an R-tree node. Exactly one of Children (internal) or Entries
+// (leaf) is non-nil. Nodes are exported so the BBR and MPA algorithms can
+// run their own branch-and-bound traversals.
+type Node struct {
+	MBR      Rect
+	Children []*Node
+	Entries  []Entry
+	// Size caches the number of points under the node, so branch-and-bound
+	// algorithms can count whole subtrees into a rank in O(1).
+	Size int
+}
+
+// Leaf reports whether n is a leaf node.
+func (n *Node) Leaf() bool { return n.Children == nil }
+
+// Count returns the number of points under n (cached).
+func (n *Node) Count() int { return n.Size }
+
+func (n *Node) recomputeSize() {
+	if n.Leaf() {
+		n.Size = len(n.Entries)
+		return
+	}
+	n.Size = 0
+	for _, c := range n.Children {
+		n.Size += c.Size
+	}
+}
+
+// Tree is a d-dimensional R-tree over points.
+type Tree struct {
+	root *Node
+	dim  int
+	max  int // node capacity M
+	min  int // minimum fill m
+	size int
+}
+
+// DefaultCapacity is the paper's Table 3 setting: 100 entries per node.
+const DefaultCapacity = 100
+
+// New creates an empty tree with the given dimensionality and node
+// capacity (minimum fill is capacity·40%, the usual Guttman setting).
+// It panics on invalid parameters.
+func New(dim, capacity int) *Tree {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rtree: invalid dimension %d", dim))
+	}
+	if capacity < 2 {
+		panic(fmt.Sprintf("rtree: capacity %d < 2", capacity))
+	}
+	minFill := capacity * 2 / 5
+	if minFill < 1 {
+		minFill = 1
+	}
+	return &Tree{dim: dim, max: capacity, min: minFill}
+}
+
+// Bulk builds a tree over the points using Sort-Tile-Recursive packing,
+// the construction used for all benchmark trees (the paper pre-builds its
+// R-trees too). Points are not copied; the caller must not mutate them.
+func Bulk(points []vec.Vector, capacity int) *Tree {
+	if len(points) == 0 {
+		panic("rtree: Bulk needs at least one point")
+	}
+	t := New(len(points[0]), capacity)
+	entries := make([]Entry, len(points))
+	for i, p := range points {
+		if len(p) != t.dim {
+			panic(fmt.Sprintf("rtree: point %d has dimension %d, want %d", i, len(p), t.dim))
+		}
+		entries[i] = Entry{Index: i, Point: p}
+	}
+	leaves := strPackEntries(entries, t.dim, t.max)
+	t.root = packUpward(leaves, t.max)
+	t.size = len(points)
+	return t
+}
+
+// strPackEntries recursively tiles entries into leaves of at most max
+// entries: sort by the current dimension, cut into slabs, recurse on the
+// next dimension.
+func strPackEntries(entries []Entry, dim, max int) []*Node {
+	var leaves []*Node
+	var recurse func(es []Entry, axis int)
+	recurse = func(es []Entry, axis int) {
+		if len(es) <= max {
+			leaf := &Node{Entries: es, MBR: RectOf(es[0].Point), Size: len(es)}
+			for _, e := range es[1:] {
+				leaf.MBR.ExpandPoint(e.Point)
+			}
+			leaves = append(leaves, leaf)
+			return
+		}
+		sort.Slice(es, func(a, b int) bool {
+			if es[a].Point[axis] != es[b].Point[axis] {
+				return es[a].Point[axis] < es[b].Point[axis]
+			}
+			return es[a].Index < es[b].Index
+		})
+		pages := (len(es) + max - 1) / max
+		// Number of slabs along this axis: ceil(pages^(1/remaining)).
+		remaining := dim - axis
+		if remaining < 1 {
+			remaining = 1
+		}
+		slabs := int(ceilRoot(float64(pages), remaining))
+		if slabs < 1 {
+			slabs = 1
+		}
+		per := (len(es) + slabs - 1) / slabs
+		nextAxis := axis + 1
+		if nextAxis >= dim {
+			nextAxis = dim - 1 // keep cutting the last axis if pages remain
+		}
+		for lo := 0; lo < len(es); lo += per {
+			hi := lo + per
+			if hi > len(es) {
+				hi = len(es)
+			}
+			if axis == dim-1 || per <= max {
+				// Final axis (or slabs already page-sized): emit leaves.
+				for a := lo; a < hi; a += max {
+					b := a + max
+					if b > hi {
+						b = hi
+					}
+					sub := es[a:b]
+					leaf := &Node{Entries: sub, MBR: RectOf(sub[0].Point), Size: len(sub)}
+					for _, e := range sub[1:] {
+						leaf.MBR.ExpandPoint(e.Point)
+					}
+					leaves = append(leaves, leaf)
+				}
+			} else {
+				recurse(es[lo:hi], nextAxis)
+			}
+		}
+	}
+	recurse(entries, 0)
+	return leaves
+}
+
+// ceilRoot returns ⌈x^(1/k)⌉ computed robustly for small k.
+func ceilRoot(x float64, k int) float64 {
+	if x <= 1 {
+		return 1
+	}
+	r := 1.0
+	for pow(r, k) < x {
+		r++
+	}
+	return r
+}
+
+func pow(x float64, k int) float64 {
+	v := 1.0
+	for i := 0; i < k; i++ {
+		v *= x
+	}
+	return v
+}
+
+// packUpward groups consecutive nodes (already spatially coherent in STR
+// order) into parents of at most max children until one root remains.
+func packUpward(nodes []*Node, max int) *Node {
+	for len(nodes) > 1 {
+		var parents []*Node
+		for lo := 0; lo < len(nodes); lo += max {
+			hi := lo + max
+			if hi > len(nodes) {
+				hi = len(nodes)
+			}
+			kids := make([]*Node, hi-lo)
+			copy(kids, nodes[lo:hi])
+			parent := &Node{Children: kids, MBR: kids[0].MBR.Clone()}
+			for _, c := range kids[1:] {
+				parent.MBR.Expand(c.MBR)
+			}
+			parent.recomputeSize()
+			parents = append(parents, parent)
+		}
+		nodes = parents
+	}
+	return nodes[0]
+}
+
+// Root returns the root node, or nil for an empty tree.
+func (t *Tree) Root() *Node { return t.root }
+
+// Dim returns the dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (0 for empty, 1 for a single leaf).
+func (t *Tree) Height() int {
+	h, n := 0, t.root
+	for n != nil {
+		h++
+		if n.Leaf() {
+			break
+		}
+		n = n.Children[0]
+	}
+	return h
+}
+
+// Insert adds a point with Guttman's algorithm: choose-leaf by least
+// volume enlargement, quadratic split on overflow.
+func (t *Tree) Insert(index int, p vec.Vector) {
+	if len(p) != t.dim {
+		panic(fmt.Sprintf("rtree: inserting dimension %d into %d-d tree", len(p), t.dim))
+	}
+	t.size++
+	if t.root == nil {
+		t.root = &Node{Entries: []Entry{{index, p}}, MBR: RectOf(p), Size: 1}
+		return
+	}
+	split := t.insert(t.root, Entry{index, p})
+	if split != nil {
+		old := t.root
+		t.root = &Node{Children: []*Node{old, split}, MBR: old.MBR.Clone()}
+		t.root.MBR.Expand(split.MBR)
+		t.root.recomputeSize()
+	}
+}
+
+// insert descends into n; returns a new sibling if n split.
+func (t *Tree) insert(n *Node, e Entry) *Node {
+	n.MBR.ExpandPoint(e.Point)
+	if n.Leaf() {
+		n.Entries = append(n.Entries, e)
+		n.Size = len(n.Entries)
+		if len(n.Entries) > t.max {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	child := chooseSubtree(n.Children, e.Point)
+	if split := t.insert(child, e); split != nil {
+		n.Children = append(n.Children, split)
+		if len(n.Children) > t.max {
+			n.recomputeSize()
+			return t.splitInternal(n)
+		}
+	}
+	n.recomputeSize()
+	return nil
+}
+
+// chooseSubtree picks the child needing the least volume enlargement,
+// breaking ties by smaller volume.
+func chooseSubtree(children []*Node, p vec.Vector) *Node {
+	best := children[0]
+	bestEnl := best.MBR.EnlargementVolume(RectOf(p))
+	for _, c := range children[1:] {
+		enl := c.MBR.EnlargementVolume(RectOf(p))
+		if enl < bestEnl || (enl == bestEnl && c.MBR.Volume() < best.MBR.Volume()) {
+			best, bestEnl = c, enl
+		}
+	}
+	return best
+}
+
+// splitLeaf performs a quadratic split of an overflowing leaf, leaving one
+// group in n and returning the other as a new node.
+func (t *Tree) splitLeaf(n *Node) *Node {
+	rects := make([]Rect, len(n.Entries))
+	for i, e := range n.Entries {
+		rects[i] = RectOf(e.Point)
+	}
+	a, b := quadraticSplit(rects, t.min)
+	oldEntries := n.Entries
+	n.Entries = nil
+	sib := &Node{}
+	for _, i := range a {
+		n.Entries = append(n.Entries, oldEntries[i])
+	}
+	for _, i := range b {
+		sib.Entries = append(sib.Entries, oldEntries[i])
+	}
+	n.MBR = recomputeLeafMBR(n)
+	sib.MBR = recomputeLeafMBR(sib)
+	n.Size = len(n.Entries)
+	sib.Size = len(sib.Entries)
+	return sib
+}
+
+func recomputeLeafMBR(n *Node) Rect {
+	r := RectOf(n.Entries[0].Point)
+	for _, e := range n.Entries[1:] {
+		r.ExpandPoint(e.Point)
+	}
+	return r
+}
+
+// splitInternal performs a quadratic split of an overflowing internal node.
+func (t *Tree) splitInternal(n *Node) *Node {
+	rects := make([]Rect, len(n.Children))
+	for i, c := range n.Children {
+		rects[i] = c.MBR
+	}
+	a, b := quadraticSplit(rects, t.min)
+	oldKids := n.Children
+	n.Children = nil
+	sib := &Node{}
+	for _, i := range a {
+		n.Children = append(n.Children, oldKids[i])
+	}
+	for _, i := range b {
+		sib.Children = append(sib.Children, oldKids[i])
+	}
+	n.MBR = recomputeInternalMBR(n)
+	sib.MBR = recomputeInternalMBR(sib)
+	n.recomputeSize()
+	sib.recomputeSize()
+	return sib
+}
+
+func recomputeInternalMBR(n *Node) Rect {
+	r := n.Children[0].MBR.Clone()
+	for _, c := range n.Children[1:] {
+		r.Expand(c.MBR)
+	}
+	return r
+}
+
+// quadraticSplit partitions rect indexes into two groups with Guttman's
+// quadratic pick-seeds / pick-next heuristics, respecting the minimum fill.
+func quadraticSplit(rects []Rect, minFill int) (a, b []int) {
+	// Pick seeds: the pair wasting the most volume if grouped.
+	seedA, seedB, worst := 0, 1, -1.0
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			joined := rects[i].Clone()
+			joined.Expand(rects[j])
+			waste := joined.Volume() - rects[i].Volume() - rects[j].Volume()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	a, b = []int{seedA}, []int{seedB}
+	mbrA, mbrB := rects[seedA].Clone(), rects[seedB].Clone()
+	remaining := make([]int, 0, len(rects)-2)
+	for i := range rects {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		// Force-assign to satisfy minimum fill.
+		if len(a)+len(remaining) == minFill {
+			for _, i := range remaining {
+				a = append(a, i)
+				mbrA.Expand(rects[i])
+			}
+			break
+		}
+		if len(b)+len(remaining) == minFill {
+			for _, i := range remaining {
+				b = append(b, i)
+				mbrB.Expand(rects[i])
+			}
+			break
+		}
+		// Pick next: the rect with the largest preference difference.
+		bestIdx, bestDiff, bestPos := -1, -1.0, 0
+		for pos, i := range remaining {
+			dA := mbrA.EnlargementVolume(rects[i])
+			dB := mbrB.EnlargementVolume(rects[i])
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx, bestPos = diff, i, pos
+			}
+		}
+		dA := mbrA.EnlargementVolume(rects[bestIdx])
+		dB := mbrB.EnlargementVolume(rects[bestIdx])
+		toA := dA < dB
+		if dA == dB {
+			toA = mbrA.Volume() < mbrB.Volume() ||
+				(mbrA.Volume() == mbrB.Volume() && len(a) <= len(b))
+		}
+		if toA {
+			a = append(a, bestIdx)
+			mbrA.Expand(rects[bestIdx])
+		} else {
+			b = append(b, bestIdx)
+			mbrB.Expand(rects[bestIdx])
+		}
+		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
+	}
+	return a, b
+}
+
+// Search appends to dst the entries whose points lie inside query and
+// returns it, counting node visits into c (may be nil).
+func (t *Tree) Search(query Rect, dst []Entry, c *stats.Counters) []Entry {
+	if t.root == nil {
+		return dst
+	}
+	return t.search(t.root, query, dst, c)
+}
+
+func (t *Tree) search(n *Node, query Rect, dst []Entry, c *stats.Counters) []Entry {
+	if c != nil {
+		c.NodesVisited++
+		if n.Leaf() {
+			c.LeavesVisited++
+		}
+	}
+	if n.Leaf() {
+		for _, e := range n.Entries {
+			if c != nil {
+				c.PointsVisited++
+			}
+			if query.ContainsPoint(e.Point) {
+				dst = append(dst, e)
+			}
+		}
+		return dst
+	}
+	for _, child := range n.Children {
+		if child.MBR.Intersects(query) {
+			dst = t.search(child, query, dst, c)
+		}
+	}
+	return dst
+}
+
+// Leaves appends all leaf nodes under n in depth-first order to dst.
+func Leaves(n *Node, dst []*Node) []*Node {
+	if n == nil {
+		return dst
+	}
+	if n.Leaf() {
+		return append(dst, n)
+	}
+	for _, c := range n.Children {
+		dst = Leaves(c, dst)
+	}
+	return dst
+}
+
+// CheckInvariants verifies structural soundness: MBR containment, fill
+// bounds (except root), and entry/child exclusivity. Used by tests.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("rtree: nil root with size %d", t.size)
+		}
+		return nil
+	}
+	counted, err := t.check(t.root, true)
+	if err != nil {
+		return err
+	}
+	if counted != t.size {
+		return fmt.Errorf("rtree: size %d but counted %d entries", t.size, counted)
+	}
+	return nil
+}
+
+func (t *Tree) check(n *Node, isRoot bool) (int, error) {
+	if err := n.MBR.validate(); err != nil {
+		return 0, err
+	}
+	if n.Leaf() {
+		if n.Size != len(n.Entries) {
+			return 0, fmt.Errorf("rtree: leaf Size %d != %d entries", n.Size, len(n.Entries))
+		}
+		if len(n.Entries) == 0 {
+			return 0, fmt.Errorf("rtree: empty leaf")
+		}
+		if len(n.Entries) > t.max {
+			return 0, fmt.Errorf("rtree: leaf overflow %d > %d", len(n.Entries), t.max)
+		}
+		for _, e := range n.Entries {
+			if !n.MBR.ContainsPoint(e.Point) {
+				return 0, fmt.Errorf("rtree: leaf MBR does not contain entry %d", e.Index)
+			}
+		}
+		return len(n.Entries), nil
+	}
+	if len(n.Children) == 0 {
+		return 0, fmt.Errorf("rtree: internal node without children")
+	}
+	if len(n.Children) > t.max {
+		return 0, fmt.Errorf("rtree: internal overflow %d > %d", len(n.Children), t.max)
+	}
+	if !isRoot && len(n.Children) < 2 {
+		return 0, fmt.Errorf("rtree: internal underflow")
+	}
+	total := 0
+	for _, c := range n.Children {
+		cover := n.MBR.Clone()
+		cover.Expand(c.MBR)
+		if cover.Volume() != n.MBR.Volume() || !vec.Equal(cover.Lo, n.MBR.Lo) || !vec.Equal(cover.Hi, n.MBR.Hi) {
+			return 0, fmt.Errorf("rtree: parent MBR does not cover child")
+		}
+		sub, err := t.check(c, false)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	if n.Size != total {
+		return 0, fmt.Errorf("rtree: internal Size %d != %d descendants", n.Size, total)
+	}
+	return total, nil
+}

@@ -1,0 +1,56 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridrank/internal/vec"
+)
+
+func BenchmarkBulkLoad100K6d(b *testing.B) {
+	pts := randomPoints(1, 100000, 6, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bulk(pts, DefaultCapacity)
+	}
+}
+
+func BenchmarkInsert6d(b *testing.B) {
+	pts := randomPoints(2, 10000, 6, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := New(6, 64)
+		for j, p := range pts {
+			t.Insert(j, p)
+		}
+	}
+}
+
+func benchSearch(b *testing.B, d int) {
+	pts := randomPoints(3, 50000, d, 10000)
+	t := Bulk(pts, DefaultCapacity)
+	rng := rand.New(rand.NewSource(4))
+	queries := make([]Rect, 64)
+	for i := range queries {
+		lo := make(vec.Vector, d)
+		hi := make(vec.Vector, d)
+		for j := 0; j < d; j++ {
+			start := rng.Float64() * 9000
+			lo[j] = start
+			hi[j] = start + 1000
+		}
+		queries[i] = Rect{Lo: lo, Hi: hi}
+	}
+	b.ResetTimer()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		hits += len(t.Search(queries[i%len(queries)], nil, nil))
+	}
+	_ = hits
+}
+
+// The Table 3 phenomenon in benchmark form: identical range-query volume,
+// exploding cost with dimensionality.
+func BenchmarkSearch3d(b *testing.B)  { benchSearch(b, 3) }
+func BenchmarkSearch9d(b *testing.B)  { benchSearch(b, 9) }
+func BenchmarkSearch15d(b *testing.B) { benchSearch(b, 15) }

@@ -1,0 +1,271 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gridrank/internal/dataset"
+	"gridrank/internal/stats"
+	"gridrank/internal/vec"
+)
+
+func randomPoints(seed int64, n, d int, r float64) []vec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	return dataset.GenerateProducts(rng, dataset.Uniform, n, d, r).Points
+}
+
+func TestBulkInvariants(t *testing.T) {
+	for _, n := range []int{1, 5, 100, 1000, 3177} {
+		for _, d := range []int{1, 2, 6, 12} {
+			pts := randomPoints(int64(n*100+d), n, d, 100)
+			tr := Bulk(pts, 16)
+			if tr.Len() != n {
+				t.Fatalf("n=%d d=%d: Len=%d", n, d, tr.Len())
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("n=%d d=%d: %v", n, d, err)
+			}
+			if got := tr.Root().Count(); got != n {
+				t.Fatalf("n=%d d=%d: root count %d", n, d, got)
+			}
+		}
+	}
+}
+
+func TestInsertInvariants(t *testing.T) {
+	for _, n := range []int{1, 10, 300, 777} {
+		pts := randomPoints(int64(n), n, 3, 100)
+		tr := New(3, 8)
+		for i, p := range pts {
+			tr.Insert(i, p)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	pts := randomPoints(7, 800, 4, 100)
+	bulk := Bulk(pts, 10)
+	dyn := New(4, 10)
+	for i, p := range pts {
+		dyn.Insert(i, p)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 50; iter++ {
+		lo := make(vec.Vector, 4)
+		hi := make(vec.Vector, 4)
+		for i := range lo {
+			a, b := rng.Float64()*100, rng.Float64()*100
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b
+		}
+		q := Rect{Lo: lo, Hi: hi}
+		var want []int
+		for i, p := range pts {
+			if q.ContainsPoint(p) {
+				want = append(want, i)
+			}
+		}
+		for name, tr := range map[string]*Tree{"bulk": bulk, "dyn": dyn} {
+			got := tr.Search(q, nil, nil)
+			ids := make([]int, len(got))
+			for i, e := range got {
+				ids[i] = e.Index
+			}
+			sort.Ints(ids)
+			if len(ids) != len(want) {
+				t.Fatalf("%s iter %d: got %d hits, want %d", name, iter, len(ids), len(want))
+			}
+			for i := range want {
+				if ids[i] != want[i] {
+					t.Fatalf("%s iter %d: hit[%d]=%d, want %d", name, iter, i, ids[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchCountsVisits(t *testing.T) {
+	pts := randomPoints(9, 500, 3, 100)
+	tr := Bulk(pts, 10)
+	var c stats.Counters
+	full := Rect{Lo: vec.Vector{0, 0, 0}, Hi: vec.Vector{100, 100, 100}}
+	got := tr.Search(full, nil, &c)
+	if len(got) != 500 {
+		t.Fatalf("full-space search returned %d of 500", len(got))
+	}
+	if c.NodesVisited == 0 || c.LeavesVisited == 0 || c.PointsVisited != 500 {
+		t.Errorf("counters not populated: %+v", c)
+	}
+}
+
+func TestEmptyAndSearchEmptyTree(t *testing.T) {
+	tr := New(2, 4)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Search(Rect{Lo: vec.Vector{0, 0}, Hi: vec.Vector{1, 1}}, nil, nil); len(got) != 0 {
+		t.Error("empty tree search should return nothing")
+	}
+	if tr.Height() != 0 {
+		t.Errorf("empty tree height %d", tr.Height())
+	}
+}
+
+func TestHeightGrows(t *testing.T) {
+	pts := randomPoints(10, 1000, 2, 100)
+	tr := Bulk(pts, 4)
+	if tr.Height() < 4 {
+		t.Errorf("1000 points at capacity 4: height %d, want >= 4", tr.Height())
+	}
+	single := Bulk(pts[:3], 4)
+	if single.Height() != 1 {
+		t.Errorf("3 points fit a single leaf: height %d", single.Height())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dim 0", func() { New(0, 4) })
+	mustPanic("cap 1", func() { New(2, 1) })
+	mustPanic("bulk empty", func() { Bulk(nil, 4) })
+	mustPanic("insert wrong dim", func() { New(2, 4).Insert(0, vec.Vector{1}) })
+	mustPanic("bulk ragged", func() { Bulk([]vec.Vector{{1, 2}, {1}}, 4) })
+}
+
+func TestRectOps(t *testing.T) {
+	r := RectOf(vec.Vector{1, 2})
+	if r.Volume() != 0 || r.Diagonal() != 0 {
+		t.Error("point rect has zero volume and diagonal")
+	}
+	if r.ShapeRatio() != 1 {
+		t.Error("point rect shape ratio is 1")
+	}
+	r.ExpandPoint(vec.Vector{3, 6})
+	if r.Volume() != 8 { // 2 × 4
+		t.Errorf("volume %v, want 8", r.Volume())
+	}
+	if r.Margin() != 6 {
+		t.Errorf("margin %v, want 6", r.Margin())
+	}
+	if got := r.Diagonal(); math.Abs(got-math.Sqrt(20)) > 1e-12 {
+		t.Errorf("diagonal %v", got)
+	}
+	if got := r.ShapeRatio(); got != 2 {
+		t.Errorf("shape %v, want 2", got)
+	}
+	flat := Rect{Lo: vec.Vector{0, 0}, Hi: vec.Vector{5, 0}}
+	if !math.IsInf(flat.ShapeRatio(), 1) {
+		t.Error("flat rect shape ratio should be +Inf")
+	}
+	if !r.Intersects(Rect{Lo: vec.Vector{3, 6}, Hi: vec.Vector{9, 9}}) {
+		t.Error("boundary contact counts as intersection")
+	}
+	if r.Intersects(Rect{Lo: vec.Vector{3.1, 6.1}, Hi: vec.Vector{9, 9}}) {
+		t.Error("disjoint rects must not intersect")
+	}
+	if enl := r.EnlargementVolume(Rect{Lo: vec.Vector{1, 2}, Hi: vec.Vector{3, 6}}); enl != 0 {
+		t.Errorf("contained rect enlargement %v, want 0", enl)
+	}
+}
+
+func TestCollectLeafStats(t *testing.T) {
+	pts := randomPoints(11, 2000, 3, 100)
+	tr := Bulk(pts, 50)
+	st := CollectLeafStats(tr)
+	wantLeaves := (2000 + 49) / 50
+	if st.NumMBR < wantLeaves || st.NumMBR > wantLeaves*2 {
+		t.Errorf("NumMBR = %d, want ≈%d", st.NumMBR, wantLeaves)
+	}
+	if st.AvgDiagonal <= 0 || st.AvgVolume <= 0 || st.AvgShape < 1 {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+	maxDiag := math.Sqrt(3 * 100 * 100)
+	if st.AvgDiagonal > maxDiag {
+		t.Errorf("diagonal %v exceeds space diagonal %v", st.AvgDiagonal, maxDiag)
+	}
+}
+
+// The phenomenon behind Table 3: with fixed leaf capacity, the fraction of
+// leaf MBRs overlapping a 1%-volume query explodes as d grows.
+func TestOverlapFractionGrowsWithDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	overlap := func(d int) float64 {
+		pts := randomPoints(int64(13+d), 3000, d, 100)
+		tr := Bulk(pts, 50)
+		return OverlapFraction(tr, 100, 0.01, 20, rng)
+	}
+	lo, hi := overlap(2), overlap(9)
+	if hi < 0.9 {
+		t.Errorf("9-d overlap = %v, want near 1 (Table 3 reports 100%%)", hi)
+	}
+	if lo > hi {
+		t.Errorf("overlap should grow with d: d=2 %v > d=9 %v", lo, hi)
+	}
+	if lo > 0.8 {
+		t.Errorf("2-d overlap = %v, want clearly below the high-d regime", lo)
+	}
+}
+
+func TestLeavesCollects(t *testing.T) {
+	pts := randomPoints(14, 130, 2, 10)
+	tr := Bulk(pts, 8)
+	leaves := Leaves(tr.Root(), nil)
+	total := 0
+	for _, l := range leaves {
+		if !l.Leaf() {
+			t.Fatal("non-leaf returned")
+		}
+		total += len(l.Entries)
+	}
+	if total != 130 {
+		t.Errorf("leaves hold %d entries, want 130", total)
+	}
+	if Leaves(nil, nil) != nil {
+		t.Error("nil node yields nil")
+	}
+}
+
+func TestInsertThenSearchSingle(t *testing.T) {
+	tr := New(2, 4)
+	tr.Insert(42, vec.Vector{5, 5})
+	got := tr.Search(Rect{Lo: vec.Vector{4, 4}, Hi: vec.Vector{6, 6}}, nil, nil)
+	if len(got) != 1 || got[0].Index != 42 {
+		t.Fatalf("got %+v", got)
+	}
+	if tr.Height() != 1 {
+		t.Errorf("height %d", tr.Height())
+	}
+}
+
+func TestDuplicatePointsSurviveSplit(t *testing.T) {
+	// Many identical points force zero-volume split decisions.
+	tr := New(2, 4)
+	for i := 0; i < 50; i++ {
+		tr.Insert(i, vec.Vector{1, 1})
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Search(Rect{Lo: vec.Vector{1, 1}, Hi: vec.Vector{1, 1}}, nil, nil)
+	if len(got) != 50 {
+		t.Fatalf("found %d of 50 duplicates", len(got))
+	}
+}

@@ -1,0 +1,232 @@
+// Package server exposes a gridrank index over HTTP with a small JSON
+// API, turning the library into the kind of service the paper's
+// applications describe (market analysis, product placement, business
+// reviewing). The index is immutable, so all handlers are safe under
+// concurrent requests.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness
+//	GET  /v1/index           index metadata
+//	POST /v1/reverse-topk    {"query":[...]|"product":i, "k":100}
+//	POST /v1/reverse-kranks  {"query":[...]|"product":i, "k":10}
+//	POST /v1/topk            {"preference":[...], "k":10}
+//	POST /v1/rank            {"preference":[...], "query":[...]|"product":i}
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"gridrank"
+)
+
+// maxBodyBytes bounds request bodies; a query vector of a few thousand
+// dimensions fits comfortably.
+const maxBodyBytes = 1 << 20
+
+// Server wraps an index with HTTP handlers.
+type Server struct {
+	ix  *gridrank.Index
+	mux *http.ServeMux
+}
+
+// New builds a Server around an index.
+func New(ix *gridrank.Index) *Server {
+	s := &Server{ix: ix, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/index", s.handleIndex)
+	s.mux.HandleFunc("/v1/reverse-topk", s.handleReverseTopK)
+	s.mux.HandleFunc("/v1/reverse-kranks", s.handleReverseKRanks)
+	s.mux.HandleFunc("/v1/topk", s.handleTopK)
+	s.mux.HandleFunc("/v1/rank", s.handleRank)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// queryRequest is the shared request shape: either an inline vector or a
+// reference to an indexed product.
+type queryRequest struct {
+	Query      []float64 `json:"query,omitempty"`
+	Product    *int      `json:"product,omitempty"`
+	Preference []float64 `json:"preference,omitempty"`
+	K          int       `json:"k"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing more to do.
+		return
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decode parses a POST body into req, enforcing method and size limits.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *queryRequest) bool {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		return false
+	}
+	return true
+}
+
+// resolveQuery produces the query point from either field.
+func (s *Server) resolveQuery(req *queryRequest) (gridrank.Vector, error) {
+	switch {
+	case req.Query != nil && req.Product != nil:
+		return nil, errors.New("provide either query or product, not both")
+	case req.Query != nil:
+		return req.Query, nil
+	case req.Product != nil:
+		return s.ix.Product(*req.Product)
+	default:
+		return nil, errors.New("query vector or product index required")
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"dim":             s.ix.Dim(),
+		"products":        s.ix.NumProducts(),
+		"preferences":     s.ix.NumPreferences(),
+		"gridPartitions":  s.ix.GridPartitions(),
+		"gridMemoryBytes": s.ix.GridMemoryBytes(),
+	})
+}
+
+type rtkResponse struct {
+	Preferences []int          `json:"preferences"`
+	Count       int            `json:"count"`
+	Stats       gridrank.Stats `json:"stats"`
+}
+
+func (s *Server) handleReverseTopK(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q, err := s.resolveQuery(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, st, err := s.ix.ReverseTopKStats(q, req.K)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if res == nil {
+		res = []int{}
+	}
+	s.writeJSON(w, http.StatusOK, rtkResponse{Preferences: res, Count: len(res), Stats: st})
+}
+
+type rkrMatch struct {
+	Preference int `json:"preference"`
+	Rank       int `json:"rank"`     // 0-based count of better products
+	Position   int `json:"position"` // 1-based rank shown to humans
+}
+
+type rkrResponse struct {
+	Matches []rkrMatch     `json:"matches"`
+	Stats   gridrank.Stats `json:"stats"`
+}
+
+func (s *Server) handleReverseKRanks(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q, err := s.resolveQuery(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, st, err := s.ix.ReverseKRanksStats(q, req.K)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	matches := make([]rkrMatch, len(res))
+	for i, m := range res {
+		matches[i] = rkrMatch{Preference: m.WeightIndex, Rank: m.Rank, Position: m.Rank + 1}
+	}
+	s.writeJSON(w, http.StatusOK, rkrResponse{Matches: matches, Stats: st})
+}
+
+type topkResponse struct {
+	Products []gridrank.Result `json:"products"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Preference == nil {
+		s.writeError(w, http.StatusBadRequest, errors.New("preference vector required"))
+		return
+	}
+	res, err := s.ix.TopK(req.Preference, req.K)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, topkResponse{Products: res})
+}
+
+type rankResponse struct {
+	Rank     int `json:"rank"`
+	Position int `json:"position"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Preference == nil {
+		s.writeError(w, http.StatusBadRequest, errors.New("preference vector required"))
+		return
+	}
+	q, err := s.resolveQuery(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rank, err := s.ix.Rank(req.Preference, q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rankResponse{Rank: rank, Position: rank + 1})
+}

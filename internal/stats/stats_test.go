@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddMergesAllFields(t *testing.T) {
+	a := Counters{
+		PairwiseMults: 1, BoundSums: 2, PointsVisited: 3, ApproxVisited: 4,
+		NodesVisited: 5, LeavesVisited: 6, CellsVisited: 7, Refinements: 8,
+		Filtered: 9, WeightsPruned: 10, Queries: 11,
+	}
+	b := a
+	a.Add(&b)
+	want := Counters{
+		PairwiseMults: 2, BoundSums: 4, PointsVisited: 6, ApproxVisited: 8,
+		NodesVisited: 10, LeavesVisited: 12, CellsVisited: 14, Refinements: 16,
+		Filtered: 18, WeightsPruned: 20, Queries: 22,
+	}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := Counters{PairwiseMults: 5, Queries: 2}
+	c.Reset()
+	if c != (Counters{}) {
+		t.Errorf("Reset left %+v", c)
+	}
+}
+
+func TestFilterRate(t *testing.T) {
+	c := Counters{}
+	if c.FilterRate() != 0 {
+		t.Error("empty counters should report rate 0")
+	}
+	c = Counters{Filtered: 99, Refinements: 1}
+	if got := c.FilterRate(); got != 0.99 {
+		t.Errorf("FilterRate = %v, want 0.99", got)
+	}
+}
+
+func TestPerQuery(t *testing.T) {
+	c := Counters{PairwiseMults: 100, Filtered: 50, Queries: 10}
+	avg := c.PerQuery()
+	if avg.PairwiseMults != 10 || avg.Filtered != 5 || avg.Queries != 1 {
+		t.Errorf("PerQuery = %+v", avg)
+	}
+	single := Counters{PairwiseMults: 7, Queries: 1}
+	if single.PerQuery() != single {
+		t.Error("PerQuery with 1 query should be identity")
+	}
+	zero := Counters{PairwiseMults: 7}
+	if zero.PerQuery() != zero {
+		t.Error("PerQuery with 0 queries should be identity")
+	}
+}
+
+func TestStringMentionsKeyCounters(t *testing.T) {
+	c := Counters{PairwiseMults: 3, Filtered: 1, Refinements: 1, NodesVisited: 2, Queries: 1}
+	s := c.String()
+	for _, want := range []string{"mults=3", "filtered=1", "nodes=2", "rate 50.00%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package topk implements top-k query evaluation (Definition 1 of the
+// paper) and exact rank counting, the primitives every reverse-rank
+// algorithm is defined against. It also provides the bounded result heap
+// used by the reverse k-ranks algorithms (Algorithm 3's size-k heap).
+package topk
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"gridrank/internal/stats"
+	"gridrank/internal/vec"
+)
+
+// Result is one scored element of a top-k answer.
+type Result struct {
+	Index int     // position in the point set P
+	Score float64 // f_w(p)
+}
+
+// TopK returns the k lowest-scoring points of P under w (minimum scores are
+// preferable), ordered by ascending score with index as tie-breaker so the
+// answer is deterministic. If k >= len(P) the full ranking is returned.
+// Counts one pairwise multiplication per point into c (may be nil).
+func TopK(P []vec.Vector, w vec.Vector, k int, c *stats.Counters) []Result {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(P) {
+		k = len(P)
+	}
+	// Bounded max-heap of the k best (smallest) scores seen so far.
+	h := make(maxHeap, 0, k)
+	for i, p := range P {
+		s := vec.Dot(w, p)
+		if c != nil {
+			c.PairwiseMults++
+			c.PointsVisited++
+		}
+		if len(h) < k {
+			heap.Push(&h, Result{i, s})
+		} else if less(Result{i, s}, h[0]) {
+			h[0] = Result{i, s}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Result, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool { return less(out[a], out[b]) })
+	return out
+}
+
+// less orders results by ascending score, then ascending index.
+func less(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Index < b.Index
+}
+
+// maxHeap keeps the worst (largest) retained result at the root.
+type maxHeap []Result
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return less(h[j], h[i]) }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Rank returns rank(w, q): the number of points of P with a score strictly
+// below f_w(q) (the paper's Definition 3 count; q's 1-based position is
+// Rank+1). Counts pairwise multiplications into c (may be nil).
+func Rank(P []vec.Vector, w, q vec.Vector, c *stats.Counters) int {
+	fq := vec.Dot(w, q)
+	if c != nil {
+		c.PairwiseMults++
+	}
+	rank := 0
+	for _, p := range P {
+		if c != nil {
+			c.PairwiseMults++
+			c.PointsVisited++
+		}
+		if vec.Dot(w, p) < fq {
+			rank++
+		}
+	}
+	return rank
+}
+
+// RankBounded is Rank with early termination: it stops and reports
+// (cutoff, false) as soon as the count reaches cutoff, the optimization
+// the SIM baseline uses for reverse top-k. ok is true when the exact rank
+// (< cutoff) was determined.
+func RankBounded(P []vec.Vector, w, q vec.Vector, cutoff int, c *stats.Counters) (rank int, ok bool) {
+	if cutoff <= 0 {
+		return 0, false
+	}
+	fq := vec.Dot(w, q)
+	if c != nil {
+		c.PairwiseMults++
+	}
+	for _, p := range P {
+		if c != nil {
+			c.PairwiseMults++
+			c.PointsVisited++
+		}
+		if vec.Dot(w, p) < fq {
+			rank++
+			if rank >= cutoff {
+				return cutoff, false
+			}
+		}
+	}
+	return rank, true
+}
+
+// Match is one element of a reverse k-ranks answer: a weight vector index
+// and q's rank under it.
+type Match struct {
+	WeightIndex int
+	Rank        int
+}
+
+// matchWorse orders matches by descending rank then descending index, so
+// the root of a max-heap holds the current worst retained match and ties
+// resolve toward keeping the lowest weight indexes (deterministic answers).
+func matchWorse(a, b Match) bool {
+	if a.Rank != b.Rank {
+		return a.Rank > b.Rank
+	}
+	return a.WeightIndex > b.WeightIndex
+}
+
+// KRankHeap is the bounded heap of Algorithm 3: it retains the k weight
+// vectors with the smallest rank seen so far and exposes the current
+// admission threshold (minRank) used to early-terminate rank counting.
+type KRankHeap struct {
+	k int
+	h matchHeap
+}
+
+// NewKRankHeap creates a heap retaining the best k matches. It panics when
+// k < 1.
+func NewKRankHeap(k int) *KRankHeap {
+	if k < 1 {
+		panic(fmt.Sprintf("topk: KRankHeap needs k >= 1, got %d", k))
+	}
+	return &KRankHeap{k: k}
+}
+
+// Len returns the number of retained matches.
+func (kh *KRankHeap) Len() int { return len(kh.h) }
+
+// Threshold returns the current admission cutoff: a new match must have
+// rank strictly below the worst retained rank once the heap is full
+// (matching Algorithm 3's minRank update; equal ranks keep the earlier
+// weight index). Before the heap fills, every rank is admissible and the
+// threshold is maxInt.
+func (kh *KRankHeap) Threshold() int {
+	if len(kh.h) < kh.k {
+		return int(^uint(0) >> 1)
+	}
+	return kh.h[0].Rank
+}
+
+// Offer inserts a match if it beats the current threshold, evicting the
+// worst retained match when full. It reports whether the match was kept.
+func (kh *KRankHeap) Offer(m Match) bool {
+	if len(kh.h) < kh.k {
+		heap.Push(&kh.h, m)
+		return true
+	}
+	if !matchWorse(kh.h[0], m) {
+		return false
+	}
+	kh.h[0] = m
+	heap.Fix(&kh.h, 0)
+	return true
+}
+
+// Results returns the retained matches ordered by ascending rank, then
+// ascending weight index.
+func (kh *KRankHeap) Results() []Match {
+	out := make([]Match, len(kh.h))
+	copy(out, kh.h)
+	sort.Slice(out, func(a, b int) bool { return matchWorse(out[b], out[a]) })
+	return out
+}
+
+type matchHeap []Match
+
+func (h matchHeap) Len() int            { return len(h) }
+func (h matchHeap) Less(i, j int) bool  { return matchWorse(h[i], h[j]) }
+func (h matchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x interface{}) { *h = append(*h, x.(Match)) }
+func (h *matchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

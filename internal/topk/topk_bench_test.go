@@ -1,0 +1,55 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridrank/internal/dataset"
+)
+
+func BenchmarkTopK100of100K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	P := dataset.GenerateProducts(rng, dataset.Uniform, 100000, 6, 10000).Points
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 16, 6).Points
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(P, W[i%len(W)], 100, nil)
+	}
+}
+
+func BenchmarkRank100K(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	P := dataset.GenerateProducts(rng, dataset.Uniform, 100000, 6, 10000).Points
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 16, 6).Points
+	q := P[50000]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rank(P, W[i%len(W)], q, nil)
+	}
+}
+
+func BenchmarkRankBoundedEarlyExit(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	P := dataset.GenerateProducts(rng, dataset.Uniform, 100000, 6, 10000).Points
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 16, 6).Points
+	q := P[50000]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RankBounded(P, W[i%len(W)], q, 100, nil)
+	}
+}
+
+func BenchmarkKRankHeap(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	ranks := make([]int, 4096)
+	for i := range ranks {
+		ranks[i] = rng.Intn(100000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewKRankHeap(100)
+		for wi, r := range ranks {
+			h.Offer(Match{WeightIndex: wi, Rank: r})
+		}
+	}
+}

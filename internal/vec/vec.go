@@ -1,0 +1,189 @@
+// Package vec provides the d-dimensional vector primitives shared by every
+// other package in gridrank: inner products, dominance tests, and score
+// bounds of a fixed point over an axis-aligned box of weight vectors.
+//
+// Throughout the library a product point p has non-negative attributes in
+// [0, r) and a preference vector w has non-negative weights summing to 1.
+// Smaller scores f_w(p) = Σ w[i]·p[i] are preferable, following the paper's
+// convention.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a d-dimensional point or weight vector. It is a type alias so
+// that []float64 values flow freely between the public API and internal
+// packages without copying.
+type Vector = []float64
+
+// Dot returns the inner product Σ a[i]·b[i], the score function f_w(p) of
+// the paper. It panics if the lengths differ, since mismatched
+// dimensionality is always a programming error.
+func Dot(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, ai := range a {
+		s += ai * b[i]
+	}
+	return s
+}
+
+// Dominates reports whether p strictly dominates q under the
+// minimum-is-preferable convention: p[i] < q[i] on every dimension.
+//
+// Strict inequality on every coordinate guarantees f_w(p) < f_w(q) for every
+// legal preference vector w (non-negative weights summing to one), which is
+// what the Domin buffer of the GIR and SIM algorithms relies on.
+func Dominates(p, q Vector) bool {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d != %d", len(p), len(q)))
+	}
+	for i, pi := range p {
+		if pi >= q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WeakDominates reports whether p[i] <= q[i] on every dimension with strict
+// inequality on at least one. Used by dataset diagnostics and tests; query
+// algorithms use the strict Dominates above.
+func WeakDominates(p, q Vector) bool {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d != %d", len(p), len(q)))
+	}
+	strict := false
+	for i, pi := range p {
+		if pi > q[i] {
+			return false
+		}
+		if pi < q[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Equal reports exact element-wise equality.
+func Equal(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, ai := range a {
+		if ai != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a fresh copy of v.
+func Clone(v Vector) Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Sum returns Σ v[i].
+func Sum(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Normalize scales v in place so that Σ v[i] = 1, turning any non-negative,
+// non-zero vector into a legal preference vector. It reports whether
+// normalization was possible (the sum was positive and finite).
+func Normalize(v Vector) bool {
+	s := Sum(v)
+	if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+		return false
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return true
+}
+
+// MinScore returns the smallest score any weight vector inside the box
+// [wlo, whi] can assign to point p: Σ wlo[i]·p[i], valid because p is
+// non-negative. Used to bound scores of a query point over an R-tree node
+// or histogram cell of weight vectors.
+func MinScore(p, wlo Vector) float64 { return Dot(p, wlo) }
+
+// MaxScore returns the largest score any weight vector inside the box
+// [wlo, whi] can assign to p: Σ whi[i]·p[i].
+func MaxScore(p, whi Vector) float64 { return Dot(p, whi) }
+
+// MaxDiffScore returns max over w in the box [wlo, whi] of w·(p-q).
+// Because every w is component-wise non-negative, the maximum picks
+// whi[i] where p[i]-q[i] > 0 and wlo[i] where it is negative.
+//
+// If the result is negative, every weight vector in the box scores p
+// strictly below q, i.e. p beats q for the whole box. This is the exact
+// per-w test that BBR and MPA use to count whole P-subtrees into the rank
+// of q for a whole group of weight vectors at once.
+func MaxDiffScore(p, q, wlo, whi Vector) float64 {
+	if len(p) != len(q) || len(p) != len(wlo) || len(p) != len(whi) {
+		panic("vec: dimension mismatch in MaxDiffScore")
+	}
+	var s float64
+	for i := range p {
+		v := p[i] - q[i]
+		if v > 0 {
+			s += whi[i] * v
+		} else {
+			s += wlo[i] * v
+		}
+	}
+	return s
+}
+
+// MinDiffScore returns min over w in the box [wlo, whi] of w·(p-q); if the
+// result is positive, q beats p for every weight vector in the box.
+func MinDiffScore(p, q, wlo, whi Vector) float64 {
+	if len(p) != len(q) || len(p) != len(wlo) || len(p) != len(whi) {
+		panic("vec: dimension mismatch in MinDiffScore")
+	}
+	var s float64
+	for i := range p {
+		v := p[i] - q[i]
+		if v > 0 {
+			s += wlo[i] * v
+		} else {
+			s += whi[i] * v
+		}
+	}
+	return s
+}
+
+// BoxDot bounds the score of any point inside the box [plo, phi] under any
+// weight inside [wlo, whi]: lower = Σ wlo[i]·plo[i], upper = Σ whi[i]·phi[i].
+// All coordinates are non-negative, which makes the corner products exact
+// bounds. This is the MBR-vs-MBR score bound used by the tree baselines.
+func BoxDot(plo, phi, wlo, whi Vector) (lower, upper float64) {
+	if len(plo) != len(phi) || len(plo) != len(wlo) || len(plo) != len(whi) {
+		panic("vec: dimension mismatch in BoxDot")
+	}
+	for i := range plo {
+		lower += wlo[i] * plo[i]
+		upper += whi[i] * phi[i]
+	}
+	return lower, upper
+}
+
+// L2 returns the Euclidean norm of v.
+func L2(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

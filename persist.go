@@ -1,0 +1,140 @@
+package gridrank
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"gridrank/internal/algo"
+	"gridrank/internal/dataset"
+	"gridrank/internal/vec"
+)
+
+// Index file layout (little endian):
+//
+//	magic    uint32  'G''R''I''1'
+//	n        uint32  grid partitions
+//	rangeP   float64
+//	products     dataset binary block
+//	preferences  dataset binary block
+//
+// The approximate vectors and boundary tables are cheap to rebuild
+// (O(|P|·d) cell assignments plus an (n+1)² table), so the file stores the
+// authoritative data and reconstruction happens on load; this keeps the
+// format immune to grid layout changes.
+
+const indexMagic = 0x31495247 // "GRI1"
+
+// ErrBadIndexFile reports a corrupt or foreign index file.
+var ErrBadIndexFile = errors.New("gridrank: bad index file")
+
+// WriteTo serializes the index (data sets plus construction parameters).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	hdr := make([]byte, 4+4+8)
+	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ix.GridPartitions()))
+	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(ix.rangeP))
+	nw, err := bw.Write(hdr)
+	written += int64(nw)
+	if err != nil {
+		return written, err
+	}
+	pset := &dataset.Dataset{Dim: ix.dim, Range: ix.rangeP, Points: ix.products}
+	if err := dataset.WriteBinary(bw, pset); err != nil {
+		return written, err
+	}
+	wset := &dataset.Dataset{Dim: ix.dim, Range: 1, Points: ix.preferences}
+	if err := dataset.WriteBinary(bw, wset); err != nil {
+		return written, err
+	}
+	return written, bw.Flush()
+}
+
+// ReadIndex deserializes an index written by WriteTo, rebuilding the
+// Grid-index and approximate vectors.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 4+4+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadIndexFile)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	rangeP := math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:]))
+	if n < 1 || n > 256 {
+		return nil, fmt.Errorf("%w: implausible partition count %d", ErrBadIndexFile, n)
+	}
+	if rangeP <= 0 || math.IsNaN(rangeP) || math.IsInf(rangeP, 0) {
+		return nil, fmt.Errorf("%w: implausible range %v", ErrBadIndexFile, rangeP)
+	}
+	pset, err := dataset.ReadBinary(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: products: %v", ErrBadIndexFile, err)
+	}
+	wset, err := dataset.ReadBinary(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: preferences: %v", ErrBadIndexFile, err)
+	}
+	if pset.Dim != wset.Dim {
+		return nil, fmt.Errorf("%w: dimension mismatch %d vs %d", ErrBadIndexFile, pset.Dim, wset.Dim)
+	}
+	if err := pset.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	if err := wset.ValidateWeights(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	return &Index{
+		products:    pset.Points,
+		preferences: wset.Points,
+		dim:         pset.Dim,
+		rangeP:      rangeP,
+		gir:         algo.NewGIR(pset.Points, wset.Points, rangeP, n),
+	}, nil
+}
+
+// Save writes the index to the named file.
+func (ix *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an index from the named file.
+func Load(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadIndex(f)
+}
+
+// Products returns the indexed product vectors. The slice is the index's
+// own storage; callers must not modify it.
+func (ix *Index) Products() []Vector { return ix.products }
+
+// Preferences returns the indexed preference vectors (not to be modified).
+func (ix *Index) Preferences() []Vector { return ix.preferences }
+
+// Product returns a copy of product i.
+func (ix *Index) Product(i int) (Vector, error) {
+	if i < 0 || i >= len(ix.products) {
+		return nil, fmt.Errorf("gridrank: product index %d out of range [0, %d)", i, len(ix.products))
+	}
+	return vec.Clone(ix.products[i]), nil
+}

@@ -1,0 +1,114 @@
+package gridrank
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func persistIndex(t *testing.T) *Index {
+	t.Helper()
+	P, err := GenerateProducts(21, Clustered, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := GeneratePreferences(22, Uniform, 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(P, W, &Options{GridPartitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	ix := persistIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != ix.Dim() || got.NumProducts() != ix.NumProducts() ||
+		got.NumPreferences() != ix.NumPreferences() || got.GridPartitions() != ix.GridPartitions() {
+		t.Fatalf("metadata lost: %d/%d/%d/%d", got.Dim(), got.NumProducts(),
+			got.NumPreferences(), got.GridPartitions())
+	}
+	// Query equivalence on several products.
+	for _, qi := range []int{0, 100, 399} {
+		q := ix.Products()[qi]
+		want, err := ix.ReverseKRanks(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.ReverseKRanks(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("q=%d: loaded index answers differ: %+v vs %+v", qi, have, want)
+			}
+		}
+	}
+}
+
+func TestIndexSaveLoadFile(t *testing.T) {
+	ix := persistIndex(t)
+	path := filepath.Join(t.TempDir(), "index.gri")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProducts() != ix.NumProducts() {
+		t.Fatal("file round trip lost products")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); !os.IsNotExist(err) {
+		t.Errorf("missing file: %v", err)
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX"),
+		"truncated": func() []byte {
+			ix := persistIndex(t)
+			var buf bytes.Buffer
+			ix.WriteTo(&buf)
+			return buf.Bytes()[:buf.Len()/2]
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := ReadIndex(bytes.NewReader(data)); !errors.Is(err, ErrBadIndexFile) {
+			t.Errorf("%s: err = %v, want ErrBadIndexFile", name, err)
+		}
+	}
+}
+
+func TestProductAccessor(t *testing.T) {
+	ix := persistIndex(t)
+	p, err := ix.Product(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[0] = -999 // must be a copy
+	if ix.Products()[3][0] == -999 {
+		t.Error("Product returned aliased storage")
+	}
+	if _, err := ix.Product(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := ix.Product(400); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package gridrank
+
+import (
+	"testing"
+
+	"gridrank/internal/algo"
+)
+
+func benchPair(b *testing.B, nP, nW, d, k int) {
+	data := makeBenchData(b, nP, nW, d)
+	gir := algo.NewGIR(data.P, data.W, DefaultRange, 32)
+	sim := algo.NewSIM(data.P, data.W)
+	b.Run("GIR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gir.ReverseTopK(data.q, k, nil)
+		}
+	})
+	b.Run("SIM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.ReverseTopK(data.q, k, nil)
+		}
+	})
+}
+
+func BenchmarkScale6d(b *testing.B)  { benchPair(b, 50000, 2000, 6, 100) }
+func BenchmarkScale20d(b *testing.B) { benchPair(b, 50000, 2000, 20, 100) }
