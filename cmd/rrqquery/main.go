@@ -28,6 +28,7 @@ func main() {
 	flag.StringVar(&opts.QRaw, "q", "", "query vector as comma-separated values (alternative to -qi)")
 	flag.IntVar(&opts.N, "n", algo.DefaultPartitions, "grid partitions for gir/sparse")
 	flag.IntVar(&opts.Capacity, "capacity", 64, "R-tree node capacity for bbr/mpa")
+	flag.IntVar(&opts.Parallel, "parallel", 0, "intra-query worker goroutines for gir (0 or 1 = sequential)")
 	flag.BoolVar(&opts.ShowStats, "stats", false, "print operation counters")
 	flag.IntVar(&opts.Limit, "limit", 20, "max result rows printed (0 = all)")
 	flag.Parse()

@@ -34,6 +34,8 @@ func main() {
 		nw    = flag.Int("nw", 5000, "demo preferences")
 		d     = flag.Int("d", 6, "demo dimensionality")
 		seed  = flag.Int64("seed", 1, "demo seed")
+		par   = flag.Int("parallel", 0, "default intra-query workers per query (0 or 1 = sequential)")
+		maxP  = flag.Int("max-parallel", 0, "cap on the per-request parallelism field (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	ix, err := buildIndex(*index, *demo, *dist, *np, *nw, *d, *seed)
@@ -41,11 +43,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rrqserver:", err)
 		os.Exit(1)
 	}
+	if err := ix.SetParallelism(*par); err != nil {
+		fmt.Fprintln(os.Stderr, "rrqserver:", err)
+		os.Exit(1)
+	}
 	log.Printf("serving %d products × %d preferences (d=%d, grid n=%d) on %s",
 		ix.NumProducts(), ix.NumPreferences(), ix.Dim(), ix.GridPartitions(), *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(ix),
+		Handler:           server.NewWithConfig(ix, server.Config{MaxParallelism: *maxP}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())

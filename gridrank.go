@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"gridrank/internal/algo"
 	"gridrank/internal/model"
@@ -103,6 +104,17 @@ type Options struct {
 	// Theorem 1 so the model's worst-case filtering performance exceeds
 	// it, overriding GridPartitions. For example 0.99 requests ε = 1%.
 	TargetFiltering float64
+
+	// Parallelism is the default number of worker goroutines a single
+	// query shards the preference set across. 0 and 1 keep the
+	// sequential scan (the default: the batch methods already
+	// parallelize across queries, and intra-query workers nested under
+	// them would oversubscribe the CPUs); values above 1 enable the
+	// intra-query worker pool for every query on this index. Answers are
+	// bit-identical at every setting — only the work distribution
+	// changes. Per-call overrides are available through the
+	// ReverseTopKParallel and ReverseKRanksParallel methods.
+	Parallelism int
 }
 
 // ErrDimensionMismatch reports a query vector whose dimensionality does
@@ -111,6 +123,9 @@ var ErrDimensionMismatch = errors.New("gridrank: dimension mismatch")
 
 // ErrBadK reports a non-positive k.
 var ErrBadK = errors.New("gridrank: k must be positive")
+
+// ErrBadParallelism reports a negative worker count.
+var ErrBadParallelism = errors.New("gridrank: parallelism must be non-negative")
 
 // Index holds the Grid-index over one product set and one preference set.
 // It is immutable after construction and safe for concurrent queries.
@@ -173,10 +188,15 @@ func New(products, preferences []Vector, opts *Options) (*Index, error) {
 	}
 
 	n := algo.DefaultPartitions
+	parallelism := 0
 	if opts != nil {
 		if opts.GridPartitions < 0 {
 			return nil, fmt.Errorf("gridrank: negative GridPartitions %d", opts.GridPartitions)
 		}
+		if opts.Parallelism < 0 {
+			return nil, fmt.Errorf("gridrank: negative Parallelism %d", opts.Parallelism)
+		}
+		parallelism = opts.Parallelism
 		if opts.GridPartitions > 0 {
 			n = opts.GridPartitions
 		}
@@ -194,12 +214,14 @@ func New(products, preferences []Vector, opts *Options) (*Index, error) {
 	// rangeP is the max observed value; nudge it up so the top value maps
 	// strictly inside the last cell even after floating-point rounding.
 	rangeP = math.Nextafter(rangeP, math.Inf(1))
+	gir := algo.NewGIR(products, preferences, rangeP, n)
+	gir.Parallelism = parallelism
 	return &Index{
 		products:    products,
 		preferences: preferences,
 		dim:         d,
 		rangeP:      rangeP,
-		gir:         algo.NewGIR(products, preferences, rangeP, n),
+		gir:         gir,
 	}, nil
 }
 
@@ -214,6 +236,21 @@ func (ix *Index) NumPreferences() int { return len(ix.preferences) }
 
 // GridPartitions returns the grid resolution n chosen at construction.
 func (ix *Index) GridPartitions() int { return ix.gir.Grid().N() }
+
+// Parallelism returns the default intra-query worker count configured
+// through Options.Parallelism or SetParallelism (0 means sequential).
+func (ix *Index) Parallelism() int { return ix.gir.Parallelism }
+
+// SetParallelism changes the default intra-query worker count, e.g. for
+// an index restored with Load (the setting is runtime configuration and
+// is not persisted). It must not be called while queries are in flight.
+func (ix *Index) SetParallelism(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("%w: got %d", ErrBadParallelism, workers)
+	}
+	ix.gir.Parallelism = workers
+	return nil
+}
 
 // GridMemoryBytes returns the memory footprint of the boundary table.
 func (ix *Index) GridMemoryBytes() int { return ix.gir.Grid().MemoryBytes() }
@@ -251,6 +288,32 @@ func (ix *Index) ReverseTopKStats(q Vector, k int) ([]int, Stats, error) {
 	return res, fromCounters(&c), nil
 }
 
+// ReverseTopKParallel is ReverseTopK with an explicit intra-query worker
+// count overriding the index default: 1 forces the sequential scan,
+// values above 1 shard the preference set across that many goroutines,
+// and 0 means GOMAXPROCS. The answer is bit-identical for every worker
+// count; negative counts are rejected.
+func (ix *Index) ReverseTopKParallel(q Vector, k, workers int) ([]int, error) {
+	res, _, err := ix.ReverseTopKParallelStats(q, k, workers)
+	return res, err
+}
+
+// ReverseTopKParallelStats is ReverseTopKParallel with work statistics.
+func (ix *Index) ReverseTopKParallelStats(q Vector, k, workers int) ([]int, Stats, error) {
+	if err := ix.checkQuery(q, k); err != nil {
+		return nil, Stats{}, err
+	}
+	if workers < 0 {
+		return nil, Stats{}, fmt.Errorf("%w: got %d", ErrBadParallelism, workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var c stats.Counters
+	res := ix.gir.ReverseTopKParallel(q, k, workers, &c)
+	return res, fromCounters(&c), nil
+}
+
 // ReverseKRanks returns the k preference vectors ranking q best, ordered
 // by ascending rank (ties toward smaller indexes). It never returns an
 // empty answer for k ≥ 1 — if fewer than k preferences exist, all are
@@ -267,6 +330,37 @@ func (ix *Index) ReverseKRanksStats(q Vector, k int) ([]Match, Stats, error) {
 	}
 	var c stats.Counters
 	matches := ix.gir.ReverseKRanks(q, k, &c)
+	out := make([]Match, len(matches))
+	for i, m := range matches {
+		out[i] = Match{WeightIndex: m.WeightIndex, Rank: m.Rank}
+	}
+	return out, fromCounters(&c), nil
+}
+
+// ReverseKRanksParallel is ReverseKRanks with an explicit intra-query
+// worker count overriding the index default: 1 forces the sequential
+// scan, values above 1 shard the preference set across that many
+// goroutines, and 0 means GOMAXPROCS. The answer is bit-identical for
+// every worker count; negative counts are rejected.
+func (ix *Index) ReverseKRanksParallel(q Vector, k, workers int) ([]Match, error) {
+	res, _, err := ix.ReverseKRanksParallelStats(q, k, workers)
+	return res, err
+}
+
+// ReverseKRanksParallelStats is ReverseKRanksParallel with work
+// statistics.
+func (ix *Index) ReverseKRanksParallelStats(q Vector, k, workers int) ([]Match, Stats, error) {
+	if err := ix.checkQuery(q, k); err != nil {
+		return nil, Stats{}, err
+	}
+	if workers < 0 {
+		return nil, Stats{}, fmt.Errorf("%w: got %d", ErrBadParallelism, workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var c stats.Counters
+	matches := ix.gir.ReverseKRanksParallel(q, k, workers, &c)
 	out := make([]Match, len(matches))
 	for i, m := range matches {
 		out[i] = Match{WeightIndex: m.WeightIndex, Rank: m.Rank}

@@ -61,6 +61,10 @@ type domin struct {
 	dominates []bool
 	checked   []bool
 	count     int
+	// shared, when non-nil, receives every first discovery so the
+	// parallel GIR workers can maintain an exact distinct-dominator count
+	// across their private buffers (see gir_parallel.go).
+	shared *sharedDomin
 }
 
 func newDomin(n int) *domin {
@@ -79,6 +83,9 @@ func (d *domin) observe(pj int, p, q vec.Vector) {
 	if vec.Dominates(p, q) {
 		d.dominates[pj] = true
 		d.count++
+		if d.shared != nil {
+			d.shared.claim(pj)
+		}
 	}
 }
 

@@ -25,6 +25,13 @@ type GIR struct {
 	// ablation experiment that measures what the buffer is worth.
 	DisableDomin bool
 
+	// Parallelism is the number of worker goroutines a single query
+	// shards W across (see gir_parallel.go). 0 or 1 keeps the sequential
+	// scan; values above 1 enable the intra-query worker pool. Results
+	// are identical either way. The field is read-only configuration and
+	// must not be changed while queries are in flight.
+	Parallelism int
+
 	g  grid.Bounder
 	pa *grid.Index // P^(A)
 	wa *grid.Index // W^(A)
@@ -205,13 +212,29 @@ func (gr *GIR) newScratch() *girScratch {
 	}
 }
 
-// ReverseTopK is GIRTop-k (Algorithm 2).
+// ReverseTopK is GIRTop-k (Algorithm 2), sharded across gr.Parallelism
+// workers when configured above 1.
 func (gr *GIR) ReverseTopK(q vec.Vector, k int, c *stats.Counters) []int {
+	workers := gr.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	return gr.ReverseTopKParallel(q, k, workers, c)
+}
+
+// ReverseTopKParallel is ReverseTopK with an explicit worker count
+// overriding gr.Parallelism: 1 runs the sequential scan, values above 1
+// shard W across that many goroutines, and 0 or negative means
+// GOMAXPROCS. The answer is identical for every worker count.
+func (gr *GIR) ReverseTopKParallel(q vec.Vector, k, workers int, c *stats.Counters) []int {
 	if c != nil {
 		defer func() { c.Queries++ }()
 	}
 	if k <= 0 {
 		return nil
+	}
+	if workers = normalizeWorkers(workers, len(gr.W)); workers > 1 {
+		return gr.reverseTopKParallel(q, k, workers, c)
 	}
 	dom := newDomin(len(gr.P))
 	scratch := gr.newScratch()
@@ -231,13 +254,29 @@ func (gr *GIR) ReverseTopK(q vec.Vector, k int, c *stats.Counters) []int {
 
 // ReverseKRanks is GIRk-Rank (Algorithm 3): the size-k heap's worst
 // retained rank (minRank) is passed to GInTop-k as the filtering cutoff
-// and tightens as better weights are found.
+// and tightens as better weights are found. When gr.Parallelism exceeds
+// 1, the scan is sharded and the cutoff becomes a shared watermark.
 func (gr *GIR) ReverseKRanks(q vec.Vector, k int, c *stats.Counters) []topk.Match {
+	workers := gr.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	return gr.ReverseKRanksParallel(q, k, workers, c)
+}
+
+// ReverseKRanksParallel is ReverseKRanks with an explicit worker count
+// overriding gr.Parallelism: 1 runs the sequential scan, values above 1
+// shard W across that many goroutines, and 0 or negative means
+// GOMAXPROCS. The answer is identical for every worker count.
+func (gr *GIR) ReverseKRanksParallel(q vec.Vector, k, workers int, c *stats.Counters) []topk.Match {
 	if c != nil {
 		defer func() { c.Queries++ }()
 	}
 	if k <= 0 {
 		return nil
+	}
+	if workers = normalizeWorkers(workers, len(gr.W)); workers > 1 {
+		return gr.reverseKRanksParallel(q, k, workers, c)
 	}
 	h := topk.NewKRankHeap(k)
 	dom := newDomin(len(gr.P))

@@ -1,0 +1,271 @@
+package algo
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gridrank/internal/stats"
+	"gridrank/internal/topk"
+	"gridrank/internal/vec"
+)
+
+// Intra-query parallel execution of the GIR algorithms.
+//
+// The sequential GIR query scans W on one goroutine; batch.go only
+// parallelizes across queries, so a single large query (the paper's
+// market-analysis case) leaves all but one core idle. The parallel path
+// shards W across a worker pool: each worker claims contiguous chunks of
+// weight indexes from an atomic cursor and evaluates them with private
+// per-worker state — its own Domin buffer, bounds scratch and
+// stats.Counters — merged deterministically at the end.
+//
+// Two pieces of cross-worker pruning state keep the sharded scan as
+// effective as the sequential one:
+//
+//   - RTK (Algorithm 2 lines 7–8): the global-dominator early exit needs
+//     the number of DISTINCT points known to dominate q across all
+//     workers. A plain shared counter would double-count a dominator
+//     discovered independently by two workers and could fire the empty
+//     answer prematurely, so sharedDomin deduplicates through a CAS
+//     bitset and counts only first claims.
+//
+//   - RKR (Algorithm 3): the heap cutoff h.Threshold() becomes an atomic
+//     watermark. Whenever a worker's local size-k heap is full, its worst
+//     retained rank T proves k matches with rank ≤ T exist, so every
+//     worker may prune any weight whose running rank exceeds T (cutoff
+//     T+1). The watermark is the CAS-minimum of all published T values.
+//
+// Determinism: results are bit-identical to the sequential path. Workers
+// claim chunks in ascending index order, so each worker processes an
+// ascending subsequence of W and the per-shard tie argument of the
+// sequential scan (equal ranks keep the smaller weight index) holds
+// within every worker; the global answer is recovered by re-sorting the
+// merged candidates on the same (rank, index) total order. Pruning via
+// the watermark uses T+1, not T, so rank == T candidates — which can
+// still win index ties against another shard — are always refined
+// exactly. See DESIGN.md §7.
+
+// normalizeWorkers resolves a worker-count request: non-positive means
+// GOMAXPROCS, and a query never uses more workers than weight vectors.
+func normalizeWorkers(workers, nW int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nW {
+		workers = nW
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelChunk sizes the unit of work workers claim from the shared
+// cursor: small enough for load balance across skewed shards, large
+// enough that the atomic claim is amortized over many rank evaluations.
+func parallelChunk(nW, workers int) int {
+	chunk := nW / (8 * workers)
+	if chunk < 16 {
+		chunk = 16
+	}
+	return chunk
+}
+
+// sharedDomin tracks the distinct dominators of q discovered by any
+// worker. Local Domin buffers publish first discoveries here; the count
+// is exact (never double-counts a point), which makes the Algorithm 2
+// early exit safe under sharding.
+type sharedDomin struct {
+	words []atomic.Uint64 // claim bitset, one bit per point
+	count atomic.Int64    // number of distinct set bits
+}
+
+func newSharedDomin(n int) *sharedDomin {
+	return &sharedDomin{words: make([]atomic.Uint64, (n+63)/64)}
+}
+
+// claim marks point pj as a dominator; only the first claimer increments
+// the count.
+func (s *sharedDomin) claim(pj int) {
+	w := &s.words[pj>>6]
+	bit := uint64(1) << uint(pj&63)
+	for {
+		old := w.Load()
+		if old&bit != 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old|bit) {
+			s.count.Add(1)
+			return
+		}
+	}
+}
+
+// rankWatermark is the shared RKR admission bound: the minimum worst
+// retained rank over every full per-worker heap. Initialized to maxInt
+// (no bound) and monotonically tightened with CAS.
+type rankWatermark struct {
+	v atomic.Int64
+}
+
+func newRankWatermark() *rankWatermark {
+	wm := &rankWatermark{}
+	wm.v.Store(int64(maxInt))
+	return wm
+}
+
+// tighten lowers the watermark to t if t is smaller.
+func (wm *rankWatermark) tighten(t int) {
+	for {
+		cur := wm.v.Load()
+		if int64(t) >= cur {
+			return
+		}
+		if wm.v.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// cutoff combines a worker's local heap threshold with the global
+// watermark: prune at the local threshold (safe within the worker's
+// ascending shard) or one past the watermark (safe globally), whichever
+// is tighter.
+func (wm *rankWatermark) cutoff(local int) int {
+	g := wm.v.Load()
+	if g < int64(maxInt) && int(g)+1 < local {
+		return int(g) + 1
+	}
+	return local
+}
+
+// reverseTopKParallel is GIRTop-k (Algorithm 2) sharded over workers
+// goroutines. Callers guarantee workers >= 2 and k >= 1.
+func (gr *GIR) reverseTopKParallel(q vec.Vector, k, workers int, c *stats.Counters) []int {
+	shared := newSharedDomin(len(gr.P))
+	var cursor atomic.Int64
+	chunk := parallelChunk(len(gr.W), workers)
+	type workerOut struct {
+		res []int
+		c   stats.Counters
+	}
+	outs := make([]workerOut, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(out *workerOut) {
+			defer wg.Done()
+			dom := newDomin(len(gr.P))
+			dom.shared = shared
+			scratch := gr.newScratch()
+			for {
+				if shared.count.Load() >= int64(k) {
+					return
+				}
+				end := int(cursor.Add(int64(chunk)))
+				start := end - chunk
+				if start >= len(gr.W) {
+					return
+				}
+				if end > len(gr.W) {
+					end = len(gr.W)
+				}
+				for wi := start; wi < end; wi++ {
+					if _, ok := gr.rankBounded(wi, q, k, dom, scratch, &out.c); ok {
+						out.res = append(out.res, wi)
+					}
+					if shared.count.Load() >= int64(k) {
+						return
+					}
+				}
+			}
+		}(&outs[w])
+	}
+	wg.Wait()
+	if c != nil {
+		for w := range outs {
+			c.Add(&outs[w].c)
+		}
+	}
+	// Algorithm 2 lines 7–8, sharded: k distinct dominators imply every
+	// weight ranks q at k or worse, so the answer is empty — exactly what
+	// the sequential early exit returns.
+	if shared.count.Load() >= int64(k) {
+		return nil
+	}
+	var res []int
+	for w := range outs {
+		res = append(res, outs[w].res...)
+	}
+	sort.Ints(res)
+	return res
+}
+
+// reverseKRanksParallel is GIRk-Rank (Algorithm 3) sharded over workers
+// goroutines. Callers guarantee workers >= 2 and k >= 1.
+func (gr *GIR) reverseKRanksParallel(q vec.Vector, k, workers int, c *stats.Counters) []topk.Match {
+	wm := newRankWatermark()
+	var cursor atomic.Int64
+	chunk := parallelChunk(len(gr.W), workers)
+	type workerOut struct {
+		matches []topk.Match
+		c       stats.Counters
+	}
+	outs := make([]workerOut, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(out *workerOut) {
+			defer wg.Done()
+			h := topk.NewKRankHeap(k)
+			dom := newDomin(len(gr.P))
+			scratch := gr.newScratch()
+			for {
+				end := int(cursor.Add(int64(chunk)))
+				start := end - chunk
+				if start >= len(gr.W) {
+					break
+				}
+				if end > len(gr.W) {
+					end = len(gr.W)
+				}
+				for wi := start; wi < end; wi++ {
+					cutoff := wm.cutoff(h.Threshold())
+					if rnk, ok := gr.rankBounded(wi, q, cutoff, dom, scratch, &out.c); ok {
+						if h.Offer(topk.Match{WeightIndex: wi, Rank: rnk}) && h.Len() == k {
+							wm.tighten(h.Threshold())
+						}
+					}
+				}
+			}
+			out.matches = h.Results()
+		}(&outs[w])
+	}
+	wg.Wait()
+	counters := make([]*stats.Counters, workers)
+	var all []topk.Match
+	for w := range outs {
+		counters[w] = &outs[w].c
+		all = append(all, outs[w].matches...)
+	}
+	if c != nil {
+		stats.Merge(c, counters...)
+	}
+	// Every global top-k match survives some worker's local heap (a
+	// worker's heap keeps its shard's k best, a superset of the shard's
+	// contribution to the global answer), so sorting the union on the
+	// sequential (rank, index) order and truncating reproduces the
+	// sequential answer exactly.
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Rank != all[b].Rank {
+			return all[a].Rank < all[b].Rank
+		}
+		return all[a].WeightIndex < all[b].WeightIndex
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

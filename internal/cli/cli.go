@@ -91,8 +91,26 @@ type QueryOptions struct {
 	QRaw         string // comma-separated query vector, or ""
 	N            int    // grid partitions
 	Capacity     int    // R-tree capacity
+	Parallel     int    // intra-query workers for gir (0/1 = sequential)
 	ShowStats    bool
 	Limit        int // max printed result rows, 0 = all
+}
+
+// applyParallel configures intra-query workers on algorithms that
+// support them (currently gir only).
+func applyParallel(a interface{ Name() string }, workers int) error {
+	if workers == 0 || workers == 1 {
+		return nil
+	}
+	if workers < 0 {
+		return fmt.Errorf("-parallel must be non-negative, got %d", workers)
+	}
+	g, ok := a.(*algo.GIR)
+	if !ok {
+		return fmt.Errorf("-parallel is only supported by -algo gir, not %s", a.Name())
+	}
+	g.Parallelism = workers
+	return nil
 }
 
 // RunQuery executes one query and writes a human-readable report to w.
@@ -122,6 +140,9 @@ func RunQuery(w io.Writer, opts QueryOptions) error {
 		if err != nil {
 			return err
 		}
+		if err := applyParallel(a, opts.Parallel); err != nil {
+			return err
+		}
 		res := a.ReverseTopK(q, opts.K, &c)
 		fmt.Fprintf(w, "RTK(k=%d) via %s: %d matching preferences\n", opts.K, a.Name(), len(res))
 		for i, wi := range res {
@@ -134,6 +155,9 @@ func RunQuery(w io.Writer, opts QueryOptions) error {
 	case "rkr":
 		a, err := BuildRKR(opts.Algo, P, W, opts.N, opts.Capacity)
 		if err != nil {
+			return err
+		}
+		if err := applyParallel(a, opts.Parallel); err != nil {
 			return err
 		}
 		res := a.ReverseKRanks(q, opts.K, &c)

@@ -162,3 +162,43 @@ func TestFormatVector(t *testing.T) {
 		t.Errorf("FormatVector = %q", got)
 	}
 }
+
+func TestRunQueryParallel(t *testing.T) {
+	pPath, wPath := genFiles(t)
+	base := QueryOptions{
+		PPath: pPath, WPath: wPath, K: 10, QIndex: 0,
+		N: 16, Capacity: 16, Limit: 0,
+	}
+	for _, typ := range []string{"rtk", "rkr"} {
+		seq := base
+		seq.Type = typ
+		seq.Algo = "gir"
+		var want bytes.Buffer
+		if err := RunQuery(&want, seq); err != nil {
+			t.Fatal(err)
+		}
+		par := seq
+		par.Parallel = 4
+		var got bytes.Buffer
+		if err := RunQuery(&got, par); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s -parallel 4 output differs from sequential:\n%s\nvs\n%s",
+				typ, got.String(), want.String())
+		}
+	}
+	// -parallel rejects negatives and non-gir algorithms.
+	bad := base
+	bad.Type = "rtk"
+	bad.Algo = "gir"
+	bad.Parallel = -1
+	if err := RunQuery(&bytes.Buffer{}, bad); err == nil {
+		t.Error("negative -parallel should fail")
+	}
+	bad.Parallel = 4
+	bad.Algo = "sim"
+	if err := RunQuery(&bytes.Buffer{}, bad); err == nil {
+		t.Error("-parallel with -algo sim should fail")
+	}
+}

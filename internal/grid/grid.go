@@ -21,6 +21,8 @@ package grid
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"gridrank/internal/bits"
 	"gridrank/internal/vec"
@@ -268,34 +270,86 @@ type Index struct {
 	approx []uint8
 }
 
-// NewPointIndex pre-computes P^(A) for a point set.
+// NewPointIndex pre-computes P^(A) for a point set, using every CPU for
+// large sets (this is the cold-start cost of a server boot; see
+// NewPointIndexParallel for explicit worker control).
 func NewPointIndex(g Bounder, points []vec.Vector) *Index {
-	return newIndex(g, points, true)
+	return NewPointIndexParallel(g, points, 0)
 }
 
-// NewWeightIndex pre-computes W^(A) for a weight set.
+// NewWeightIndex pre-computes W^(A) for a weight set, using every CPU
+// for large sets.
 func NewWeightIndex(g Bounder, weights []vec.Vector) *Index {
-	return newIndex(g, weights, false)
+	return NewWeightIndexParallel(g, weights, 0)
 }
 
-func newIndex(g Bounder, data []vec.Vector, isPoint bool) *Index {
+// NewPointIndexParallel is NewPointIndex on an explicit number of
+// goroutines; 0 or negative means GOMAXPROCS.
+func NewPointIndexParallel(g Bounder, points []vec.Vector, workers int) *Index {
+	return newIndex(g, points, true, workers)
+}
+
+// NewWeightIndexParallel is NewWeightIndex on an explicit number of
+// goroutines; 0 or negative means GOMAXPROCS.
+func NewWeightIndexParallel(g Bounder, weights []vec.Vector, workers int) *Index {
+	return newIndex(g, weights, false, workers)
+}
+
+// parallelRowThreshold is the cell count below which row computation
+// stays serial: tiny sets finish before goroutines would even start.
+const parallelRowThreshold = 1 << 14
+
+func newIndex(g Bounder, data []vec.Vector, isPoint bool, workers int) *Index {
 	if len(data) == 0 {
 		panic("grid: empty data set")
 	}
 	dim := len(data[0])
-	ix := &Index{grid: g, dim: dim, approx: make([]uint8, len(data)*dim)}
+	// Validate up front so the fill workers cannot panic off-goroutine.
 	for i, v := range data {
 		if len(v) != dim {
 			panic(fmt.Sprintf("grid: vector %d has dimension %d, want %d", i, len(v), dim))
 		}
-		row := ix.approx[i*dim : (i+1)*dim]
+	}
+	ix := &Index{grid: g, dim: dim, approx: make([]uint8, len(data)*dim)}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(data) {
+		workers = len(data)
+	}
+	if workers <= 1 || len(ix.approx) < parallelRowThreshold {
+		ix.fillRows(data, isPoint, 0, len(data))
+		return ix
+	}
+	// Static contiguous shards: each row is independent and written to a
+	// disjoint region, so the result is identical for any worker count.
+	var wg sync.WaitGroup
+	per := (len(data) + workers - 1) / workers
+	for start := 0; start < len(data); start += per {
+		end := start + per
+		if end > len(data) {
+			end = len(data)
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			ix.fillRows(data, isPoint, start, end)
+		}(start, end)
+	}
+	wg.Wait()
+	return ix
+}
+
+// fillRows computes the approximate vectors of rows [start, end).
+func (ix *Index) fillRows(data []vec.Vector, isPoint bool, start, end int) {
+	for i := start; i < end; i++ {
+		row := ix.approx[i*ix.dim : (i+1)*ix.dim]
 		if isPoint {
-			g.ApproxPoint(v, row)
+			ix.grid.ApproxPoint(data[i], row)
 		} else {
-			g.ApproxWeight(v, row)
+			ix.grid.ApproxWeight(data[i], row)
 		}
 	}
-	return ix
 }
 
 // Grid returns the underlying Grid.

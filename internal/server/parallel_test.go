@@ -1,0 +1,121 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gridrank"
+)
+
+// capServer builds a server with an explicit parallelism cap.
+func capServer(t *testing.T, maxPar int) (*Server, *gridrank.Index) {
+	t.Helper()
+	P, err := gridrank.GenerateProducts(51, gridrank.Uniform, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := gridrank.GeneratePreferences(52, gridrank.Uniform, 150, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := gridrank.New(P, W, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWithConfig(ix, Config{MaxParallelism: maxPar}), ix
+}
+
+func TestIndexReportsMaxParallelism(t *testing.T) {
+	s, _ := capServer(t, 3)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/index", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"maxParallelism":3`) {
+		t.Fatalf("index metadata missing maxParallelism=3: %s", rec.Body.String())
+	}
+	// The default configuration caps at GOMAXPROCS.
+	def, _ := testServer(t)
+	rec = httptest.NewRecorder()
+	def.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/index", nil))
+	want := fmt.Sprintf(`"maxParallelism":%d`, runtime.GOMAXPROCS(0))
+	if !strings.Contains(rec.Body.String(), want) {
+		t.Fatalf("default index metadata missing %s: %s", want, rec.Body.String())
+	}
+}
+
+func TestParallelismRejectsNegative(t *testing.T) {
+	s, _ := capServer(t, 4)
+	for _, path := range []string{"/v1/reverse-topk", "/v1/reverse-kranks"} {
+		rec := post(t, s, path, map[string]interface{}{"product": 0, "k": 5, "parallelism": -2})
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s parallelism=-2: status %d, want 400 (%s)", path, rec.Code, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), "parallelism") {
+			t.Errorf("%s: error should name the field: %s", path, rec.Body.String())
+		}
+	}
+}
+
+func TestParallelismRejectsNonInteger(t *testing.T) {
+	s, _ := capServer(t, 4)
+	rec := post(t, s, "/v1/reverse-topk", map[string]interface{}{"product": 0, "k": 5, "parallelism": "lots"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf(`parallelism="lots": status %d, want 400`, rec.Code)
+	}
+}
+
+// TestParallelismClampsToCap sends a request far above the cap: it must
+// succeed (clamped, not rejected) and return the same answer as the
+// sequential request.
+func TestParallelismClampsToCap(t *testing.T) {
+	s, _ := capServer(t, 2)
+	seq := post(t, s, "/v1/reverse-kranks", map[string]interface{}{"product": 7, "k": 10})
+	if seq.Code != http.StatusOK {
+		t.Fatalf("sequential request failed: %d %s", seq.Code, seq.Body.String())
+	}
+	for _, p := range []int{1, 2, 3, 10000} {
+		rec := post(t, s, "/v1/reverse-kranks", map[string]interface{}{"product": 7, "k": 10, "parallelism": p})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("parallelism=%d: status %d (%s)", p, rec.Code, rec.Body.String())
+		}
+		if got, want := matchesOf(t, rec), matchesOf(t, seq); got != want {
+			t.Errorf("parallelism=%d: matches %s != sequential %s", p, got, want)
+		}
+	}
+	rtkSeq := post(t, s, "/v1/reverse-topk", map[string]interface{}{"product": 7, "k": 40})
+	rtkPar := post(t, s, "/v1/reverse-topk", map[string]interface{}{"product": 7, "k": 40, "parallelism": 9999})
+	if rtkPar.Code != http.StatusOK {
+		t.Fatalf("rtk parallelism=9999: status %d (%s)", rtkPar.Code, rtkPar.Body.String())
+	}
+	if got, want := preferencesOf(t, rtkPar), preferencesOf(t, rtkSeq); got != want {
+		t.Errorf("rtk clamped: preferences %s != sequential %s", got, want)
+	}
+}
+
+// matchesOf extracts the serialized matches array (ignoring stats, which
+// legitimately differ between sequential and parallel execution).
+func matchesOf(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	return fieldOf(t, rec, "matches")
+}
+
+func preferencesOf(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	return fieldOf(t, rec, "preferences")
+}
+
+func fieldOf(t *testing.T, rec *httptest.ResponseRecorder, field string) string {
+	t.Helper()
+	var m map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("parsing response: %v (%s)", err, rec.Body.String())
+	}
+	return fmt.Sprintf("%v", m[field])
+}

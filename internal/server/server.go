@@ -7,9 +7,9 @@
 // Endpoints:
 //
 //	GET  /healthz            liveness
-//	GET  /v1/index           index metadata
-//	POST /v1/reverse-topk    {"query":[...]|"product":i, "k":100}
-//	POST /v1/reverse-kranks  {"query":[...]|"product":i, "k":10}
+//	GET  /v1/index           index metadata (incl. maxParallelism)
+//	POST /v1/reverse-topk    {"query":[...]|"product":i, "k":100, "parallelism":4}
+//	POST /v1/reverse-kranks  {"query":[...]|"product":i, "k":10, "parallelism":4}
 //	POST /v1/topk            {"preference":[...], "k":10}
 //	POST /v1/rank            {"preference":[...], "query":[...]|"product":i}
 package server
@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 
 	"gridrank"
 )
@@ -27,15 +28,34 @@ import (
 // dimensions fits comfortably.
 const maxBodyBytes = 1 << 20
 
-// Server wraps an index with HTTP handlers.
-type Server struct {
-	ix  *gridrank.Index
-	mux *http.ServeMux
+// Config tunes server behaviour beyond the index itself.
+type Config struct {
+	// MaxParallelism caps the per-request "parallelism" field of the
+	// reverse-topk and reverse-kranks endpoints: requests asking for
+	// more workers are clamped to this value, never rejected. 0 means
+	// GOMAXPROCS, the number of workers beyond which a single query
+	// cannot speed up anyway.
+	MaxParallelism int
 }
 
-// New builds a Server around an index.
+// Server wraps an index with HTTP handlers.
+type Server struct {
+	ix             *gridrank.Index
+	mux            *http.ServeMux
+	maxParallelism int
+}
+
+// New builds a Server around an index with the default configuration.
 func New(ix *gridrank.Index) *Server {
-	s := &Server{ix: ix, mux: http.NewServeMux()}
+	return NewWithConfig(ix, Config{})
+}
+
+// NewWithConfig builds a Server around an index.
+func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
+	if cfg.MaxParallelism <= 0 {
+		cfg.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{ix: ix, mux: http.NewServeMux(), maxParallelism: cfg.MaxParallelism}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/index", s.handleIndex)
 	s.mux.HandleFunc("/v1/reverse-topk", s.handleReverseTopK)
@@ -57,6 +77,10 @@ type queryRequest struct {
 	Product    *int      `json:"product,omitempty"`
 	Preference []float64 `json:"preference,omitempty"`
 	K          int       `json:"k"`
+	// Parallelism requests intra-query workers for this query: 0 (or
+	// absent) uses the index default, values above the server cap are
+	// clamped to it, negative values are rejected with 400.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 type errorResponse struct {
@@ -105,6 +129,17 @@ func (s *Server) resolveQuery(req *queryRequest) (gridrank.Vector, error) {
 	}
 }
 
+// resolveParallelism validates and clamps a request's worker count.
+func (s *Server) resolveParallelism(p int) (int, error) {
+	if p < 0 {
+		return 0, fmt.Errorf("parallelism must be non-negative, got %d", p)
+	}
+	if p > s.maxParallelism {
+		p = s.maxParallelism
+	}
+	return p, nil
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -120,6 +155,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"preferences":     s.ix.NumPreferences(),
 		"gridPartitions":  s.ix.GridPartitions(),
 		"gridMemoryBytes": s.ix.GridMemoryBytes(),
+		"maxParallelism":  s.maxParallelism,
 	})
 }
 
@@ -139,7 +175,18 @@ func (s *Server) handleReverseTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, st, err := s.ix.ReverseTopKStats(q, req.K)
+	workers, err := s.resolveParallelism(req.Parallelism)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var res []int
+	var st gridrank.Stats
+	if workers == 0 {
+		res, st, err = s.ix.ReverseTopKStats(q, req.K)
+	} else {
+		res, st, err = s.ix.ReverseTopKParallelStats(q, req.K, workers)
+	}
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -171,7 +218,18 @@ func (s *Server) handleReverseKRanks(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, st, err := s.ix.ReverseKRanksStats(q, req.K)
+	workers, err := s.resolveParallelism(req.Parallelism)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var res []gridrank.Match
+	var st gridrank.Stats
+	if workers == 0 {
+		res, st, err = s.ix.ReverseKRanksStats(q, req.K)
+	} else {
+		res, st, err = s.ix.ReverseKRanksParallelStats(q, req.K, workers)
+	}
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return

@@ -1,0 +1,144 @@
+package gridrank
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// testIndexWithOpts builds a small index over synthetic data.
+func testIndexWithOpts(t *testing.T, opts *Options) (*Index, []Vector) {
+	t.Helper()
+	P, err := GenerateProducts(41, Uniform, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := GeneratePreferences(42, Clustered, 250, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(P, W, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, P
+}
+
+// TestIntraQueryDeterminism is the byte-identity guard of the merge and
+// sort step: the parallel path must produce the same serialized answer
+// for every worker count and across repeated runs (the tie-breaking by
+// WeightIndex would be the first casualty of a nondeterministic merge).
+func TestIntraQueryDeterminism(t *testing.T) {
+	ix, P := testIndexWithOpts(t, nil)
+	queries := []Vector{P[0], P[17], P[399], {1, 1, 1, 1, 1}}
+	for qi, q := range queries {
+		for _, k := range []int{1, 10, 300} {
+			wantRTK, _, err := ix.ReverseTopKParallelStats(q, k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRKR, _, err := ix.ReverseKRanksParallelStats(q, k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantR := fmt.Sprintf("%v", wantRTK)
+			wantK := fmt.Sprintf("%+v", wantRKR)
+			for _, workers := range []int{2, 4, 8} {
+				for run := 0; run < 3; run++ {
+					gotRTK, err := ix.ReverseTopKParallel(q, k, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := fmt.Sprintf("%v", gotRTK); got != wantR {
+						t.Fatalf("q%d k=%d workers=%d run=%d: RTK %s != sequential %s",
+							qi, k, workers, run, got, wantR)
+					}
+					gotRKR, err := ix.ReverseKRanksParallel(q, k, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := fmt.Sprintf("%+v", gotRKR); got != wantK {
+						t.Fatalf("q%d k=%d workers=%d run=%d: RKR %s != sequential %s",
+							qi, k, workers, run, got, wantK)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDeterminism guards the cross-query path the same way: batch
+// answers are byte-identical regardless of the batch worker count, of
+// repeated runs, and of the intra-query parallelism nested inside.
+func TestBatchDeterminism(t *testing.T) {
+	for _, parallelism := range []int{0, 3} {
+		ix, P := testIndexWithOpts(t, &Options{Parallelism: parallelism})
+		queries := append([]Vector{}, P[:40]...)
+		want := fmt.Sprintf("%+v", ix.ReverseTopKBatch(queries, 10, 1))
+		wantKR := fmt.Sprintf("%+v", ix.ReverseKRanksBatch(queries, 10, 1))
+		for _, workers := range []int{2, 4, 8} {
+			for run := 0; run < 2; run++ {
+				if got := fmt.Sprintf("%+v", ix.ReverseTopKBatch(queries, 10, workers)); got != want {
+					t.Fatalf("parallelism=%d batch workers=%d run=%d: RTK batch differs", parallelism, workers, run)
+				}
+				if got := fmt.Sprintf("%+v", ix.ReverseKRanksBatch(queries, 10, workers)); got != wantKR {
+					t.Fatalf("parallelism=%d batch workers=%d run=%d: RKR batch differs", parallelism, workers, run)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelismOptionPlumbing covers the Options/Index surface of the
+// new field.
+func TestParallelismOptionPlumbing(t *testing.T) {
+	ix, P := testIndexWithOpts(t, &Options{Parallelism: 4})
+	if got := ix.Parallelism(); got != 4 {
+		t.Errorf("Parallelism() = %d, want 4", got)
+	}
+	// Queries on a parallel-by-default index agree with a sequential one.
+	seq, _ := testIndexWithOpts(t, nil)
+	if seq.Parallelism() != 0 {
+		t.Errorf("default Parallelism() = %d, want 0", seq.Parallelism())
+	}
+	q := P[7]
+	want, _, err := seq.ReverseKRanksStats(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.ReverseKRanksStats(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("parallel-default index disagrees: got %+v want %+v", got, want)
+	}
+	if err := ix.SetParallelism(-2); err == nil {
+		t.Error("SetParallelism(-2) should fail")
+	}
+	if err := ix.SetParallelism(2); err != nil || ix.Parallelism() != 2 {
+		t.Errorf("SetParallelism(2): err=%v, Parallelism()=%d", err, ix.Parallelism())
+	}
+	if _, err := New(P[:1], [][]float64{{0.2, 0.2, 0.2, 0.2, 0.2}}, &Options{Parallelism: -1}); err == nil {
+		t.Error("New with negative Parallelism should fail")
+	}
+	if _, _, err := ix.ReverseTopKParallelStats(q, 5, -1); err == nil {
+		t.Error("ReverseTopKParallelStats with negative workers should fail")
+	}
+	if _, _, err := ix.ReverseKRanksParallelStats(q, 5, -1); err == nil {
+		t.Error("ReverseKRanksParallelStats with negative workers should fail")
+	}
+	// workers=0 means GOMAXPROCS; it must run and agree too.
+	res, _, err := ix.ReverseTopKParallelStats(q, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRTK, _, err := seq.ReverseTopKStats(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%v", res) != fmt.Sprintf("%v", wantRTK) {
+		t.Fatalf("workers=0 (GOMAXPROCS=%d) RTK disagrees: got %v want %v",
+			runtime.GOMAXPROCS(0), res, wantRTK)
+	}
+}
