@@ -1,6 +1,7 @@
 package gridrank
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,23 +14,37 @@ type BatchResult[T any] struct {
 	Err   error
 }
 
-// ReverseTopKBatch answers many reverse top-k queries concurrently on up
-// to workers goroutines (0 means GOMAXPROCS). The index is immutable, so
-// queries share it safely; results are returned in input order.
+// ReverseTopKBatchCtx answers many reverse top-k queries concurrently on
+// up to workers goroutines (0 means GOMAXPROCS). The index is immutable,
+// so queries share it safely; results are returned in input order. The
+// context governs the whole batch: when it is cancelled or expires, the
+// in-flight queries stop within one preference chunk and every
+// unfinished entry carries ctx.Err().
+func (ix *Index) ReverseTopKBatchCtx(ctx context.Context, queries []Vector, k, workers int) []BatchResult[[]int] {
+	return runBatch(ctx, queries, workers, func(q Vector) ([]int, error) {
+		return ix.ReverseTopKCtx(ctx, q, k)
+	})
+}
+
+// ReverseKRanksBatchCtx answers many reverse k-ranks queries
+// concurrently, with the same context contract as ReverseTopKBatchCtx.
+func (ix *Index) ReverseKRanksBatchCtx(ctx context.Context, queries []Vector, k, workers int) []BatchResult[[]Match] {
+	return runBatch(ctx, queries, workers, func(q Vector) ([]Match, error) {
+		return ix.ReverseKRanksCtx(ctx, q, k)
+	})
+}
+
+// ReverseTopKBatch is ReverseTopKBatchCtx with a background context.
 func (ix *Index) ReverseTopKBatch(queries []Vector, k, workers int) []BatchResult[[]int] {
-	return runBatch(queries, workers, func(q Vector) ([]int, error) {
-		return ix.ReverseTopK(q, k)
-	})
+	return ix.ReverseTopKBatchCtx(context.Background(), queries, k, workers)
 }
 
-// ReverseKRanksBatch answers many reverse k-ranks queries concurrently.
+// ReverseKRanksBatch is ReverseKRanksBatchCtx with a background context.
 func (ix *Index) ReverseKRanksBatch(queries []Vector, k, workers int) []BatchResult[[]Match] {
-	return runBatch(queries, workers, func(q Vector) ([]Match, error) {
-		return ix.ReverseKRanks(q, k)
-	})
+	return ix.ReverseKRanksBatchCtx(context.Background(), queries, k, workers)
 }
 
-func runBatch[T any](queries []Vector, workers int, f func(Vector) (T, error)) []BatchResult[T] {
+func runBatch[T any](ctx context.Context, queries []Vector, workers int, f func(Vector) (T, error)) []BatchResult[T] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -40,6 +55,7 @@ func runBatch[T any](queries []Vector, workers int, f func(Vector) (T, error)) [
 	if len(queries) == 0 {
 		return out
 	}
+	done := ctx.Done()
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -56,6 +72,14 @@ func runBatch[T any](queries []Vector, workers int, f func(Vector) (T, error)) [
 					return
 				}
 				res := BatchResult[T]{Query: i}
+				// A dead context fails the remaining queries immediately
+				// instead of running them; the per-query scan handles
+				// cancellation mid-flight.
+				if done != nil && ctx.Err() != nil {
+					res.Err = ctx.Err()
+					out[i] = res
+					continue
+				}
 				func() {
 					defer func() {
 						if r := recover(); r != nil {

@@ -1,6 +1,7 @@
 package gridrank
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -35,7 +36,7 @@ func TestBatchMatchesSequential(t *testing.T) {
 			if rtk[i].Query != i || rtk[i].Err != nil {
 				t.Fatalf("workers=%d rtk[%d]: %+v", workers, i, rtk[i])
 			}
-			want, err := ix.ReverseTopK(q, 15)
+			want, err := ix.ReverseTopKCtx(context.Background(), q, 15)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -49,7 +50,7 @@ func TestBatchMatchesSequential(t *testing.T) {
 						workers, i, rtk[i].Value, want)
 				}
 			}
-			wantKR, err := ix.ReverseKRanks(q, 15)
+			wantKR, err := ix.ReverseKRanksCtx(context.Background(), q, 15)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gridrank/internal/algo"
 	"gridrank/internal/cli"
@@ -31,8 +34,13 @@ func main() {
 	flag.IntVar(&opts.Parallel, "parallel", 0, "intra-query worker goroutines for gir (0 or 1 = sequential)")
 	flag.BoolVar(&opts.ShowStats, "stats", false, "print operation counters")
 	flag.IntVar(&opts.Limit, "limit", 20, "max result rows printed (0 = all)")
+	flag.DurationVar(&opts.Timeout, "timeout", 0, "per-query deadline, e.g. 500ms (0 = none)")
 	flag.Parse()
-	if err := cli.RunQuery(os.Stdout, opts); err != nil {
+	// Ctrl-C cancels the running query (gir stops within one preference
+	// chunk) instead of killing the process mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cli.RunQueryCtx(ctx, os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "rrqquery:", err)
 		os.Exit(1)
 	}

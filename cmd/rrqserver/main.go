@@ -5,19 +5,29 @@
 //	rrqserver -index catalogue.gri -addr :8080
 //	rrqserver -demo -dist DIANPING -np 20000 -nw 5000 -addr :8080
 //
-// Endpoints (JSON): GET /healthz, GET /v1/index,
-// POST /v1/reverse-topk, /v1/reverse-kranks, /v1/topk, /v1/rank.
+// Endpoints (JSON): GET /healthz, GET /metrics, GET /v1/index,
+// POST /v1/reverse-topk, /v1/reverse-kranks, /v1/batch, /v1/topk,
+// /v1/rank.
 //
 //	curl -s localhost:8080/v1/reverse-kranks \
-//	  -d '{"product": 42, "k": 10}'
+//	  -d '{"product": 42, "k": 10, "stats": true, "timeoutMs": 500}'
+//
+// The server shuts down gracefully: on SIGINT/SIGTERM it stops
+// accepting connections, lets in-flight requests drain for -drain, then
+// cancels whatever is left (running queries stop within one preference
+// chunk).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gridrank"
@@ -26,18 +36,27 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		index = flag.String("index", "", "index file saved with gridrank (see rrqgen + library Save)")
-		demo  = flag.Bool("demo", false, "serve a synthetic index instead of a file")
-		dist  = flag.String("dist", "UN", "demo distribution (UN, CL, AC, DIANPING, ...)")
-		np    = flag.Int("np", 10000, "demo products")
-		nw    = flag.Int("nw", 5000, "demo preferences")
-		d     = flag.Int("d", 6, "demo dimensionality")
-		seed  = flag.Int64("seed", 1, "demo seed")
-		par   = flag.Int("parallel", 0, "default intra-query workers per query (0 or 1 = sequential)")
-		maxP  = flag.Int("max-parallel", 0, "cap on the per-request parallelism field (0 = GOMAXPROCS)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		index    = flag.String("index", "", "index file saved with gridrank (see rrqgen + library Save)")
+		demo     = flag.Bool("demo", false, "serve a synthetic index instead of a file")
+		dist     = flag.String("dist", "UN", "demo distribution (UN, CL, AC, DIANPING, ...)")
+		np       = flag.Int("np", 10000, "demo products")
+		nw       = flag.Int("nw", 5000, "demo preferences")
+		d        = flag.Int("d", 6, "demo dimensionality")
+		seed     = flag.Int64("seed", 1, "demo seed")
+		par      = flag.Int("parallel", 0, "default intra-query workers per query (0 or 1 = sequential)")
+		maxP     = flag.Int("max-parallel", 0, "cap on the per-request parallelism field (0 = GOMAXPROCS)")
+		qTimeout = flag.Duration("query-timeout", 0, "default per-query deadline, e.g. 2s (0 = none; requests may override with timeoutMs)")
+		maxBatch = flag.Int("max-batch", 0, "max queries per /v1/batch request (0 = default)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain period for in-flight requests")
+		logFmt   = flag.String("log", "text", "request log format: text, json, or off")
 	)
 	flag.Parse()
+	logger, err := buildLogger(*logFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrqserver:", err)
+		os.Exit(1)
+	}
 	ix, err := buildIndex(*index, *demo, *dist, *np, *nw, *d, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrqserver:", err)
@@ -47,14 +66,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rrqserver:", err)
 		os.Exit(1)
 	}
-	log.Printf("serving %d products × %d preferences (d=%d, grid n=%d) on %s",
-		ix.NumProducts(), ix.NumPreferences(), ix.Dim(), ix.GridPartitions(), *addr)
+	slog.Info("serving",
+		"products", ix.NumProducts(),
+		"preferences", ix.NumPreferences(),
+		"dim", ix.Dim(),
+		"gridPartitions", ix.GridPartitions(),
+		"addr", *addr,
+		"queryTimeout", qTimeout.String(),
+	)
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.NewWithConfig(ix, server.Config{MaxParallelism: *maxP}),
+		Addr: *addr,
+		Handler: server.NewWithConfig(ix, server.Config{
+			MaxParallelism: *maxP,
+			QueryTimeout:   *qTimeout,
+			MaxBatch:       *maxBatch,
+			Logger:         logger,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+	if err := run(srv, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "rrqserver:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains in-flight requests for up
+// to drain before forcing the remaining connections closed.
+func run(srv *http.Server, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err // the listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	slog.Info("shutting down", "drain", drain.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// The drain window expired: close the stragglers, whose queries
+		// die with their request contexts.
+		srv.Close()
+		return fmt.Errorf("drain expired: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	slog.Info("shutdown complete")
+	return nil
+}
+
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown -log %q (want text, json, or off)", format)
+	}
 }
 
 func buildIndex(path string, demo bool, dist string, np, nw, d int, seed int64) (*gridrank.Index, error) {

@@ -1,0 +1,64 @@
+package gridrank
+
+// Equivalence coverage for the deprecated query matrix: every wrapper
+// must answer exactly like the ReverseTopKCtx / ReverseKRanksCtx calls
+// it forwards to, and populate stats the same way. This file is the one
+// place in the repo allowed to call the deprecated methods (see
+// scripts/check_deprecated.sh).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestDeprecatedWrappersMatchCtxAPI(t *testing.T) {
+	ix, P := testIndexWithOpts(t, nil)
+	bg := context.Background()
+	for _, q := range []Vector{P[0], P[123], {1, 1, 1, 1, 1}} {
+		const k = 10
+
+		wantRTK, err := ix.ReverseTopKCtx(bg, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantSt Stats
+		wantRKR, err := ix.ReverseKRanksCtx(bg, q, k, WithStats(&wantSt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtkStr := fmt.Sprintf("%v", wantRTK)
+		rkrStr := fmt.Sprintf("%+v", wantRKR)
+
+		if got, err := ix.ReverseTopK(q, k); err != nil || fmt.Sprintf("%v", got) != rtkStr {
+			t.Errorf("ReverseTopK: %v, err %v", got, err)
+		}
+		if got, st, err := ix.ReverseTopKStats(q, k); err != nil || fmt.Sprintf("%v", got) != rtkStr {
+			t.Errorf("ReverseTopKStats: %v, %+v, err %v", got, st, err)
+		}
+		if got, err := ix.ReverseTopKParallel(q, k, 3); err != nil || fmt.Sprintf("%v", got) != rtkStr {
+			t.Errorf("ReverseTopKParallel: %v, err %v", got, err)
+		}
+		if got, st, err := ix.ReverseTopKParallelStats(q, k, 3); err != nil || fmt.Sprintf("%v", got) != rtkStr || st.BoundSums == 0 {
+			t.Errorf("ReverseTopKParallelStats: %v, %+v, err %v", got, st, err)
+		}
+
+		if got, err := ix.ReverseKRanks(q, k); err != nil || fmt.Sprintf("%+v", got) != rkrStr {
+			t.Errorf("ReverseKRanks: %+v, err %v", got, err)
+		}
+		if got, st, err := ix.ReverseKRanksStats(q, k); err != nil || fmt.Sprintf("%+v", got) != rkrStr || st != wantSt {
+			t.Errorf("ReverseKRanksStats: %+v, stats %+v (want %+v), err %v", got, st, wantSt, err)
+		}
+		if got, err := ix.ReverseKRanksParallel(q, k, 3); err != nil || fmt.Sprintf("%+v", got) != rkrStr {
+			t.Errorf("ReverseKRanksParallel: %+v, err %v", got, err)
+		}
+		if got, st, err := ix.ReverseKRanksParallelStats(q, k, 3); err != nil || fmt.Sprintf("%+v", got) != rkrStr || st.BoundSums == 0 {
+			t.Errorf("ReverseKRanksParallelStats: %+v, %+v, err %v", got, st, err)
+		}
+	}
+	// The wrappers pass validation errors through unchanged.
+	if _, _, err := ix.ReverseTopKParallelStats(P[0], 5, -1); !errors.Is(err, ErrBadParallelism) {
+		t.Errorf("negative workers: %v, want ErrBadParallelism", err)
+	}
+}

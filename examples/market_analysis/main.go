@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,8 @@ func main() {
 	// Reverse 10-ranks: the ten users who rank us best — the audience a
 	// targeted campaign should reach first. Never empty, even for an
 	// unpopular restaurant (the reason reverse k-ranks exists).
-	matches, st, err := ix.ReverseKRanksStats(q, 10)
+	var st gridrank.Stats
+	matches, err := ix.ReverseKRanksCtx(context.Background(), q, 10, gridrank.WithStats(&st))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func main() {
 	}
 	fmt.Println("\nVisibility: users placing each restaurant in their personal top-100:")
 	for _, ri := range []int{best, mine, 17, 4999} {
-		res, err := ix.ReverseTopK(restaurants[ri], 100)
+		res, err := ix.ReverseTopKCtx(context.Background(), restaurants[ri], 100)
 		if err != nil {
 			log.Fatal(err)
 		}

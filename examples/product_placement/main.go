@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,7 +54,7 @@ func main() {
 	fmt.Println("Candidate visibility (reverse top-50 cardinality):")
 	best, bestCount := "", -1
 	for _, cand := range candidates {
-		res, err := ix.ReverseTopK(cand.spec, 50)
+		res, err := ix.ReverseTopKCtx(context.Background(), cand.spec, 50)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func main() {
 		if cand.name != best {
 			continue
 		}
-		matches, err := ix.ReverseKRanks(cand.spec, 5)
+		matches, err := ix.ReverseKRanksCtx(context.Background(), cand.spec, 5)
 		if err != nil {
 			log.Fatal(err)
 		}

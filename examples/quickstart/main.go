@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 
 	fmt.Println("\nReverse top-2 per phone (who would shortlist it? — Figure 1b):")
 	for pi := range phones {
-		res, err := ix.ReverseTopK(phones[pi], 2)
+		res, err := ix.ReverseTopKCtx(context.Background(), phones[pi], 2)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func main() {
 
 	fmt.Println("\nReverse 1-rank per phone (the single best-matching user — Figure 1c):")
 	for pi := range phones {
-		res, err := ix.ReverseKRanks(phones[pi], 1)
+		res, err := ix.ReverseKRanksCtx(context.Background(), phones[pi], 1)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,8 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			_, st, err := ix.ReverseKRanksStats(P[0], 25)
+			var st gridrank.Stats
+			_, err = ix.ReverseKRanksCtx(context.Background(), P[0], 25, gridrank.WithStats(&st))
 			if err != nil {
 				log.Fatal(err)
 			}

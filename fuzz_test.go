@@ -2,6 +2,7 @@ package gridrank
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -35,7 +36,7 @@ func FuzzReadIndex(f *testing.F) {
 		}
 		// A successfully parsed index must answer queries.
 		q := got.Products()[0]
-		if _, err := got.ReverseKRanks(q, 1); err != nil {
+		if _, err := got.ReverseKRanksCtx(context.Background(), q, 1); err != nil {
 			t.Fatalf("parsed index cannot query: %v", err)
 		}
 	})

@@ -24,8 +24,11 @@
 //
 //	ix, err := gridrank.New(products, preferences, nil)
 //	if err != nil { ... }
-//	users, err := ix.ReverseTopK(myProduct, 10)   // RTK
-//	best, err := ix.ReverseKRanks(myProduct, 5)   // RKR
+//	users, err := ix.ReverseTopKCtx(ctx, myProduct, 10)   // RTK
+//	best, err := ix.ReverseKRanksCtx(ctx, myProduct, 5)   // RKR
+//
+// The context cancels or time-bounds a running query; per-call options
+// (WithWorkers, WithStats) tune a single query without further methods.
 //
 // The internal packages additionally provide the paper's baselines (simple
 // scan, BBR, MPA, RTA) and the full benchmark harness; see cmd/experiments
@@ -33,10 +36,10 @@
 package gridrank
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 
 	"gridrank/internal/algo"
 	"gridrank/internal/model"
@@ -177,8 +180,8 @@ func New(products, preferences []Vector, opts *Options) (*Index, error) {
 		}
 		sum := 0.0
 		for j, x := range w {
-			if math.IsNaN(x) || x < 0 {
-				return nil, fmt.Errorf("gridrank: preference %d weight %d = %v (must be non-negative)", i, j, x)
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				return nil, fmt.Errorf("gridrank: preference %d weight %d = %v (must be finite and non-negative)", i, j, x)
 			}
 			sum += x
 		}
@@ -270,22 +273,42 @@ func (ix *Index) checkQuery(q Vector, k int) error {
 	return nil
 }
 
+// checkPreference validates an ad-hoc preference vector (TopK, Rank):
+// the dimensionality must match and every weight must be finite and
+// non-negative. NaN or ±Inf weights would silently poison every score
+// comparison, so they are rejected up front.
+func (ix *Index) checkPreference(w Vector) error {
+	if len(w) != ix.dim {
+		return fmt.Errorf("%w: preference has %d dimensions, want %d", ErrDimensionMismatch, len(w), ix.dim)
+	}
+	for j, x := range w {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return fmt.Errorf("gridrank: preference weight %d = %v (must be finite and non-negative)", j, x)
+		}
+	}
+	return nil
+}
+
+// The eight methods below are the pre-context query surface, kept as
+// wrappers so existing callers migrate without breakage. Each is a
+// single delegation to the context-first entrypoints in query.go; see
+// the migration table in README.md.
+
 // ReverseTopK returns, in ascending order, the indexes of every
-// preference vector that places q within its top-k products. An empty
-// answer means no user ranks q that highly (consider ReverseKRanks).
+// preference vector that places q within its top-k products.
+//
+// Deprecated: Use ReverseTopKCtx, which adds cancellation, deadlines and
+// per-call options. This method is ReverseTopKCtx(context.Background(), q, k).
 func (ix *Index) ReverseTopK(q Vector, k int) ([]int, error) {
-	res, _, err := ix.ReverseTopKStats(q, k)
-	return res, err
+	return ix.ReverseTopKCtx(context.Background(), q, k)
 }
 
 // ReverseTopKStats is ReverseTopK with work statistics.
-func (ix *Index) ReverseTopKStats(q Vector, k int) ([]int, Stats, error) {
-	if err := ix.checkQuery(q, k); err != nil {
-		return nil, Stats{}, err
-	}
-	var c stats.Counters
-	res := ix.gir.ReverseTopK(q, k, &c)
-	return res, fromCounters(&c), nil
+//
+// Deprecated: Use ReverseTopKCtx with WithStats.
+func (ix *Index) ReverseTopKStats(q Vector, k int) (res []int, s Stats, err error) {
+	res, err = ix.ReverseTopKCtx(context.Background(), q, k, WithStats(&s))
+	return res, s, err
 }
 
 // ReverseTopKParallel is ReverseTopK with an explicit intra-query worker
@@ -293,48 +316,38 @@ func (ix *Index) ReverseTopKStats(q Vector, k int) ([]int, Stats, error) {
 // values above 1 shard the preference set across that many goroutines,
 // and 0 means GOMAXPROCS. The answer is bit-identical for every worker
 // count; negative counts are rejected.
+//
+// Deprecated: Use ReverseTopKCtx with WithWorkers.
 func (ix *Index) ReverseTopKParallel(q Vector, k, workers int) ([]int, error) {
-	res, _, err := ix.ReverseTopKParallelStats(q, k, workers)
-	return res, err
+	return ix.ReverseTopKCtx(context.Background(), q, k, WithWorkers(workers))
 }
 
 // ReverseTopKParallelStats is ReverseTopKParallel with work statistics.
-func (ix *Index) ReverseTopKParallelStats(q Vector, k, workers int) ([]int, Stats, error) {
-	if err := ix.checkQuery(q, k); err != nil {
-		return nil, Stats{}, err
-	}
-	if workers < 0 {
-		return nil, Stats{}, fmt.Errorf("%w: got %d", ErrBadParallelism, workers)
-	}
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var c stats.Counters
-	res := ix.gir.ReverseTopKParallel(q, k, workers, &c)
-	return res, fromCounters(&c), nil
+//
+// Deprecated: Use ReverseTopKCtx with WithWorkers and WithStats.
+func (ix *Index) ReverseTopKParallelStats(q Vector, k, workers int) (res []int, s Stats, err error) {
+	res, err = ix.ReverseTopKCtx(context.Background(), q, k, WithWorkers(workers), WithStats(&s))
+	return res, s, err
 }
 
 // ReverseKRanks returns the k preference vectors ranking q best, ordered
 // by ascending rank (ties toward smaller indexes). It never returns an
 // empty answer for k ≥ 1 — if fewer than k preferences exist, all are
 // returned.
+//
+// Deprecated: Use ReverseKRanksCtx, which adds cancellation, deadlines
+// and per-call options. This method is
+// ReverseKRanksCtx(context.Background(), q, k).
 func (ix *Index) ReverseKRanks(q Vector, k int) ([]Match, error) {
-	res, _, err := ix.ReverseKRanksStats(q, k)
-	return res, err
+	return ix.ReverseKRanksCtx(context.Background(), q, k)
 }
 
 // ReverseKRanksStats is ReverseKRanks with work statistics.
-func (ix *Index) ReverseKRanksStats(q Vector, k int) ([]Match, Stats, error) {
-	if err := ix.checkQuery(q, k); err != nil {
-		return nil, Stats{}, err
-	}
-	var c stats.Counters
-	matches := ix.gir.ReverseKRanks(q, k, &c)
-	out := make([]Match, len(matches))
-	for i, m := range matches {
-		out[i] = Match{WeightIndex: m.WeightIndex, Rank: m.Rank}
-	}
-	return out, fromCounters(&c), nil
+//
+// Deprecated: Use ReverseKRanksCtx with WithStats.
+func (ix *Index) ReverseKRanksStats(q Vector, k int) (res []Match, s Stats, err error) {
+	res, err = ix.ReverseKRanksCtx(context.Background(), q, k, WithStats(&s))
+	return res, s, err
 }
 
 // ReverseKRanksParallel is ReverseKRanks with an explicit intra-query
@@ -342,30 +355,19 @@ func (ix *Index) ReverseKRanksStats(q Vector, k int) ([]Match, Stats, error) {
 // scan, values above 1 shard the preference set across that many
 // goroutines, and 0 means GOMAXPROCS. The answer is bit-identical for
 // every worker count; negative counts are rejected.
+//
+// Deprecated: Use ReverseKRanksCtx with WithWorkers.
 func (ix *Index) ReverseKRanksParallel(q Vector, k, workers int) ([]Match, error) {
-	res, _, err := ix.ReverseKRanksParallelStats(q, k, workers)
-	return res, err
+	return ix.ReverseKRanksCtx(context.Background(), q, k, WithWorkers(workers))
 }
 
 // ReverseKRanksParallelStats is ReverseKRanksParallel with work
 // statistics.
-func (ix *Index) ReverseKRanksParallelStats(q Vector, k, workers int) ([]Match, Stats, error) {
-	if err := ix.checkQuery(q, k); err != nil {
-		return nil, Stats{}, err
-	}
-	if workers < 0 {
-		return nil, Stats{}, fmt.Errorf("%w: got %d", ErrBadParallelism, workers)
-	}
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var c stats.Counters
-	matches := ix.gir.ReverseKRanksParallel(q, k, workers, &c)
-	out := make([]Match, len(matches))
-	for i, m := range matches {
-		out[i] = Match{WeightIndex: m.WeightIndex, Rank: m.Rank}
-	}
-	return out, fromCounters(&c), nil
+//
+// Deprecated: Use ReverseKRanksCtx with WithWorkers and WithStats.
+func (ix *Index) ReverseKRanksParallelStats(q Vector, k, workers int) (res []Match, s Stats, err error) {
+	res, err = ix.ReverseKRanksCtx(context.Background(), q, k, WithWorkers(workers), WithStats(&s))
+	return res, s, err
 }
 
 // AggMatch is one aggregate reverse rank result: a preference index and
@@ -399,8 +401,8 @@ func (ix *Index) AggregateReverseRank(bundle []Vector, k int) ([]AggMatch, error
 // TopK returns the k best-scoring (lowest) products for a preference
 // vector, the forward query of Definition 1.
 func (ix *Index) TopK(w Vector, k int) ([]Result, error) {
-	if len(w) != ix.dim {
-		return nil, fmt.Errorf("%w: preference has %d dimensions, want %d", ErrDimensionMismatch, len(w), ix.dim)
+	if err := ix.checkPreference(w); err != nil {
+		return nil, err
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
@@ -416,8 +418,16 @@ func (ix *Index) TopK(w Vector, k int) ([]Result, error) {
 // Rank returns rank(w, q): how many products score strictly below q under
 // w. The product's 1-based position in w's ranking is Rank+1.
 func (ix *Index) Rank(w, q Vector) (int, error) {
-	if len(w) != ix.dim || len(q) != ix.dim {
-		return 0, fmt.Errorf("%w: want dimension %d", ErrDimensionMismatch, ix.dim)
+	if err := ix.checkPreference(w); err != nil {
+		return 0, err
+	}
+	if len(q) != ix.dim {
+		return 0, fmt.Errorf("%w: query has %d dimensions, want %d", ErrDimensionMismatch, len(q), ix.dim)
+	}
+	for j, x := range q {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return 0, fmt.Errorf("gridrank: query attribute %d = %v (must be finite and non-negative)", j, x)
+		}
 	}
 	return topk.Rank(ix.products, w, q, nil), nil
 }

@@ -1,6 +1,7 @@
 package gridrank
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -65,7 +66,7 @@ func TestReverseTopKMatchesFigure1(t *testing.T) {
 	ix := mustIndex(t, nil)
 	want := [][]int{nil, {0, 1, 2}, {0, 2}, nil, {1}}
 	for qi, q := range phones {
-		got, err := ix.ReverseTopK(q, 2)
+		got, err := ix.ReverseTopKCtx(context.Background(), q, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func TestReverseKRanksMatchesFigure1(t *testing.T) {
 		{WeightIndex: 1, Rank: 1},
 	}
 	for qi, q := range phones {
-		got, err := ix.ReverseKRanks(q, 1)
+		got, err := ix.ReverseKRanksCtx(context.Background(), q, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,13 +103,13 @@ func TestReverseKRanksMatchesFigure1(t *testing.T) {
 
 func TestQueryValidation(t *testing.T) {
 	ix := mustIndex(t, nil)
-	if _, err := ix.ReverseTopK(Vector{0.5}, 2); !errors.Is(err, ErrDimensionMismatch) {
+	if _, err := ix.ReverseTopKCtx(context.Background(), Vector{0.5}, 2); !errors.Is(err, ErrDimensionMismatch) {
 		t.Errorf("wrong-dim query: %v", err)
 	}
-	if _, err := ix.ReverseTopK(phones[0], 0); !errors.Is(err, ErrBadK) {
+	if _, err := ix.ReverseTopKCtx(context.Background(), phones[0], 0); !errors.Is(err, ErrBadK) {
 		t.Errorf("k=0: %v", err)
 	}
-	if _, err := ix.ReverseKRanks(Vector{0.5, math.NaN()}, 2); err == nil {
+	if _, err := ix.ReverseKRanksCtx(context.Background(), Vector{0.5, math.NaN()}, 2); err == nil {
 		t.Error("NaN query accepted")
 	}
 	if _, err := ix.TopK(Vector{0.5}, 2); !errors.Is(err, ErrDimensionMismatch) {
@@ -156,7 +157,8 @@ func TestStatsReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, st, err := ix.ReverseKRanksStats(P[0], 10)
+	var st Stats
+	_, err = ix.ReverseKRanksCtx(context.Background(), P[0], 10, WithStats(&st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +340,7 @@ func TestEndToEndConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := P[17]
-	matches, err := ix.ReverseKRanks(q, 5)
+	matches, err := ix.ReverseKRanksCtx(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +357,7 @@ func TestEndToEndConsistency(t *testing.T) {
 		}
 	}
 	// RTK with k = best rank + 1 must include the best RKR match.
-	rtk, err := ix.ReverseTopK(q, matches[0].Rank+1)
+	rtk, err := ix.ReverseTopKCtx(context.Background(), q, matches[0].Rank+1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -212,14 +213,19 @@ func (gr *GIR) newScratch() *girScratch {
 	}
 }
 
+// cancelChunk is the cancellation granularity of both scan paths: the
+// sequential loops poll ctx.Err() every cancelChunk weight vectors, and
+// the parallel workers bound their claim chunks to at most cancelChunk
+// weights and poll between claims. One chunk is the most work a
+// cancelled query performs per goroutine before returning, and at ~|P|
+// operations per weight it amortizes the poll to nothing.
+const cancelChunk = 1024
+
 // ReverseTopK is GIRTop-k (Algorithm 2), sharded across gr.Parallelism
 // workers when configured above 1.
 func (gr *GIR) ReverseTopK(q vec.Vector, k int, c *stats.Counters) []int {
-	workers := gr.Parallelism
-	if workers < 1 {
-		workers = 1
-	}
-	return gr.ReverseTopKParallel(q, k, workers, c)
+	res, _ := gr.ReverseTopKCtx(context.Background(), q, k, gr.defaultWorkers(), c)
+	return res
 }
 
 // ReverseTopKParallel is ReverseTopK with an explicit worker count
@@ -227,29 +233,57 @@ func (gr *GIR) ReverseTopK(q vec.Vector, k int, c *stats.Counters) []int {
 // shard W across that many goroutines, and 0 or negative means
 // GOMAXPROCS. The answer is identical for every worker count.
 func (gr *GIR) ReverseTopKParallel(q vec.Vector, k, workers int, c *stats.Counters) []int {
+	res, _ := gr.ReverseTopKCtx(context.Background(), q, k, workers, c)
+	return res
+}
+
+// defaultWorkers maps gr.Parallelism to an explicit worker count: values
+// below 1 mean the sequential scan.
+func (gr *GIR) defaultWorkers() int {
+	if gr.Parallelism < 1 {
+		return 1
+	}
+	return gr.Parallelism
+}
+
+// ReverseTopKCtx is ReverseTopKParallel under a context: the scan polls
+// ctx between preference chunks (cancelChunk weights) on every goroutine,
+// so a cancelled or expired context stops the query within one chunk and
+// returns ctx.Err() with no workers left behind. The answer is identical
+// for every worker count; a cancelled query returns a nil answer.
+func (gr *GIR) ReverseTopKCtx(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters) ([]int, error) {
 	if c != nil {
 		defer func() { c.Queries++ }()
 	}
 	if k <= 0 {
-		return nil
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if workers = normalizeWorkers(workers, len(gr.W)); workers > 1 {
-		return gr.reverseTopKParallel(q, k, workers, c)
+		return gr.reverseTopKParallel(ctx, q, k, workers, c)
 	}
+	done := ctx.Done()
 	dom := newDomin(len(gr.P))
 	scratch := gr.newScratch()
 	var res []int
 	for wi := range gr.W {
+		if done != nil && wi%cancelChunk == 0 && wi > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if _, ok := gr.rankBounded(wi, q, k, dom, scratch, c); ok {
 			res = append(res, wi)
 		}
 		// Algorithm 2 lines 7–8: with k dominators, no weight can place q
 		// in its top-k.
 		if dom.count >= k {
-			return nil
+			return nil, nil
 		}
 	}
-	return res
+	return res, nil
 }
 
 // ReverseKRanks is GIRk-Rank (Algorithm 3): the size-k heap's worst
@@ -257,11 +291,8 @@ func (gr *GIR) ReverseTopKParallel(q vec.Vector, k, workers int, c *stats.Counte
 // and tightens as better weights are found. When gr.Parallelism exceeds
 // 1, the scan is sharded and the cutoff becomes a shared watermark.
 func (gr *GIR) ReverseKRanks(q vec.Vector, k int, c *stats.Counters) []topk.Match {
-	workers := gr.Parallelism
-	if workers < 1 {
-		workers = 1
-	}
-	return gr.ReverseKRanksParallel(q, k, workers, c)
+	res, _ := gr.ReverseKRanksCtx(context.Background(), q, k, gr.defaultWorkers(), c)
+	return res
 }
 
 // ReverseKRanksParallel is ReverseKRanks with an explicit worker count
@@ -269,22 +300,40 @@ func (gr *GIR) ReverseKRanks(q vec.Vector, k int, c *stats.Counters) []topk.Matc
 // shard W across that many goroutines, and 0 or negative means
 // GOMAXPROCS. The answer is identical for every worker count.
 func (gr *GIR) ReverseKRanksParallel(q vec.Vector, k, workers int, c *stats.Counters) []topk.Match {
+	res, _ := gr.ReverseKRanksCtx(context.Background(), q, k, workers, c)
+	return res
+}
+
+// ReverseKRanksCtx is ReverseKRanksParallel under a context, with the
+// same cancellation contract as ReverseTopKCtx: every goroutine polls
+// ctx between preference chunks, so cancellation is honoured within one
+// chunk and the call returns ctx.Err() with no workers left behind.
+func (gr *GIR) ReverseKRanksCtx(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters) ([]topk.Match, error) {
 	if c != nil {
 		defer func() { c.Queries++ }()
 	}
 	if k <= 0 {
-		return nil
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if workers = normalizeWorkers(workers, len(gr.W)); workers > 1 {
-		return gr.reverseKRanksParallel(q, k, workers, c)
+		return gr.reverseKRanksParallel(ctx, q, k, workers, c)
 	}
+	done := ctx.Done()
 	h := topk.NewKRankHeap(k)
 	dom := newDomin(len(gr.P))
 	scratch := gr.newScratch()
 	for wi := range gr.W {
+		if done != nil && wi%cancelChunk == 0 && wi > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if rnk, ok := gr.rankBounded(wi, q, h.Threshold(), dom, scratch, c); ok {
 			h.Offer(topk.Match{WeightIndex: wi, Rank: rnk})
 		}
 	}
-	return h.Results()
+	return h.Results(), nil
 }

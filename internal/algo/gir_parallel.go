@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -65,10 +66,15 @@ func normalizeWorkers(workers, nW int) int {
 // parallelChunk sizes the unit of work workers claim from the shared
 // cursor: small enough for load balance across skewed shards, large
 // enough that the atomic claim is amortized over many rank evaluations.
+// The cancelChunk ceiling bounds how much work a worker performs between
+// context polls, so a cancelled query stops within one chunk.
 func parallelChunk(nW, workers int) int {
 	chunk := nW / (8 * workers)
 	if chunk < 16 {
 		chunk = 16
+	}
+	if chunk > cancelChunk {
+		chunk = cancelChunk
 	}
 	return chunk
 }
@@ -142,11 +148,16 @@ func (wm *rankWatermark) cutoff(local int) int {
 }
 
 // reverseTopKParallel is GIRTop-k (Algorithm 2) sharded over workers
-// goroutines. Callers guarantee workers >= 2 and k >= 1.
-func (gr *GIR) reverseTopKParallel(q vec.Vector, k, workers int, c *stats.Counters) []int {
+// goroutines. Callers guarantee workers >= 2, k >= 1 and a live ctx on
+// entry. Workers poll ctx between chunk claims (chunks are capped at
+// cancelChunk weights), so cancellation stops every worker within one
+// chunk; the coordinator then joins them all and returns ctx.Err() —
+// cancellation never leaks a goroutine.
+func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters) ([]int, error) {
 	shared := newSharedDomin(len(gr.P))
 	var cursor atomic.Int64
 	chunk := parallelChunk(len(gr.W), workers)
+	done := ctx.Done()
 	type workerOut struct {
 		res []int
 		c   stats.Counters
@@ -162,6 +173,9 @@ func (gr *GIR) reverseTopKParallel(q vec.Vector, k, workers int, c *stats.Counte
 			scratch := gr.newScratch()
 			for {
 				if shared.count.Load() >= int64(k) {
+					return
+				}
+				if done != nil && ctx.Err() != nil {
 					return
 				}
 				end := int(cursor.Add(int64(chunk)))
@@ -189,26 +203,31 @@ func (gr *GIR) reverseTopKParallel(q vec.Vector, k, workers int, c *stats.Counte
 			c.Add(&outs[w].c)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Algorithm 2 lines 7–8, sharded: k distinct dominators imply every
 	// weight ranks q at k or worse, so the answer is empty — exactly what
 	// the sequential early exit returns.
 	if shared.count.Load() >= int64(k) {
-		return nil
+		return nil, nil
 	}
 	var res []int
 	for w := range outs {
 		res = append(res, outs[w].res...)
 	}
 	sort.Ints(res)
-	return res
+	return res, nil
 }
 
 // reverseKRanksParallel is GIRk-Rank (Algorithm 3) sharded over workers
-// goroutines. Callers guarantee workers >= 2 and k >= 1.
-func (gr *GIR) reverseKRanksParallel(q vec.Vector, k, workers int, c *stats.Counters) []topk.Match {
+// goroutines. Callers guarantee workers >= 2, k >= 1 and a live ctx on
+// entry; the cancellation contract matches reverseTopKParallel.
+func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters) ([]topk.Match, error) {
 	wm := newRankWatermark()
 	var cursor atomic.Int64
 	chunk := parallelChunk(len(gr.W), workers)
+	done := ctx.Done()
 	type workerOut struct {
 		matches []topk.Match
 		c       stats.Counters
@@ -223,6 +242,9 @@ func (gr *GIR) reverseKRanksParallel(q vec.Vector, k, workers int, c *stats.Coun
 			dom := newDomin(len(gr.P))
 			scratch := gr.newScratch()
 			for {
+				if done != nil && ctx.Err() != nil {
+					break
+				}
 				end := int(cursor.Add(int64(chunk)))
 				start := end - chunk
 				if start >= len(gr.W) {
@@ -253,6 +275,9 @@ func (gr *GIR) reverseKRanksParallel(q vec.Vector, k, workers int, c *stats.Coun
 	if c != nil {
 		stats.Merge(c, counters...)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Every global top-k match survives some worker's local heap (a
 	// worker's heap keeps its shard's k best, a superset of the shard's
 	// contribution to the global answer), so sorting the union on the
@@ -267,5 +292,5 @@ func (gr *GIR) reverseKRanksParallel(q vec.Vector, k, workers int, c *stats.Coun
 	if len(all) > k {
 		all = all[:k]
 	}
-	return all
+	return all, nil
 }

@@ -3,16 +3,19 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"gridrank/internal/algo"
 	"gridrank/internal/dataset"
 	"gridrank/internal/stats"
+	"gridrank/internal/topk"
 	"gridrank/internal/vec"
 )
 
@@ -93,7 +96,8 @@ type QueryOptions struct {
 	Capacity     int    // R-tree capacity
 	Parallel     int    // intra-query workers for gir (0/1 = sequential)
 	ShowStats    bool
-	Limit        int // max printed result rows, 0 = all
+	Limit        int           // max printed result rows, 0 = all
+	Timeout      time.Duration // per-query deadline, 0 = none
 }
 
 // applyParallel configures intra-query workers on algorithms that
@@ -114,7 +118,26 @@ func applyParallel(a interface{ Name() string }, workers int) error {
 }
 
 // RunQuery executes one query and writes a human-readable report to w.
+// It is RunQueryCtx under a background context.
 func RunQuery(w io.Writer, opts QueryOptions) error {
+	return RunQueryCtx(context.Background(), w, opts)
+}
+
+// girWorkers maps the CLI's -parallel semantics (0 or 1 = sequential)
+// to the algorithm layer's explicit worker count.
+func girWorkers(parallel int) int {
+	if parallel <= 1 {
+		return 1
+	}
+	return parallel
+}
+
+// RunQueryCtx executes one query under ctx and writes a human-readable
+// report to w. The gir algorithm honours cancellation mid-scan (it stops
+// within one preference chunk); other algorithms only check the context
+// before starting. opts.Timeout, when positive, bounds the query itself —
+// not the data-set loading.
+func RunQueryCtx(ctx context.Context, w io.Writer, opts QueryOptions) error {
 	if opts.PPath == "" || opts.WPath == "" {
 		return fmt.Errorf("-p and -w are required")
 	}
@@ -133,6 +156,11 @@ func RunQuery(w io.Writer, opts QueryOptions) error {
 	if err != nil {
 		return err
 	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	var c stats.Counters
 	switch opts.Type {
 	case "rtk":
@@ -143,7 +171,15 @@ func RunQuery(w io.Writer, opts QueryOptions) error {
 		if err := applyParallel(a, opts.Parallel); err != nil {
 			return err
 		}
-		res := a.ReverseTopK(q, opts.K, &c)
+		var res []int
+		if g, ok := a.(*algo.GIR); ok {
+			res, err = g.ReverseTopKCtx(ctx, q, opts.K, girWorkers(opts.Parallel), &c)
+		} else if err = ctx.Err(); err == nil {
+			res = a.ReverseTopK(q, opts.K, &c)
+		}
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
 		fmt.Fprintf(w, "RTK(k=%d) via %s: %d matching preferences\n", opts.K, a.Name(), len(res))
 		for i, wi := range res {
 			if opts.Limit > 0 && i >= opts.Limit {
@@ -160,7 +196,15 @@ func RunQuery(w io.Writer, opts QueryOptions) error {
 		if err := applyParallel(a, opts.Parallel); err != nil {
 			return err
 		}
-		res := a.ReverseKRanks(q, opts.K, &c)
+		var res []topk.Match
+		if g, ok := a.(*algo.GIR); ok {
+			res, err = g.ReverseKRanksCtx(ctx, q, opts.K, girWorkers(opts.Parallel), &c)
+		} else if err = ctx.Err(); err == nil {
+			res = a.ReverseKRanks(q, opts.K, &c)
+		}
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
 		fmt.Fprintf(w, "RKR(k=%d) via %s:\n", opts.K, a.Name())
 		for i, m := range res {
 			if opts.Limit > 0 && i >= opts.Limit {

@@ -1,0 +1,246 @@
+// Package metrics is the server's observability layer: a dependency-free
+// registry of per-endpoint request counters, error counters by status
+// code, latency histograms and Grid-index filter-rate gauges, rendered
+// in the Prometheus text exposition format (version 0.0.4) for GET
+// /metrics.
+//
+// The hot path is lock-free: requests, latencies and filter counts go
+// through atomics; the only mutexes guard endpoint creation (once per
+// endpoint name) and the rare error-code map insert. Scrapes take no
+// locks on the hot path either — they read the same atomics, so a
+// scrape concurrent with traffic sees a consistent-enough snapshot (the
+// usual Prometheus counter semantics).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond cache hits to the multi-second scans of a |W| in the
+// millions. The terminal +Inf bucket is implicit.
+var LatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry aggregates per-endpoint metrics and renders them for
+// scraping. The zero value is not usable; call New.
+type Registry struct {
+	mu        sync.RWMutex
+	endpoints map[string]*Endpoint
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{endpoints: make(map[string]*Endpoint)}
+}
+
+// Endpoint returns the metrics bucket for name, creating it on first
+// use. The returned pointer is stable and safe for concurrent use.
+func (r *Registry) Endpoint(name string) *Endpoint {
+	r.mu.RLock()
+	e := r.endpoints[name]
+	r.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = r.endpoints[name]; e == nil {
+		e = &Endpoint{
+			name:    name,
+			errors:  make(map[int]*atomic.Int64),
+			latency: histogram{counts: make([]atomic.Int64, len(LatencyBuckets)+1)},
+		}
+		r.endpoints[name] = e
+	}
+	return e
+}
+
+// Endpoint holds the metrics of one named HTTP endpoint.
+type Endpoint struct {
+	name     string
+	requests atomic.Int64
+	inFlight atomic.Int64
+	latency  histogram
+
+	errMu  sync.Mutex
+	errors map[int]*atomic.Int64 // completed requests by status >= 400
+
+	// filtered and refined accumulate the Grid-index work counters of
+	// the endpoint's queries, so the scrape can report the live filter
+	// rate (the paper's headline efficiency metric) per endpoint.
+	filtered atomic.Int64
+	refined  atomic.Int64
+}
+
+// Begin marks a request in flight. Observe ends it.
+func (e *Endpoint) Begin() {
+	e.inFlight.Add(1)
+}
+
+// Observe records one completed request begun with Begin: its wall time
+// and final status code. Statuses >= 400 — including 499 (client went
+// away) and 504 (deadline exceeded) — count into the error metric.
+func (e *Endpoint) Observe(d time.Duration, status int) {
+	e.inFlight.Add(-1)
+	e.requests.Add(1)
+	e.latency.observe(d.Seconds())
+	if status >= 400 {
+		e.errMu.Lock()
+		c := e.errors[status]
+		if c == nil {
+			c = new(atomic.Int64)
+			e.errors[status] = c
+		}
+		e.errMu.Unlock()
+		c.Add(1)
+	}
+}
+
+// AddFilterCounts folds one query's Grid-index work counters into the
+// endpoint's filter-rate gauge. Cancelled queries contribute the work
+// they performed before stopping.
+func (e *Endpoint) AddFilterCounts(filtered, refined int64) {
+	e.filtered.Add(filtered)
+	e.refined.Add(refined)
+}
+
+// snapshotErrors copies the error-code map for rendering.
+func (e *Endpoint) snapshotErrors() map[int]int64 {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	out := make(map[int]int64, len(e.errors))
+	for code, c := range e.errors {
+		out[code] = c.Load()
+	}
+	return out
+}
+
+// histogram is a fixed-bucket latency histogram. Buckets store
+// non-cumulative counts; rendering accumulates them into the cumulative
+// `le` series Prometheus expects.
+type histogram struct {
+	counts  []atomic.Int64 // len(LatencyBuckets)+1, last is +Inf
+	sumBits atomic.Uint64  // float64 bits of the observed sum, CAS-added
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(LatencyBuckets, seconds)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (h *histogram) sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// WritePrometheus renders every endpoint's metrics in the Prometheus
+// text exposition format, endpoints in sorted order so scrapes are
+// stable and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.endpoints))
+	for name := range r.endpoints {
+		names = append(names, name)
+	}
+	eps := make([]*Endpoint, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		eps = append(eps, r.endpoints[name])
+	}
+	r.mu.RUnlock()
+
+	b := &errWriter{w: w}
+	b.printf("# HELP gridrank_requests_total Completed HTTP requests by endpoint.\n")
+	b.printf("# TYPE gridrank_requests_total counter\n")
+	for _, e := range eps {
+		b.printf("gridrank_requests_total{endpoint=%q} %d\n", e.name, e.requests.Load())
+	}
+
+	b.printf("# HELP gridrank_request_errors_total Completed HTTP requests with status >= 400, by endpoint and status code (499 = client cancelled, 504 = deadline exceeded).\n")
+	b.printf("# TYPE gridrank_request_errors_total counter\n")
+	for _, e := range eps {
+		errs := e.snapshotErrors()
+		codes := make([]int, 0, len(errs))
+		for code := range errs {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			b.printf("gridrank_request_errors_total{endpoint=%q,code=\"%d\"} %d\n", e.name, code, errs[code])
+		}
+	}
+
+	b.printf("# HELP gridrank_requests_in_flight Requests currently being served, by endpoint.\n")
+	b.printf("# TYPE gridrank_requests_in_flight gauge\n")
+	for _, e := range eps {
+		b.printf("gridrank_requests_in_flight{endpoint=%q} %d\n", e.name, e.inFlight.Load())
+	}
+
+	b.printf("# HELP gridrank_request_duration_seconds Wall time of completed requests, by endpoint.\n")
+	b.printf("# TYPE gridrank_request_duration_seconds histogram\n")
+	for _, e := range eps {
+		var cum int64
+		for i, ub := range LatencyBuckets {
+			cum += e.latency.counts[i].Load()
+			b.printf("gridrank_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", e.name, formatFloat(ub), cum)
+		}
+		cum += e.latency.counts[len(LatencyBuckets)].Load()
+		b.printf("gridrank_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", e.name, cum)
+		b.printf("gridrank_request_duration_seconds_sum{endpoint=%q} %s\n", e.name, formatFloat(e.latency.sum()))
+		b.printf("gridrank_request_duration_seconds_count{endpoint=%q} %d\n", e.name, cum)
+	}
+
+	b.printf("# HELP gridrank_filtered_points_total Points decided by Grid-index bounds alone, by endpoint.\n")
+	b.printf("# TYPE gridrank_filtered_points_total counter\n")
+	for _, e := range eps {
+		b.printf("gridrank_filtered_points_total{endpoint=%q} %d\n", e.name, e.filtered.Load())
+	}
+	b.printf("# HELP gridrank_refined_points_total Points needing an exact score after Grid-index filtering, by endpoint.\n")
+	b.printf("# TYPE gridrank_refined_points_total counter\n")
+	for _, e := range eps {
+		b.printf("gridrank_refined_points_total{endpoint=%q} %d\n", e.name, e.refined.Load())
+	}
+	b.printf("# HELP gridrank_filter_rate Fraction of examined points the Grid-index decided without a multiplication, by endpoint.\n")
+	b.printf("# TYPE gridrank_filter_rate gauge\n")
+	for _, e := range eps {
+		f, rf := e.filtered.Load(), e.refined.Load()
+		rate := 0.0
+		if f+rf > 0 {
+			rate = float64(f) / float64(f+rf)
+		}
+		b.printf("gridrank_filter_rate{endpoint=%q} %s\n", e.name, formatFloat(rate))
+	}
+	return b.err
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// representation that round-trips.
+func formatFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}
+
+// errWriter latches the first write error so the render loop stays
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *errWriter) printf(format string, args ...interface{}) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format, args...)
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return sb.String()
+}
+
+func TestCountersAndErrors(t *testing.T) {
+	r := New()
+	e := r.Endpoint("reverse_topk")
+	for i := 0; i < 5; i++ {
+		e.Begin()
+		e.Observe(2*time.Millisecond, 200)
+	}
+	e.Begin()
+	e.Observe(time.Millisecond, 400)
+	e.Begin()
+	e.Observe(time.Millisecond, 504)
+	e.Begin()
+	e.Observe(time.Millisecond, 499)
+
+	out := render(t, r)
+	for _, want := range []string{
+		`gridrank_requests_total{endpoint="reverse_topk"} 8`,
+		`gridrank_request_errors_total{endpoint="reverse_topk",code="400"} 1`,
+		`gridrank_request_errors_total{endpoint="reverse_topk",code="499"} 1`,
+		`gridrank_request_errors_total{endpoint="reverse_topk",code="504"} 1`,
+		`gridrank_requests_in_flight{endpoint="reverse_topk"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestInFlightGauge(t *testing.T) {
+	r := New()
+	e := r.Endpoint("rank")
+	e.Begin()
+	e.Begin()
+	if out := render(t, r); !strings.Contains(out, `gridrank_requests_in_flight{endpoint="rank"} 2`) {
+		t.Errorf("in-flight gauge wrong:\n%s", out)
+	}
+	e.Observe(time.Millisecond, 200)
+	e.Observe(time.Millisecond, 200)
+	if out := render(t, r); !strings.Contains(out, `gridrank_requests_in_flight{endpoint="rank"} 0`) {
+		t.Errorf("in-flight gauge should drain to 0:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	r := New()
+	e := r.Endpoint("q")
+	e.Begin()
+	e.Observe(700*time.Microsecond, 200) // -> le=0.001
+	e.Begin()
+	e.Observe(3*time.Millisecond, 200) // -> le=0.005
+	e.Begin()
+	e.Observe(time.Minute, 200) // -> +Inf only
+
+	out := render(t, r)
+	for _, want := range []string{
+		`gridrank_request_duration_seconds_bucket{endpoint="q",le="0.0005"} 0`,
+		`gridrank_request_duration_seconds_bucket{endpoint="q",le="0.001"} 1`,
+		`gridrank_request_duration_seconds_bucket{endpoint="q",le="0.0025"} 1`,
+		`gridrank_request_duration_seconds_bucket{endpoint="q",le="0.005"} 2`,
+		`gridrank_request_duration_seconds_bucket{endpoint="q",le="10"} 2`,
+		`gridrank_request_duration_seconds_bucket{endpoint="q",le="+Inf"} 3`,
+		`gridrank_request_duration_seconds_count{endpoint="q"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBucketBoundaryIsInclusive(t *testing.T) {
+	r := New()
+	e := r.Endpoint("q")
+	e.Begin()
+	e.Observe(time.Millisecond, 200) // exactly 0.001 -> le="0.001" (le is <=)
+	out := render(t, r)
+	if !strings.Contains(out, `gridrank_request_duration_seconds_bucket{endpoint="q",le="0.001"} 1`) {
+		t.Errorf("0.001s observation must land in the le=0.001 bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `gridrank_request_duration_seconds_bucket{endpoint="q",le="0.0005"} 0`) {
+		t.Errorf("0.001s observation must not land in le=0.0005:\n%s", out)
+	}
+}
+
+func TestFilterRate(t *testing.T) {
+	r := New()
+	e := r.Endpoint("reverse_kranks")
+	e.AddFilterCounts(90, 10)
+	out := render(t, r)
+	for _, want := range []string{
+		`gridrank_filtered_points_total{endpoint="reverse_kranks"} 90`,
+		`gridrank_refined_points_total{endpoint="reverse_kranks"} 10`,
+		`gridrank_filter_rate{endpoint="reverse_kranks"} 0.9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// No work at all renders a 0 rate, not NaN.
+	r2 := New()
+	r2.Endpoint("idle")
+	if out := render(t, r2); !strings.Contains(out, `gridrank_filter_rate{endpoint="idle"} 0`) {
+		t.Errorf("idle endpoint should report rate 0:\n%s", out)
+	}
+}
+
+func TestEndpointsSortedAndStable(t *testing.T) {
+	r := New()
+	r.Endpoint("zeta")
+	r.Endpoint("alpha")
+	out := render(t, r)
+	if strings.Index(out, `endpoint="alpha"`) > strings.Index(out, `endpoint="zeta"`) {
+		t.Errorf("endpoints must render in sorted order:\n%s", out)
+	}
+	if render(t, r) != out {
+		t.Error("render must be deterministic")
+	}
+}
+
+// TestConcurrentObserve exercises the lock-free hot path under the race
+// detector and checks nothing is lost.
+func TestConcurrentObserve(t *testing.T) {
+	r := New()
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			e := r.Endpoint("hot")
+			for i := 0; i < per; i++ {
+				e.Begin()
+				status := 200
+				if i%10 == 0 {
+					status = 504
+				}
+				e.Observe(time.Duration(i%7)*time.Millisecond, status)
+				e.AddFilterCounts(3, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	out := render(t, r)
+	for _, want := range []string{
+		`gridrank_requests_total{endpoint="hot"} 4000`,
+		`gridrank_request_errors_total{endpoint="hot",code="504"} 400`,
+		`gridrank_request_duration_seconds_count{endpoint="hot"} 4000`,
+		`gridrank_filtered_points_total{endpoint="hot"} 12000`,
+		`gridrank_refined_points_total{endpoint="hot"} 4000`,
+		`gridrank_filter_rate{endpoint="hot"} 0.75`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

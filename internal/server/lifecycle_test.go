@@ -1,0 +1,374 @@
+package server
+
+// Tests for the request lifecycle added with the context-first API:
+// opt-in stats, per-request deadlines, the /metrics exposition, the
+// /v1/batch endpoint, and non-finite input rejection.
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gridrank"
+)
+
+// bigServer builds a server over a preference set large enough that a
+// query takes a measurable amount of time, for deadline tests.
+func bigServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	P, err := gridrank.GenerateProducts(71, gridrank.Uniform, 4000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := gridrank.GeneratePreferences(72, gridrank.Uniform, 30000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := gridrank.New(P, W, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWithConfig(ix, cfg)
+}
+
+func TestStatsAreOptIn(t *testing.T) {
+	s, _ := testServer(t)
+	rec := post(t, s, "/v1/reverse-topk", map[string]interface{}{"product": 3, "k": 20})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if strings.Contains(rec.Body.String(), `"stats"`) {
+		t.Errorf("stats must be omitted unless requested: %s", rec.Body.String())
+	}
+	rec = post(t, s, "/v1/reverse-topk", map[string]interface{}{"product": 3, "k": 20, "stats": true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Stats *gridrank.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats == nil {
+		t.Fatalf("stats requested but missing: %s", rec.Body.String())
+	}
+	if resp.Stats.Filtered+resp.Stats.Refined == 0 {
+		t.Errorf("stats block is empty: %+v", resp.Stats)
+	}
+	// Same contract on reverse-kranks.
+	rec = post(t, s, "/v1/reverse-kranks", map[string]interface{}{"product": 3, "k": 5, "stats": true})
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"stats"`) {
+		t.Errorf("kranks stats opt-in: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestPerRequestTimeout(t *testing.T) {
+	s := bigServer(t, Config{})
+	// 1ms cannot finish a 30k-preference scan cold; the deadline must cut
+	// the query off and map to 504.
+	rec := post(t, s, "/v1/reverse-kranks", map[string]interface{}{"product": 1, "k": 10, "timeoutMs": 1})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("timeoutMs=1: status %d, want 504 (%s)", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "deadline") {
+		t.Errorf("error should mention the deadline: %s", rec.Body.String())
+	}
+	// The timeout request must be counted in the error metric.
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(mrec.Body.String(), `gridrank_request_errors_total{endpoint="reverse_kranks",code="504"} 1`) {
+		t.Errorf("504 missing from error metric:\n%s", mrec.Body.String())
+	}
+}
+
+func TestServerDefaultTimeout(t *testing.T) {
+	s := bigServer(t, Config{QueryTimeout: time.Nanosecond})
+	rec := post(t, s, "/v1/reverse-topk", map[string]interface{}{"product": 1, "k": 10})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("default timeout: status %d, want 504 (%s)", rec.Code, rec.Body.String())
+	}
+	// A generous per-request override beats the tiny default.
+	rec = post(t, s, "/v1/reverse-topk", map[string]interface{}{"product": 1, "k": 10, "timeoutMs": 60000})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("override timeout: status %d (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+func TestNegativeTimeoutRejected(t *testing.T) {
+	s, _ := testServer(t)
+	rec := post(t, s, "/v1/reverse-topk", map[string]interface{}{"product": 1, "k": 10, "timeoutMs": -5})
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "timeoutMs") {
+		t.Fatalf("timeoutMs=-5: status %d (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+func TestClientCancelIs499(t *testing.T) {
+	s := bigServer(t, Config{})
+	body := strings.NewReader(`{"product": 1, "k": 10}`)
+	req := httptest.NewRequest(http.MethodPost, "/v1/reverse-kranks", body)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel() // the client is already gone
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req.WithContext(ctx))
+	if rec.Code != statusClientClosed {
+		t.Fatalf("cancelled client: status %d, want %d (%s)", rec.Code, statusClientClosed, rec.Body.String())
+	}
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(mrec.Body.String(), `gridrank_request_errors_total{endpoint="reverse_kranks",code="499"} 1`) {
+		t.Errorf("499 missing from error metric:\n%s", mrec.Body.String())
+	}
+}
+
+func TestMetricsAfterWorkload(t *testing.T) {
+	s, _ := testServer(t)
+	for i := 0; i < 3; i++ {
+		rec := post(t, s, "/v1/reverse-topk", map[string]interface{}{"product": i, "k": 30})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("warmup query %d: %d", i, rec.Code)
+		}
+	}
+	post(t, s, "/v1/reverse-kranks", map[string]interface{}{"product": 0, "k": 5})
+	post(t, s, "/v1/reverse-topk", map[string]interface{}{"k": 5}) // 400: no query
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		`gridrank_requests_total{endpoint="reverse_topk"} 4`,
+		`gridrank_requests_total{endpoint="reverse_kranks"} 1`,
+		`gridrank_request_errors_total{endpoint="reverse_topk",code="400"} 1`,
+		`gridrank_request_duration_seconds_bucket{endpoint="reverse_topk",le="+Inf"} 4`,
+		`gridrank_request_duration_seconds_count{endpoint="reverse_kranks"} 1`,
+		`gridrank_filtered_points_total{endpoint="reverse_topk"}`,
+		`gridrank_filter_rate{endpoint="reverse_topk"} 0.`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics:\n%s", want, out)
+		}
+	}
+	// POST must be rejected.
+	prec := post(t, s, "/metrics", map[string]int{})
+	if prec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics: %d", prec.Code)
+	}
+}
+
+func TestBatchMixedQueries(t *testing.T) {
+	s, ix := testServer(t)
+	rec := post(t, s, "/v1/batch", map[string]interface{}{
+		"queries": []map[string]interface{}{
+			{"type": "reverse-topk", "product": 7, "k": 50},
+			{"type": "reverse-kranks", "product": 3, "k": 5},
+			{"type": "reverse-topk", "product": 9, "k": 50},
+			{"type": "reverse-kranks", "product": 999999, "k": 5}, // bad product
+		},
+		"parallelism": 2,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Results []struct {
+			ReverseTopK *struct {
+				Preferences []int `json:"preferences"`
+				Count       int   `json:"count"`
+			} `json:"reverseTopk"`
+			ReverseKRanks *struct {
+				Matches []struct {
+					Preference int `json:"preference"`
+					Rank       int `json:"rank"`
+				} `json:"matches"`
+			} `json:"reverseKranks"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(resp.Results))
+	}
+	// Item 0 and 2: RTK answers matching the direct API.
+	for _, item := range []int{0, 2} {
+		product := []int{7, 0, 9}[item]
+		r := resp.Results[item]
+		if r.ReverseTopK == nil || r.Error != "" {
+			t.Fatalf("result %d: %+v", item, r)
+		}
+		want, err := ix.ReverseTopKCtx(context.Background(), ix.Products()[product], 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ReverseTopK.Count != len(want) {
+			t.Errorf("result %d: count %d, want %d", item, r.ReverseTopK.Count, len(want))
+		}
+		for i := range want {
+			if r.ReverseTopK.Preferences[i] != want[i] {
+				t.Fatalf("result %d answer diverges at %d", item, i)
+			}
+		}
+	}
+	// Item 1: RKR answer matching the direct API.
+	if resp.Results[1].ReverseKRanks == nil {
+		t.Fatalf("result 1: %+v", resp.Results[1])
+	}
+	wantKR, err := ix.ReverseKRanksCtx(context.Background(), ix.Products()[3], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKR := resp.Results[1].ReverseKRanks.Matches
+	if len(gotKR) != len(wantKR) {
+		t.Fatalf("result 1: %d matches, want %d", len(gotKR), len(wantKR))
+	}
+	for i := range wantKR {
+		if gotKR[i].Preference != wantKR[i].WeightIndex || gotKR[i].Rank != wantKR[i].Rank {
+			t.Errorf("result 1 match %d: %+v, want %+v", i, gotKR[i], wantKR[i])
+		}
+	}
+	// Item 3: its own error, not the batch's.
+	if resp.Results[3].Error == "" {
+		t.Errorf("result 3 should carry a per-item error: %+v", resp.Results[3])
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		name string
+		body interface{}
+		want int
+	}{
+		{"empty", map[string]interface{}{"queries": []int{}}, http.StatusBadRequest},
+		{"missing queries", map[string]interface{}{}, http.StatusBadRequest},
+		{"negative parallelism", map[string]interface{}{
+			"queries":     []map[string]interface{}{{"type": "reverse-topk", "product": 1, "k": 5}},
+			"parallelism": -1}, http.StatusBadRequest},
+		{"negative timeout", map[string]interface{}{
+			"queries":   []map[string]interface{}{{"type": "reverse-topk", "product": 1, "k": 5}},
+			"timeoutMs": -1}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := post(t, s, "/v1/batch", c.body)
+			if rec.Code != c.want {
+				t.Errorf("status %d, want %d (%s)", rec.Code, c.want, rec.Body.String())
+			}
+		})
+	}
+	// Unknown type fails the item, not the request.
+	rec := post(t, s, "/v1/batch", map[string]interface{}{
+		"queries": []map[string]interface{}{{"type": "sideways", "product": 1, "k": 5}},
+	})
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "unknown type") {
+		t.Errorf("unknown type: %d %s", rec.Code, rec.Body.String())
+	}
+	// Over the batch limit.
+	over := make([]map[string]interface{}, DefaultMaxBatch+1)
+	for i := range over {
+		over[i] = map[string]interface{}{"type": "reverse-topk", "product": 1, "k": 5}
+	}
+	rec = post(t, s, "/v1/batch", map[string]interface{}{"queries": over})
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "limit") {
+		t.Errorf("over limit: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestBatchTimeout(t *testing.T) {
+	s := bigServer(t, Config{})
+	items := make([]map[string]interface{}, 16)
+	for i := range items {
+		items[i] = map[string]interface{}{"type": "reverse-kranks", "product": i, "k": 10}
+	}
+	rec := post(t, s, "/v1/batch", map[string]interface{}{"queries": items, "timeoutMs": 1})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("batch timeoutMs=1: status %d, want 504 (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestNonFiniteInputsRejected posts raw bodies whose numbers JSON cannot
+// faithfully carry: NaN/Infinity tokens are invalid JSON, and 1e999
+// overflows float64. All must answer 400 with a clear error.
+func TestNonFiniteInputsRejected(t *testing.T) {
+	s, _ := testServer(t)
+	bodies := []string{
+		`{"query": [NaN, 1, 2, 3], "k": 5}`,
+		`{"query": [Infinity, 1, 2, 3], "k": 5}`,
+		`{"query": [-Infinity, 1, 2, 3], "k": 5}`,
+		`{"query": [1e999, 1, 2, 3], "k": 5}`,
+		`{"query": [-1e999, 1, 2, 3], "k": 5}`,
+	}
+	for _, path := range []string{"/v1/reverse-topk", "/v1/reverse-kranks"} {
+		for _, body := range bodies {
+			req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d, want 400", path, body, rec.Code)
+			}
+			if !strings.Contains(rec.Body.String(), "error") {
+				t.Errorf("%s %s: missing error body: %s", path, body, rec.Body.String())
+			}
+		}
+	}
+	// A negative coordinate is syntactically valid JSON and must be
+	// caught by the library's validation instead.
+	rec := post(t, s, "/v1/reverse-topk", map[string]interface{}{"query": []float64{-1, 1, 2, 3}, "k": 5})
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "finite and non-negative") {
+		t.Errorf("negative coordinate: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func smallServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	P, err := gridrank.GenerateProducts(31, gridrank.Uniform, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := gridrank.GeneratePreferences(32, gridrank.Uniform, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := gridrank.New(P, W, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWithConfig(ix, cfg)
+}
+
+func TestIndexReportsLifecycleConfig(t *testing.T) {
+	s := smallServer(t, Config{QueryTimeout: 250 * time.Millisecond, MaxBatch: 64})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/index", nil))
+	for _, want := range []string{`"queryTimeoutMs":250`, `"maxBatch":64`} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("missing %s in /v1/index: %s", want, rec.Body.String())
+		}
+	}
+}
+
+// TestRequestLogging checks the middleware emits one structured record
+// per request with the endpoint and status attributes.
+func TestRequestLogging(t *testing.T) {
+	var sb strings.Builder
+	s := smallServer(t, Config{Logger: slog.New(slog.NewTextHandler(&sb, nil))})
+	post(t, s, "/v1/reverse-topk", map[string]interface{}{"product": 1, "k": 5})
+	out := sb.String()
+	for _, want := range []string{"endpoint=reverse_topk", "status=200", "method=POST"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log record missing %q: %s", want, out)
+		}
+	}
+}

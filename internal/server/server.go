@@ -7,26 +7,60 @@
 // Endpoints:
 //
 //	GET  /healthz            liveness
-//	GET  /v1/index           index metadata (incl. maxParallelism)
-//	POST /v1/reverse-topk    {"query":[...]|"product":i, "k":100, "parallelism":4}
-//	POST /v1/reverse-kranks  {"query":[...]|"product":i, "k":10, "parallelism":4}
+//	GET  /metrics            Prometheus text exposition (see internal/metrics)
+//	GET  /v1/index           index metadata (incl. maxParallelism, queryTimeoutMs)
+//	POST /v1/reverse-topk    {"query":[...]|"product":i, "k":100, "parallelism":4, "stats":true, "timeoutMs":500}
+//	POST /v1/reverse-kranks  {"query":[...]|"product":i, "k":10, "parallelism":4, "stats":true, "timeoutMs":500}
+//	POST /v1/batch           {"queries":[{"type":"reverse-topk","product":3,"k":10}, ...], "parallelism":4}
 //	POST /v1/topk            {"preference":[...], "k":10}
 //	POST /v1/rank            {"preference":[...], "query":[...]|"product":i}
+//
+// Request lifecycle: every query runs under the request's context, with
+// a deadline from the per-request "timeoutMs" field (falling back to
+// Config.QueryTimeout). A query whose deadline passes is cut off within
+// one preference chunk and answered 504; a query whose client went away
+// stops the same way and is recorded as 499. All requests flow through
+// the metrics middleware (counts, latency histogram, filter rate — see
+// GET /metrics) and, when Config.Logger is set, structured request
+// logging.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"time"
 
 	"gridrank"
+	"gridrank/internal/metrics"
 )
 
 // maxBodyBytes bounds request bodies; a query vector of a few thousand
 // dimensions fits comfortably.
 const maxBodyBytes = 1 << 20
+
+// DefaultMaxBatch bounds the number of queries in one /v1/batch request.
+const DefaultMaxBatch = 256
+
+// statusClientClosed is nginx's convention for "client closed request":
+// the client disconnected before the answer was ready, so no status ever
+// reaches it — the code exists for logs and the error metric.
+const statusClientClosed = 499
+
+// Endpoint names used for metrics labels.
+const (
+	epHealthz = "healthz"
+	epIndex   = "index"
+	epRTK     = "reverse_topk"
+	epRKR     = "reverse_kranks"
+	epBatch   = "batch"
+	epTopK    = "topk"
+	epRank    = "rank"
+)
 
 // Config tunes server behaviour beyond the index itself.
 type Config struct {
@@ -36,6 +70,25 @@ type Config struct {
 	// GOMAXPROCS, the number of workers beyond which a single query
 	// cannot speed up anyway.
 	MaxParallelism int
+
+	// QueryTimeout is the default per-query deadline. Requests may
+	// override it with a positive "timeoutMs" field. 0 means no default
+	// deadline (the request context still cancels abandoned queries).
+	QueryTimeout time.Duration
+
+	// MaxBatch caps the number of queries one /v1/batch request may
+	// carry. 0 means DefaultMaxBatch.
+	MaxBatch int
+
+	// Logger, when set, receives one structured record per request
+	// (endpoint, method, status, duration). nil disables request
+	// logging.
+	Logger *slog.Logger
+
+	// Metrics, when set, is the registry the server reports into —
+	// share one across servers to aggregate. nil creates a private
+	// registry, exposed at GET /metrics either way.
+	Metrics *metrics.Registry
 }
 
 // Server wraps an index with HTTP handlers.
@@ -43,6 +96,10 @@ type Server struct {
 	ix             *gridrank.Index
 	mux            *http.ServeMux
 	maxParallelism int
+	queryTimeout   time.Duration
+	maxBatch       int
+	logger         *slog.Logger
+	metrics        *metrics.Registry
 }
 
 // New builds a Server around an index with the default configuration.
@@ -55,19 +112,75 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 	if cfg.MaxParallelism <= 0 {
 		cfg.MaxParallelism = runtime.GOMAXPROCS(0)
 	}
-	s := &Server{ix: ix, mux: http.NewServeMux(), maxParallelism: cfg.MaxParallelism}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/index", s.handleIndex)
-	s.mux.HandleFunc("/v1/reverse-topk", s.handleReverseTopK)
-	s.mux.HandleFunc("/v1/reverse-kranks", s.handleReverseKRanks)
-	s.mux.HandleFunc("/v1/topk", s.handleTopK)
-	s.mux.HandleFunc("/v1/rank", s.handleRank)
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	s := &Server{
+		ix:             ix,
+		mux:            http.NewServeMux(),
+		maxParallelism: cfg.MaxParallelism,
+		queryTimeout:   cfg.QueryTimeout,
+		maxBatch:       cfg.MaxBatch,
+		logger:         cfg.Logger,
+		metrics:        cfg.Metrics,
+	}
+	s.mux.HandleFunc("/healthz", s.instrument(epHealthz, s.handleHealth))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/index", s.instrument(epIndex, s.handleIndex))
+	s.mux.HandleFunc("/v1/reverse-topk", s.instrument(epRTK, s.handleReverseTopK))
+	s.mux.HandleFunc("/v1/reverse-kranks", s.instrument(epRKR, s.handleReverseKRanks))
+	s.mux.HandleFunc("/v1/batch", s.instrument(epBatch, s.handleBatch))
+	s.mux.HandleFunc("/v1/topk", s.instrument(epTopK, s.handleTopK))
+	s.mux.HandleFunc("/v1/rank", s.instrument(epRank, s.handleRank))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the server's registry, for sharing or testing.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// statusWriter captures the final status code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the observability middleware: request
+// and error counters, the latency histogram, and structured logging. A
+// request whose context died before the handler wrote anything is
+// recorded as 499 (client closed request).
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.metrics.Endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ep.Begin()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		d := time.Since(start)
+		ep.Observe(d, sw.status)
+		if s.logger != nil {
+			s.logger.Info("request",
+				"endpoint", name,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"durationMs", float64(d.Microseconds())/1e3,
+				"remote", r.RemoteAddr,
+			)
+		}
+	}
 }
 
 // queryRequest is the shared request shape: either an inline vector or a
@@ -81,6 +194,13 @@ type queryRequest struct {
 	// absent) uses the index default, values above the server cap are
 	// clamped to it, negative values are rejected with 400.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Stats, when true, includes the work-statistics block in the
+	// response.
+	Stats bool `json:"stats,omitempty"`
+	// TimeoutMs overrides the server's default query deadline for this
+	// request. 0 (or absent) uses the default; negative values are
+	// rejected with 400.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 type errorResponse struct {
@@ -100,8 +220,22 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// queryErrorStatus maps a query error to its HTTP status: deadline
+// overruns are 504, a client that went away is 499, anything else is a
+// caller mistake.
+func queryErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosed
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 // decode parses a POST body into req, enforcing method and size limits.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *queryRequest) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, req interface{}) bool {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return false
@@ -115,15 +249,15 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *queryReques
 	return true
 }
 
-// resolveQuery produces the query point from either field.
-func (s *Server) resolveQuery(req *queryRequest) (gridrank.Vector, error) {
+// resolveQueryVector produces the query point from either field.
+func (s *Server) resolveQueryVector(query []float64, product *int) (gridrank.Vector, error) {
 	switch {
-	case req.Query != nil && req.Product != nil:
+	case query != nil && product != nil:
 		return nil, errors.New("provide either query or product, not both")
-	case req.Query != nil:
-		return req.Query, nil
-	case req.Product != nil:
-		return s.ix.Product(*req.Product)
+	case query != nil:
+		return query, nil
+	case product != nil:
+		return s.ix.Product(*product)
 	default:
 		return nil, errors.New("query vector or product index required")
 	}
@@ -140,8 +274,46 @@ func (s *Server) resolveParallelism(p int) (int, error) {
 	return p, nil
 }
 
+// queryContext derives the context one query (or batch) runs under: the
+// request context — which already dies when the client disconnects —
+// plus the deadline from timeoutMs or the server default.
+func (s *Server) queryContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc, error) {
+	if timeoutMs < 0 {
+		return nil, nil, fmt.Errorf("timeoutMs must be non-negative, got %d", timeoutMs)
+	}
+	timeout := s.queryTimeout
+	if timeoutMs > 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// queryOptions assembles the per-call options shared by both query
+// endpoints. The stats sink is always attached: the metrics layer needs
+// the filter counters even when the client did not ask for them.
+func queryOptions(workers int, st *gridrank.Stats) []gridrank.QueryOption {
+	opts := []gridrank.QueryOption{gridrank.WithStats(st)}
+	if workers > 0 {
+		opts = append(opts, gridrank.WithWorkers(workers))
+	}
+	return opts
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -156,13 +328,15 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"gridPartitions":  s.ix.GridPartitions(),
 		"gridMemoryBytes": s.ix.GridMemoryBytes(),
 		"maxParallelism":  s.maxParallelism,
+		"maxBatch":        s.maxBatch,
+		"queryTimeoutMs":  s.queryTimeout.Milliseconds(),
 	})
 }
 
 type rtkResponse struct {
-	Preferences []int          `json:"preferences"`
-	Count       int            `json:"count"`
-	Stats       gridrank.Stats `json:"stats"`
+	Preferences []int           `json:"preferences"`
+	Count       int             `json:"count"`
+	Stats       *gridrank.Stats `json:"stats,omitempty"`
 }
 
 func (s *Server) handleReverseTopK(w http.ResponseWriter, r *http.Request) {
@@ -170,7 +344,7 @@ func (s *Server) handleReverseTopK(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	q, err := s.resolveQuery(&req)
+	q, err := s.resolveQueryVector(req.Query, req.Product)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -180,21 +354,27 @@ func (s *Server) handleReverseTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	var res []int
-	var st gridrank.Stats
-	if workers == 0 {
-		res, st, err = s.ix.ReverseTopKStats(q, req.K)
-	} else {
-		res, st, err = s.ix.ReverseTopKParallelStats(q, req.K, workers)
-	}
+	ctx, cancel, err := s.queryContext(r, req.TimeoutMs)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	var st gridrank.Stats
+	res, err := s.ix.ReverseTopKCtx(ctx, q, req.K, queryOptions(workers, &st)...)
+	s.metrics.Endpoint(epRTK).AddFilterCounts(st.Filtered, st.Refined)
+	if err != nil {
+		s.writeError(w, queryErrorStatus(err), err)
 		return
 	}
 	if res == nil {
 		res = []int{}
 	}
-	s.writeJSON(w, http.StatusOK, rtkResponse{Preferences: res, Count: len(res), Stats: st})
+	resp := rtkResponse{Preferences: res, Count: len(res)}
+	if req.Stats {
+		resp.Stats = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type rkrMatch struct {
@@ -204,8 +384,8 @@ type rkrMatch struct {
 }
 
 type rkrResponse struct {
-	Matches []rkrMatch     `json:"matches"`
-	Stats   gridrank.Stats `json:"stats"`
+	Matches []rkrMatch      `json:"matches"`
+	Stats   *gridrank.Stats `json:"stats,omitempty"`
 }
 
 func (s *Server) handleReverseKRanks(w http.ResponseWriter, r *http.Request) {
@@ -213,7 +393,7 @@ func (s *Server) handleReverseKRanks(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	q, err := s.resolveQuery(&req)
+	q, err := s.resolveQueryVector(req.Query, req.Product)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -223,22 +403,155 @@ func (s *Server) handleReverseKRanks(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	var res []gridrank.Match
-	var st gridrank.Stats
-	if workers == 0 {
-		res, st, err = s.ix.ReverseKRanksStats(q, req.K)
-	} else {
-		res, st, err = s.ix.ReverseKRanksParallelStats(q, req.K, workers)
-	}
+	ctx, cancel, err := s.queryContext(r, req.TimeoutMs)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	var st gridrank.Stats
+	res, err := s.ix.ReverseKRanksCtx(ctx, q, req.K, queryOptions(workers, &st)...)
+	s.metrics.Endpoint(epRKR).AddFilterCounts(st.Filtered, st.Refined)
+	if err != nil {
+		s.writeError(w, queryErrorStatus(err), err)
 		return
 	}
 	matches := make([]rkrMatch, len(res))
 	for i, m := range res {
 		matches[i] = rkrMatch{Preference: m.WeightIndex, Rank: m.Rank, Position: m.Rank + 1}
 	}
-	s.writeJSON(w, http.StatusOK, rkrResponse{Matches: matches, Stats: st})
+	resp := rkrResponse{Matches: matches}
+	if req.Stats {
+		resp.Stats = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// batchItem is one query of a /v1/batch request.
+type batchItem struct {
+	Type    string    `json:"type"` // "reverse-topk" or "reverse-kranks"
+	Query   []float64 `json:"query,omitempty"`
+	Product *int      `json:"product,omitempty"`
+	K       int       `json:"k"`
+}
+
+type batchRequest struct {
+	Queries []batchItem `json:"queries"`
+	// Parallelism is the worker count the batch fans out across (the
+	// inter-query pool of the library's batch API), validated and
+	// clamped like the single-query field.
+	Parallelism int `json:"parallelism,omitempty"`
+	TimeoutMs   int `json:"timeoutMs,omitempty"`
+}
+
+// batchItemResult is one query's outcome, in input order. Exactly one of
+// the three fields is set.
+type batchItemResult struct {
+	ReverseTopK   *rtkResponse `json:"reverseTopk,omitempty"`
+	ReverseKRanks *rkrResponse `json:"reverseKranks,omitempty"`
+	Error         string       `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchItemResult `json:"results"`
+}
+
+// handleBatch fans a list of mixed reverse-topk / reverse-kranks queries
+// through the library's batch machinery: items are grouped by (type, k),
+// each group runs as one concurrent batch, and the answers are scattered
+// back into input order. One bad item fails only itself; an expired or
+// cancelled batch context fails the whole request (504 / 499).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("queries must be a non-empty array"))
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), s.maxBatch))
+		return
+	}
+	workers, err := s.resolveParallelism(req.Parallelism)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel, err := s.queryContext(r, req.TimeoutMs)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+
+	results := make([]batchItemResult, len(req.Queries))
+	type group struct {
+		indices []int             // positions in req.Queries
+		vectors []gridrank.Vector // resolved query points
+	}
+	groups := make(map[string]*group) // key: type + k
+	for i, item := range req.Queries {
+		if item.Type != "reverse-topk" && item.Type != "reverse-kranks" {
+			results[i] = batchItemResult{Error: fmt.Sprintf("unknown type %q (want reverse-topk or reverse-kranks)", item.Type)}
+			continue
+		}
+		q, err := s.resolveQueryVector(item.Query, item.Product)
+		if err != nil {
+			results[i] = batchItemResult{Error: err.Error()}
+			continue
+		}
+		key := fmt.Sprintf("%s/%d", item.Type, item.K)
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+		}
+		g.indices = append(g.indices, i)
+		g.vectors = append(g.vectors, q)
+	}
+	for _, g := range groups {
+		// Every item of a group shares its type and k by construction.
+		item := req.Queries[g.indices[0]]
+		k := item.K
+		switch item.Type {
+		case "reverse-topk":
+			batch := s.ix.ReverseTopKBatchCtx(ctx, g.vectors, k, workers)
+			for j, br := range batch {
+				i := g.indices[j]
+				if br.Err != nil {
+					results[i] = batchItemResult{Error: br.Err.Error()}
+					continue
+				}
+				res := br.Value
+				if res == nil {
+					res = []int{}
+				}
+				results[i] = batchItemResult{ReverseTopK: &rtkResponse{Preferences: res, Count: len(res)}}
+			}
+		case "reverse-kranks":
+			batch := s.ix.ReverseKRanksBatchCtx(ctx, g.vectors, k, workers)
+			for j, br := range batch {
+				i := g.indices[j]
+				if br.Err != nil {
+					results[i] = batchItemResult{Error: br.Err.Error()}
+					continue
+				}
+				matches := make([]rkrMatch, len(br.Value))
+				for mi, m := range br.Value {
+					matches[mi] = rkrMatch{Preference: m.WeightIndex, Rank: m.Rank, Position: m.Rank + 1}
+				}
+				results[i] = batchItemResult{ReverseKRanks: &rkrResponse{Matches: matches}}
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		s.writeError(w, queryErrorStatus(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, batchResponse{Results: results})
 }
 
 type topkResponse struct {
@@ -276,7 +589,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errors.New("preference vector required"))
 		return
 	}
-	q, err := s.resolveQuery(&req)
+	q, err := s.resolveQueryVector(req.Query, req.Product)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return

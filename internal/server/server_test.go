@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -88,7 +89,7 @@ func TestReverseTopKByProduct(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	want, err := ix.ReverseTopK(ix.Products()[7], 50)
+	want, err := ix.ReverseTopKCtx(context.Background(), ix.Products()[7], 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestReverseKRanks(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	want, err := ix.ReverseKRanks(ix.Products()[3], 5)
+	want, err := ix.ReverseKRanksCtx(context.Background(), ix.Products()[3], 5)
 	if err != nil {
 		t.Fatal(err)
 	}

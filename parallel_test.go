@@ -1,6 +1,7 @@
 package gridrank
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -33,11 +34,11 @@ func TestIntraQueryDeterminism(t *testing.T) {
 	queries := []Vector{P[0], P[17], P[399], {1, 1, 1, 1, 1}}
 	for qi, q := range queries {
 		for _, k := range []int{1, 10, 300} {
-			wantRTK, _, err := ix.ReverseTopKParallelStats(q, k, 1)
+			wantRTK, err := ix.ReverseTopKCtx(context.Background(), q, k, WithWorkers(1))
 			if err != nil {
 				t.Fatal(err)
 			}
-			wantRKR, _, err := ix.ReverseKRanksParallelStats(q, k, 1)
+			wantRKR, err := ix.ReverseKRanksCtx(context.Background(), q, k, WithWorkers(1))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -45,7 +46,7 @@ func TestIntraQueryDeterminism(t *testing.T) {
 			wantK := fmt.Sprintf("%+v", wantRKR)
 			for _, workers := range []int{2, 4, 8} {
 				for run := 0; run < 3; run++ {
-					gotRTK, err := ix.ReverseTopKParallel(q, k, workers)
+					gotRTK, err := ix.ReverseTopKCtx(context.Background(), q, k, WithWorkers(workers))
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -53,7 +54,7 @@ func TestIntraQueryDeterminism(t *testing.T) {
 						t.Fatalf("q%d k=%d workers=%d run=%d: RTK %s != sequential %s",
 							qi, k, workers, run, got, wantR)
 					}
-					gotRKR, err := ix.ReverseKRanksParallel(q, k, workers)
+					gotRKR, err := ix.ReverseKRanksCtx(context.Background(), q, k, WithWorkers(workers))
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -74,14 +75,14 @@ func TestBatchDeterminism(t *testing.T) {
 	for _, parallelism := range []int{0, 3} {
 		ix, P := testIndexWithOpts(t, &Options{Parallelism: parallelism})
 		queries := append([]Vector{}, P[:40]...)
-		want := fmt.Sprintf("%+v", ix.ReverseTopKBatch(queries, 10, 1))
-		wantKR := fmt.Sprintf("%+v", ix.ReverseKRanksBatch(queries, 10, 1))
+		want := fmt.Sprintf("%+v", ix.ReverseTopKBatchCtx(context.Background(), queries, 10, 1))
+		wantKR := fmt.Sprintf("%+v", ix.ReverseKRanksBatchCtx(context.Background(), queries, 10, 1))
 		for _, workers := range []int{2, 4, 8} {
 			for run := 0; run < 2; run++ {
-				if got := fmt.Sprintf("%+v", ix.ReverseTopKBatch(queries, 10, workers)); got != want {
+				if got := fmt.Sprintf("%+v", ix.ReverseTopKBatchCtx(context.Background(), queries, 10, workers)); got != want {
 					t.Fatalf("parallelism=%d batch workers=%d run=%d: RTK batch differs", parallelism, workers, run)
 				}
-				if got := fmt.Sprintf("%+v", ix.ReverseKRanksBatch(queries, 10, workers)); got != wantKR {
+				if got := fmt.Sprintf("%+v", ix.ReverseKRanksBatchCtx(context.Background(), queries, 10, workers)); got != wantKR {
 					t.Fatalf("parallelism=%d batch workers=%d run=%d: RKR batch differs", parallelism, workers, run)
 				}
 			}
@@ -102,11 +103,11 @@ func TestParallelismOptionPlumbing(t *testing.T) {
 		t.Errorf("default Parallelism() = %d, want 0", seq.Parallelism())
 	}
 	q := P[7]
-	want, _, err := seq.ReverseKRanksStats(q, 5)
+	want, err := seq.ReverseKRanksCtx(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := ix.ReverseKRanksStats(q, 5)
+	got, err := ix.ReverseKRanksCtx(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,18 +123,19 @@ func TestParallelismOptionPlumbing(t *testing.T) {
 	if _, err := New(P[:1], [][]float64{{0.2, 0.2, 0.2, 0.2, 0.2}}, &Options{Parallelism: -1}); err == nil {
 		t.Error("New with negative Parallelism should fail")
 	}
-	if _, _, err := ix.ReverseTopKParallelStats(q, 5, -1); err == nil {
-		t.Error("ReverseTopKParallelStats with negative workers should fail")
+	if _, err := ix.ReverseTopKCtx(context.Background(), q, 5, WithWorkers(-1)); err == nil {
+		t.Error("WithWorkers(-1) should fail")
 	}
-	if _, _, err := ix.ReverseKRanksParallelStats(q, 5, -1); err == nil {
-		t.Error("ReverseKRanksParallelStats with negative workers should fail")
+	if _, err := ix.ReverseKRanksCtx(context.Background(), q, 5, WithWorkers(-1)); err == nil {
+		t.Error("WithWorkers(-1) should fail")
 	}
-	// workers=0 means GOMAXPROCS; it must run and agree too.
-	res, _, err := ix.ReverseTopKParallelStats(q, 5, 0)
+	// WithWorkers(0) means GOMAXPROCS; it must run and agree too.
+	var st Stats
+	res, err := ix.ReverseTopKCtx(context.Background(), q, 5, WithWorkers(0), WithStats(&st))
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantRTK, _, err := seq.ReverseTopKStats(q, 5)
+	wantRTK, err := seq.ReverseTopKCtx(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package gridrank
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -43,11 +44,11 @@ func TestIndexRoundTrip(t *testing.T) {
 	// Query equivalence on several products.
 	for _, qi := range []int{0, 100, 399} {
 		q := ix.Products()[qi]
-		want, err := ix.ReverseKRanks(q, 7)
+		want, err := ix.ReverseKRanksCtx(context.Background(), q, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
-		have, err := got.ReverseKRanks(q, 7)
+		have, err := got.ReverseKRanksCtx(context.Background(), q, 7)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,167 @@
+package gridrank
+
+// The context-first query API. ReverseTopKCtx and ReverseKRanksCtx are
+// the two entrypoints every other query method of Index reduces to: they
+// take a context for cancellation and deadlines, and functional options
+// for the per-call knobs that previously each demanded a dedicated
+// method (explicit worker counts, work statistics). The request
+// lifecycle is
+//
+//	ctx (cancellation, deadline)
+//	  → option resolution (workers, stats sink)
+//	    → validation (dimensions, finiteness, k)
+//	      → GIR scan, polling ctx once per preference chunk
+//
+// A query whose context is cancelled or expires stops within one
+// preference chunk on every goroutine and returns ctx.Err(); the stats
+// sink of WithStats is still filled with the work performed up to that
+// point, so an observability layer can account for abandoned work.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"gridrank/internal/stats"
+)
+
+// QueryOption configures one call of the context-first query API
+// (ReverseTopKCtx, ReverseKRanksCtx). Options are applied in order
+// before validation; a nil option is rejected.
+type QueryOption func(*queryConfig) error
+
+// queryConfig is the resolved per-call configuration.
+type queryConfig struct {
+	// workers is the intra-query worker count: -1 selects the index
+	// default (Options.Parallelism / SetParallelism), 0 means GOMAXPROCS,
+	// 1 forces the sequential scan, larger values shard W across that
+	// many goroutines.
+	workers int
+	// stats, when non-nil, receives the query's work statistics.
+	stats *Stats
+}
+
+// WithWorkers sets the intra-query worker count for a single call,
+// overriding the index default: 1 forces the sequential scan, values
+// above 1 shard the preference set across that many goroutines, and 0
+// means GOMAXPROCS. The answer is bit-identical for every worker count;
+// negative counts are rejected with ErrBadParallelism.
+func WithWorkers(n int) QueryOption {
+	return func(cfg *queryConfig) error {
+		if n < 0 {
+			return fmt.Errorf("%w: got %d", ErrBadParallelism, n)
+		}
+		cfg.workers = n
+		return nil
+	}
+}
+
+// WithStats directs the query's work statistics into s. The sink is
+// written exactly once, when the query returns — including on
+// cancellation, where it holds the work performed before the context
+// fired.
+func WithStats(s *Stats) QueryOption {
+	return func(cfg *queryConfig) error {
+		if s == nil {
+			return fmt.Errorf("gridrank: WithStats requires a non-nil sink")
+		}
+		cfg.stats = s
+		return nil
+	}
+}
+
+// resolveOptions folds opts over the default configuration.
+func resolveOptions(opts []QueryOption) (queryConfig, error) {
+	cfg := queryConfig{workers: -1}
+	for _, o := range opts {
+		if o == nil {
+			return cfg, fmt.Errorf("gridrank: nil QueryOption")
+		}
+		if err := o(&cfg); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// resolveWorkers maps the option value to the explicit count the algo
+// layer expects (always >= 1).
+func (cfg *queryConfig) resolveWorkers(ix *Index) int {
+	switch {
+	case cfg.workers < 0: // index default
+		if ix.gir.Parallelism < 1 {
+			return 1
+		}
+		return ix.gir.Parallelism
+	case cfg.workers == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return cfg.workers
+	}
+}
+
+// counters returns the stats sink for the algo layer: nil (counting
+// disabled) unless the caller asked for statistics.
+func (cfg *queryConfig) counters() *stats.Counters {
+	if cfg.stats == nil {
+		return nil
+	}
+	return new(stats.Counters)
+}
+
+// finish publishes the counters into the caller's sink.
+func (cfg *queryConfig) finish(c *stats.Counters) {
+	if cfg.stats != nil {
+		*cfg.stats = fromCounters(c)
+	}
+}
+
+// ReverseTopKCtx returns, in ascending order, the indexes of every
+// preference vector that places q within its top-k products. An empty
+// answer means no user ranks q that highly (consider ReverseKRanksCtx).
+//
+// The context governs the whole query: when ctx is cancelled or its
+// deadline passes, the scan stops within one preference chunk on every
+// goroutine and the call returns ctx.Err(). Options tune the call:
+// WithWorkers overrides the index's intra-query parallelism and
+// WithStats captures work statistics.
+func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...QueryOption) ([]int, error) {
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	c := cfg.counters()
+	res, err := ix.gir.ReverseTopKCtx(ctx, q, k, cfg.resolveWorkers(ix), c)
+	cfg.finish(c)
+	return res, err
+}
+
+// ReverseKRanksCtx returns the k preference vectors ranking q best,
+// ordered by ascending rank (ties toward smaller indexes). It never
+// returns an empty answer for k >= 1 — if fewer than k preferences
+// exist, all are returned.
+//
+// The context and options follow the same contract as ReverseTopKCtx.
+func (ix *Index) ReverseKRanksCtx(ctx context.Context, q Vector, k int, opts ...QueryOption) ([]Match, error) {
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	c := cfg.counters()
+	matches, err := ix.gir.ReverseKRanksCtx(ctx, q, k, cfg.resolveWorkers(ix), c)
+	cfg.finish(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(matches))
+	for i, m := range matches {
+		out[i] = Match{WeightIndex: m.WeightIndex, Rank: m.Rank}
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package gridrank
+
+// Coverage for the context-first public API: option validation, the
+// cancellation and deadline contract, and parallel/sequential answer
+// identity with contexts attached.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestQueryOptionValidation(t *testing.T) {
+	ix, P := testIndexWithOpts(t, nil)
+	bg := context.Background()
+	if _, err := ix.ReverseTopKCtx(bg, P[0], 5, WithWorkers(-3)); !errors.Is(err, ErrBadParallelism) {
+		t.Errorf("WithWorkers(-3): %v, want ErrBadParallelism", err)
+	}
+	if _, err := ix.ReverseKRanksCtx(bg, P[0], 5, WithStats(nil)); err == nil {
+		t.Error("WithStats(nil) accepted")
+	}
+	if _, err := ix.ReverseTopKCtx(bg, P[0], 5, nil); err == nil {
+		t.Error("nil QueryOption accepted")
+	}
+	// Option errors surface before any validation of the query itself.
+	if _, err := ix.ReverseTopKCtx(bg, Vector{1}, 5, WithWorkers(-1)); !errors.Is(err, ErrBadParallelism) {
+		t.Errorf("option error should win over dimension error: %v", err)
+	}
+}
+
+func TestQueryCtxAlreadyCancelled(t *testing.T) {
+	ix, P := testIndexWithOpts(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := ix.ReverseTopKCtx(ctx, P[0], 5, WithWorkers(workers)); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d RTK: %v, want context.Canceled", workers, err)
+		}
+		if _, err := ix.ReverseKRanksCtx(ctx, P[0], 5, WithWorkers(workers)); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d RKR: %v, want context.Canceled", workers, err)
+		}
+	}
+	// The stats sink is still written on cancellation — here with the
+	// zero work performed, overwriting whatever the caller left in it.
+	st := Stats{PairwiseMults: 123, Filtered: 456}
+	if _, err := ix.ReverseKRanksCtx(ctx, P[0], 5, WithStats(&st)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if st != (Stats{}) {
+		t.Errorf("cancelled query left stale stats in the sink: %+v", st)
+	}
+}
+
+func TestQueryCtxExpiredDeadline(t *testing.T) {
+	ix, P := testIndexWithOpts(t, nil)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	if _, err := ix.ReverseTopKCtx(ctx, P[0], 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("RTK: %v, want DeadlineExceeded", err)
+	}
+	if _, err := ix.ReverseKRanksCtx(ctx, P[0], 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("RKR: %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestQueryCtxWorkerIdentity is the public-API answer-identity guard:
+// with a live context attached, every worker count serializes to the
+// same bytes as the sequential scan.
+func TestQueryCtxWorkerIdentity(t *testing.T) {
+	ix, P := testIndexWithOpts(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, q := range []Vector{P[0], P[399], {1, 1, 1, 1, 1}} {
+		wantRTK, err := ix.ReverseTopKCtx(ctx, q, 25, WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRKR, err := ix.ReverseKRanksCtx(ctx, q, 25, WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			gotRTK, err := ix.ReverseTopKCtx(ctx, q, 25, WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%v", gotRTK) != fmt.Sprintf("%v", wantRTK) {
+				t.Fatalf("workers=%d: RTK %v != %v", workers, gotRTK, wantRTK)
+			}
+			gotRKR, err := ix.ReverseKRanksCtx(ctx, q, 25, WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%+v", gotRKR) != fmt.Sprintf("%+v", wantRKR) {
+				t.Fatalf("workers=%d: RKR %+v != %+v", workers, gotRKR, wantRKR)
+			}
+		}
+	}
+}
+
+func TestBatchCtxCancellation(t *testing.T) {
+	ix, P := testIndexWithOpts(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	queries := append([]Vector{}, P[:10]...)
+	for _, res := range ix.ReverseTopKBatchCtx(ctx, queries, 5, 4) {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("query %d: err = %v, want context.Canceled", res.Query, res.Err)
+		}
+	}
+	for _, res := range ix.ReverseKRanksBatchCtx(ctx, queries, 5, 4) {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("query %d: err = %v, want context.Canceled", res.Query, res.Err)
+		}
+	}
+}
+
+// TestNonFiniteVectorsRejected pins the validation fix: NaN and ±Inf
+// components must be rejected everywhere a vector enters the API.
+func TestNonFiniteVectorsRejected(t *testing.T) {
+	ix, P := testIndexWithOpts(t, nil)
+	bg := context.Background()
+	bad := []Vector{
+		{math.NaN(), 1, 1, 1, 1},
+		{math.Inf(1), 1, 1, 1, 1},
+		{math.Inf(-1), 1, 1, 1, 1},
+	}
+	for _, q := range bad {
+		if _, err := ix.ReverseTopKCtx(bg, q, 5); err == nil {
+			t.Errorf("RTK accepted %v", q)
+		}
+		if _, err := ix.ReverseKRanksCtx(bg, q, 5); err == nil {
+			t.Errorf("RKR accepted %v", q)
+		}
+		if _, err := ix.TopK(q, 5); err == nil {
+			t.Errorf("TopK accepted %v", q)
+		}
+		if _, err := ix.Rank(q, P[0]); err == nil {
+			t.Errorf("Rank accepted preference %v", q)
+		}
+		if _, err := ix.Rank(P[0][:5], q); err == nil {
+			t.Errorf("Rank accepted query %v", q)
+		}
+		if _, err := New([]Vector{q}, []Vector{{1, 1, 1, 1, 1}}, nil); err == nil {
+			t.Errorf("New accepted product %v", q)
+		}
+		if _, err := New([]Vector{{1, 1, 1, 1, 1}}, []Vector{q}, nil); err == nil {
+			t.Errorf("New accepted preference %v", q)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# check_deprecated.sh fails when repo code calls the deprecated Index
+# query matrix (ReverseTopK / ReverseKRanks and their Stats / Parallel /
+# ParallelStats variants) instead of the context-first API.
+#
+# Scope: the public-facing layers — the root package, examples/, cmd/
+# and internal/server. Exempt:
+#   - gridrank.go       (defines the deprecated wrappers)
+#   - deprecated_test.go (their equivalence coverage)
+#   - internal/algo and the root bench files, whose gir.ReverseTopK(...)
+#     calls are the algorithm-layer interface (three-argument form with a
+#     *stats.Counters), not the deprecated Index methods.
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern='\.Reverse(TopK|KRanks)(Stats|Parallel|ParallelStats)?\([^)]*\)'
+files=$(ls ./*.go; find examples cmd internal/server -name '*.go')
+
+bad=0
+for f in $files; do
+    case "$f" in
+    ./gridrank.go | ./deprecated_test.go) continue ;;
+    ./*bench_test.go) continue ;;
+    esac
+    # Ctx and Batch calls are the replacement API; everything else that
+    # matches the method family is a deprecated use.
+    hits=$(grep -nE "$pattern" "$f" | grep -vE '\.Reverse(TopK|KRanks)(Batch)?Ctx\(|\.Reverse(TopK|KRanks)Batch\(' || true)
+    if [ -n "$hits" ]; then
+        echo "deprecated query-method use in $f:"
+        echo "$hits" | sed 's/^/  /'
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "use ReverseTopKCtx / ReverseKRanksCtx (WithWorkers, WithStats) instead" >&2
+    exit 1
+fi
+echo "no deprecated query-method uses"
