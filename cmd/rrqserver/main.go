@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +51,7 @@ func main() {
 		maxBatch = flag.Int("max-batch", 0, "max queries per /v1/batch request (0 = default)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain period for in-flight requests")
 		logFmt   = flag.String("log", "text", "request log format: text, json, or off")
+		pprofA   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address, e.g. localhost:6060 (off when empty)")
 	)
 	flag.Parse()
 	logger, err := buildLogger(*logFmt)
@@ -74,6 +76,9 @@ func main() {
 		"addr", *addr,
 		"queryTimeout", qTimeout.String(),
 	)
+	if *pprofA != "" {
+		go servePprof(*pprofA)
+	}
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: server.NewWithConfig(ix, server.Config{
@@ -87,6 +92,24 @@ func main() {
 	if err := run(srv, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "rrqserver:", err)
 		os.Exit(1)
+	}
+}
+
+// servePprof serves the net/http/pprof endpoints on their own listener,
+// kept off the query port so profiling is never exposed wherever the API
+// is. The handlers are registered on a private mux (not DefaultServeMux)
+// and the listener dies with the process — profiling is operator
+// tooling, not part of the graceful-shutdown contract.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	slog.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		slog.Error("pprof listener failed", "err", err)
 	}
 }
 

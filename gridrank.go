@@ -45,6 +45,7 @@ import (
 	"gridrank/internal/model"
 	"gridrank/internal/stats"
 	"gridrank/internal/topk"
+	"gridrank/internal/vec"
 )
 
 // Vector is a d-dimensional product point or preference vector.
@@ -217,11 +218,16 @@ func New(products, preferences []Vector, opts *Options) (*Index, error) {
 	// rangeP is the max observed value; nudge it up so the top value maps
 	// strictly inside the last cell even after floating-point rounding.
 	rangeP = math.Nextafter(rangeP, math.Inf(1))
-	gir := algo.NewGIR(products, preferences, rangeP, n)
+	// Copy both sets into contiguous row-major storage: the index and the
+	// algorithm share one backing array per set, the scans stream
+	// sequential memory, and callers keep ownership of their slices.
+	pm := vec.NewMatrix(products)
+	wm := vec.NewMatrix(preferences)
+	gir := algo.NewGIRFromMatrices(pm, wm, rangeP, n)
 	gir.Parallelism = parallelism
 	return &Index{
-		products:    products,
-		preferences: preferences,
+		products:    pm.Rows(),
+		preferences: wm.Rows(),
 		dim:         d,
 		rangeP:      rangeP,
 		gir:         gir,
@@ -257,6 +263,18 @@ func (ix *Index) SetParallelism(workers int) error {
 
 // GridMemoryBytes returns the memory footprint of the boundary table.
 func (ix *Index) GridMemoryBytes() int { return ix.gir.Grid().MemoryBytes() }
+
+// PointGroups returns the number of distinct approximate product rows —
+// grid cells actually occupied by P. The scan's bound work is
+// proportional to this, not to NumProducts(): the further it falls
+// below NumProducts(), the more the cell-grouped scan saves (DESIGN.md
+// §9). Equal values mean grouping is inert for this data and grid.
+func (ix *Index) PointGroups() int { return ix.gir.PointGroups() }
+
+// WeightGroups is PointGroups for the preference set: the number of
+// distinct approximate preference rows. Preferences sharing a row reuse
+// the gathered bound columns during a scan.
+func (ix *Index) WeightGroups() int { return ix.gir.WeightGroups() }
 
 func (ix *Index) checkQuery(q Vector, k int) error {
 	if len(q) != ix.dim {

@@ -55,7 +55,7 @@ func (gr *GIR) AggregateReverseRank(Q []vec.Vector, k int, c *stats.Counters) []
 	// and reusable across all preferences.
 	doms := make([]*domin, len(Q))
 	for i := range doms {
-		doms[i] = newDomin(len(gr.P))
+		doms[i] = gr.newGroupedDomin()
 	}
 	scratch := gr.newScratch()
 	h := topk.NewKRankHeap(k)

@@ -65,10 +65,31 @@ type domin struct {
 	// parallel GIR workers can maintain an exact distinct-dominator count
 	// across their private buffers (see gir_parallel.go).
 	shared *sharedDomin
+	// Group wiring (nil for the ungrouped SIM/Sparse scans). groupOf maps
+	// a point to its cell group; groupLive counts each group's members
+	// NOT yet known to dominate q — it is the single load the grouped
+	// scan's hot loop makes per group, initialized to the group sizes and
+	// decremented on dominator discovery; groupChecked counts memoized
+	// dominance tests per group, so a fully-checked group skips the
+	// member-observe loop.
+	groupOf      []int32
+	groupSizes   []int32 // immutable template groupLive resets from
+	groupLive    []int32
+	groupChecked []int32
 }
 
 func newDomin(n int) *domin {
 	return &domin{dominates: make([]bool, n), checked: make([]bool, n)}
+}
+
+// reset clears the buffer for pooled reuse by a new query.
+func (d *domin) reset() {
+	clear(d.dominates)
+	clear(d.checked)
+	d.count = 0
+	d.shared = nil
+	copy(d.groupLive, d.groupSizes)
+	clear(d.groupChecked)
 }
 
 // has reports whether point pj is a known dominator of q.
@@ -80,9 +101,15 @@ func (d *domin) observe(pj int, p, q vec.Vector) {
 		return
 	}
 	d.checked[pj] = true
+	if d.groupChecked != nil {
+		d.groupChecked[d.groupOf[pj]]++
+	}
 	if vec.Dominates(p, q) {
 		d.dominates[pj] = true
 		d.count++
+		if d.groupLive != nil {
+			d.groupLive[d.groupOf[pj]]--
+		}
 		if d.shared != nil {
 			d.shared.claim(pj)
 		}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"gridrank/internal/grid"
 	"gridrank/internal/stats"
@@ -12,11 +14,26 @@ import (
 )
 
 // GIR is the Grid-index algorithm of Section 4. Construction pre-computes
-// the Grid-index (boundary-product table) and the approximate vectors
-// P^(A) and W^(A); queries then scan the approximate vectors, decide most
+// the Grid-index (boundary-product table), the approximate vectors P^(A)
+// and W^(A), and their cell groupings (distinct approximate rows with
+// member lists); queries then scan the approximate vectors, decide most
 // points from the Grid bounds alone (Cases 1 and 2 of Section 3.1, d table
 // lookups and additions, zero multiplications), and compute exact scores
 // only for the Case-3 candidates that survive.
+//
+// Two layout decisions make the scan cost proportional to DISTINCT grid
+// cells rather than raw data size (see DESIGN.md §9):
+//
+//   - Points sharing an approximate vector receive identical bounds under
+//     every weight, so the bound evaluation runs once per point group and
+//     Case 1/2 classify the whole group at once.
+//   - Weights sharing an approximate vector select identical grid columns,
+//     so the scan visits W in cell-sorted order and re-gathers the
+//     interleaved bound scratch only when the weight group changes.
+//
+// P and W are stored as contiguous row-major matrices; the exported P/W
+// fields are stride-d views into that storage, so the Case-3 refinement
+// dots stream sequential memory.
 type GIR struct {
 	P []vec.Vector
 	W []vec.Vector
@@ -34,8 +51,15 @@ type GIR struct {
 	Parallelism int
 
 	g  grid.Bounder
-	pa *grid.Index // P^(A)
-	wa *grid.Index // W^(A)
+	pa *grid.Index        // P^(A)
+	wa *grid.Index        // W^(A)
+	pg *grid.GroupedIndex // distinct P^(A) rows with member lists
+	wg *grid.GroupedIndex // distinct W^(A) rows; MemberOrder is the scan order
+
+	// pool recycles per-query state (Domin buffer, bound scratch, result
+	// heap and buffers) so steady-state queries allocate only their result
+	// slice. Shared by the sequential and parallel paths.
+	pool sync.Pool
 }
 
 // DefaultPartitions is the paper's default grid resolution n = 32
@@ -79,15 +103,34 @@ func maxComponent(vs []vec.Vector) float64 {
 
 // NewGIRWithBounder builds GIR over any grid implementation — the paper's
 // equal-width Grid or the adaptive quantile grid of its future work
-// (grid.NewAdaptive) — and pre-computes both approximate vector sets.
+// (grid.NewAdaptive) — copying the data into contiguous storage and
+// pre-computing both approximate vector sets and their cell groupings.
 func NewGIRWithBounder(P, W []vec.Vector, g grid.Bounder) *GIR {
 	validateSets(P, W)
+	return newGIR(vec.NewMatrix(P), vec.NewMatrix(W), g)
+}
+
+// NewGIRFromMatrices is NewGIR over pre-flattened data sets, adopting the
+// matrices without copying. The root package uses it so the index and the
+// algorithm share one backing array per set.
+func NewGIRFromMatrices(pm, wm *vec.Matrix, rangeP float64, n int) *GIR {
+	if n < 1 {
+		panic(fmt.Sprintf("algo: grid partitions %d < 1", n))
+	}
+	return newGIR(pm, wm, grid.New(n, rangeP, maxComponent(wm.Rows())))
+}
+
+func newGIR(pm, wm *vec.Matrix, g grid.Bounder) *GIR {
+	pa := grid.NewPointIndex(g, pm.Rows())
+	wa := grid.NewWeightIndex(g, wm.Rows())
 	return &GIR{
-		P:  P,
-		W:  W,
+		P:  pm.Rows(),
+		W:  wm.Rows(),
 		g:  g,
-		pa: grid.NewPointIndex(g, P),
-		wa: grid.NewWeightIndex(g, W),
+		pa: pa,
+		wa: wa,
+		pg: grid.NewGrouped(pa),
+		wg: grid.NewGrouped(wa),
 	}
 }
 
@@ -98,10 +141,22 @@ func (gr *GIR) Name() string { return "GIR" }
 // experiment harness).
 func (gr *GIR) Grid() grid.Bounder { return gr.g }
 
+// PointGroups returns the number of distinct P^(A) rows (diagnostics).
+func (gr *GIR) PointGroups() int { return gr.pg.Groups() }
+
+// WeightGroups returns the number of distinct W^(A) rows (diagnostics).
+func (gr *GIR) WeightGroups() int { return gr.wg.Groups() }
+
 // rankBounded is GInTop-k (Algorithm 1): it determines rank(w_i, q)
-// bounded by cutoff, scanning P^(A) and classifying each point with the
-// Grid bounds. ok is false when the rank reached cutoff (the paper's
-// "return -1").
+// bounded by cutoff, scanning the DISTINCT P^(A) rows and classifying
+// each group with the Grid bounds shared by all its members. ok is false
+// when the rank reached cutoff (the paper's "return -1").
+//
+// Grouped counting is exact (DESIGN.md §9): the returned rank is the
+// number of points scoring strictly below f_w(q) (dominators counted
+// through dom.count, Case-1 groups in one addition, Case-3 members by
+// exact refinement), so the (rank, ok) contract is identical to the
+// per-point scan for every cutoff.
 //
 // Two deliberate deviations from the paper's pseudocode, both discussed in
 // DESIGN.md: the Case-1 test uses strict U < f_w(q) so score ties never
@@ -119,17 +174,195 @@ func (gr *GIR) rankBounded(wi int, q vec.Vector, cutoff int, dom *domin, scratch
 	if rnk >= cutoff {
 		return cutoff, false
 	}
-	// Interleave the grid columns selected by w's approximate vector into
-	// the flat per-query scratch: bnd[i·2n + 2·pc] is the lower addend and
-	// bnd[i·2n + 2·pc + 1] the upper addend for dimension i, point cell pc
-	// (Equations 3 and 4, column-wise). The two addends of a cell share a
-	// cache line and the whole block is d·2n floats — L1-resident for the
-	// paper's configurations.
-	wa := gr.wa.Row(wi)
-	d := len(wa)
+	gr.loadWeightGroup(scratch, int(gr.wg.GroupOf(wi)))
+	bnd := scratch.bounds
+	d := gr.pa.Dim()
+	n2 := 2 * gr.g.N()
+	rows := gr.pg.Rows()
+	single := gr.pg.Single()
+	groupLive := dom.groupLive
+	// The hot loop touches exactly one bookkeeping word per group
+	// (groupLive); everything else it needs — the unique rows, the bound
+	// scratch and the singleton cache — is a handful of locals, so the
+	// register allocator keeps the bound summation spill-free. The rare
+	// paths (first-time dominance sweeps, multi-member refinement) live in
+	// noinline helpers below precisely to keep their state out of this
+	// frame; continuous data (all singleton groups) then pays next to
+	// nothing over a per-point scan.
+	nG := len(groupLive)
+	for g, base := 0, 0; g < nG; g, base = g+1, base+d {
+		live := int(groupLive[g])
+		if live == 0 {
+			// Every member is a known dominator, already counted into the
+			// initial rnk.
+			continue
+		}
+		if c != nil {
+			c.BoundSums++
+			c.ApproxVisited++
+		}
+		cs := classifyRow(rows[base:base+d], bnd, n2, fq)
+		if cs == caseBefore { // Case 1: the whole group precedes q
+			rnk += live
+			if c != nil {
+				c.Filtered += int64(live)
+			}
+			// Dominance-test the members once per query (memoized); after
+			// the group is fully checked this branch is two loads.
+			if !gr.DisableDomin && dom.groupChecked[g] < dom.groupSizes[g] {
+				gr.observeGroup(g, dom, q)
+			}
+			if rnk >= cutoff {
+				return cutoff, false
+			}
+			continue
+		}
+		if cs == caseRefine {
+			// Case 3: incomparable — refine with exact scores. Algorithm 1
+			// collects candidates and refines after the scan, but refining
+			// immediately keeps rnk an exact running count, so the cutoff
+			// fires as early as possible.
+			if pj := int(single[g]); pj >= 0 {
+				// Singleton: live > 0 already proves the lone member is
+				// not a known dominator, so the dom.has load is skipped.
+				if c != nil {
+					c.PairwiseMults++
+					c.Refinements++
+					c.PointsVisited++
+				}
+				if vec.Dot(w, gr.P[pj]) < fq {
+					rnk++
+					if !gr.DisableDomin {
+						dom.observe(pj, gr.P[pj], q)
+					}
+					if rnk >= cutoff {
+						return cutoff, false
+					}
+				}
+				continue
+			}
+			var ok bool
+			if rnk, ok = gr.refineGroup(g, w, q, fq, rnk, cutoff, dom, c); !ok {
+				return cutoff, false
+			}
+		} else if c != nil { // Case 2: q precedes the whole group
+			c.Filtered += int64(live)
+		}
+	}
+	return rnk, true
+}
+
+// Case codes returned by classifyRow, numbered as in Section 3.1.
+const (
+	caseBefore int32 = 1 // upper bound below f_w(q): the whole group precedes q
+	caseAfter  int32 = 2 // lower bound above f_w(q): q precedes the whole group
+	caseRefine int32 = 3 // bounds straddle f_w(q): members need exact scores
+)
+
+// classifyRow evaluates the Grid bounds of one unique approximate row
+// against fq in a single fused pass — adjacent loads, one loop.
+// (Computing the lower bound lazily, as Algorithm 1 suggests, measures
+// slower: the second pass re-pays the loop for every non-Case-1 row.)
+//
+// It is deliberately noinline: rankBounded's frame is call-heavy, and
+// Go's caller-saved ABI forces anything live across a call onto the
+// stack, so inlining this loop there makes every bound addend a stack
+// round-trip. As a call-free leaf with few live values the summation runs
+// entirely in registers, which measures faster than inlining despite the
+// call per group. (Batching several rows per call to amortize it further
+// measures slower again: the scan's cutoff usually fires within a few
+// dozen rows, so a batch wastes more bound evaluations than the call
+// costs.)
+//
+//go:noinline
+func classifyRow(row []uint8, bnd []float64, n2 int, fq float64) int32 {
+	var u, l float64
+	off := 0
+	for _, pc := range row {
+		j := off + 2*int(pc)
+		l += bnd[j]
+		u += bnd[j+1]
+		off += n2
+	}
+	if u < fq {
+		return caseBefore
+	}
+	if l <= fq {
+		return caseRefine
+	}
+	return caseAfter
+}
+
+// observeGroup runs the memoized dominance test over every member of point
+// group g. It is called at most once per (group, query) with work to do —
+// afterwards the groupChecked counter short-circuits the caller — and is
+// kept out of rankBounded's frame (noinline) so its member-list state does
+// not bloat the hot loop's register pressure.
+//
+//go:noinline
+func (gr *GIR) observeGroup(g int, dom *domin, q vec.Vector) {
+	for _, m := range gr.pg.Members(g) {
+		pj := int(m)
+		dom.observe(pj, gr.P[pj], q)
+	}
+}
+
+// refineGroup resolves a Case-3 group with several members by exact
+// refinement, returning the updated running rank and ok=false when the
+// cutoff fired. Out of line for the same register-pressure reason as
+// observeGroup: multi-member groups either don't occur (continuous data)
+// or amortize the call over their whole member list (catalog data).
+//
+//go:noinline
+func (gr *GIR) refineGroup(g int, w, q vec.Vector, fq float64, rnk, cutoff int, dom *domin, c *stats.Counters) (int, bool) {
+	for _, m := range gr.pg.Members(g) {
+		pj := int(m)
+		if dom.has(pj) {
+			continue
+		}
+		if c != nil {
+			c.PairwiseMults++
+			c.Refinements++
+			c.PointsVisited++
+		}
+		if vec.Dot(w, gr.P[pj]) < fq {
+			rnk++
+			if !gr.DisableDomin {
+				dom.observe(pj, gr.P[pj], q)
+			}
+			if rnk >= cutoff {
+				return cutoff, false
+			}
+		}
+	}
+	return rnk, true
+}
+
+// girScratch holds the per-query buffer rankBounded reuses across weight
+// vectors: the interleaved (lower, upper) column pairs, d·2n floats,
+// tagged by the weight group they were gathered for. The tag persists
+// across pooled reuse — the gathered columns depend only on the grid and
+// the weight group, both fixed per index.
+type girScratch struct {
+	bounds []float64
+	wgid   int32
+}
+
+// loadWeightGroup interleaves the grid columns selected by the weight
+// group's approximate vector into the flat per-query scratch:
+// bnd[i·2n + 2·pc] is the lower addend and bnd[i·2n + 2·pc + 1] the upper
+// addend for dimension i, point cell pc (Equations 3 and 4, column-wise).
+// The two addends of a cell share a cache line and the whole block is
+// d·2n floats — L1-resident for the paper's configurations. Weights are
+// visited in cell-sorted order, so consecutive rankBounded calls usually
+// hit the tag and skip the gather entirely.
+func (gr *GIR) loadWeightGroup(scratch *girScratch, wgid int) {
+	if scratch.wgid == int32(wgid) {
+		return
+	}
 	n2 := 2 * gr.g.N()
 	bnd := scratch.bounds
-	for i, wc := range wa {
+	for i, wc := range gr.wg.Row(wgid) {
 		loCol := gr.g.LowerColumn(wc)
 		upCol := gr.g.UpperColumn(wc)
 		row := bnd[i*n2 : (i+1)*n2]
@@ -138,80 +371,60 @@ func (gr *GIR) rankBounded(wi int, q vec.Vector, cutoff int, dom *domin, scratch
 			row[2*pc+1] = upCol[pc]
 		}
 	}
-	approx := gr.pa.Cells()
-	for pj := range gr.P {
-		if dom.has(pj) {
-			continue
-		}
-		pa := approx[pj*d : pj*d+d]
-		if c != nil {
-			c.BoundSums++
-			c.ApproxVisited++
-		}
-		// One fused pass evaluates both bounds: adjacent loads, one loop.
-		// (Computing the lower bound lazily, as Algorithm 1 suggests,
-		// measures slower: the second pass re-pays the loop for every
-		// non-Case-1 point.)
-		var u, l float64
-		off := 0
-		for _, pc := range pa {
-			j := off + 2*int(pc)
-			l += bnd[j]
-			u += bnd[j+1]
-			off += n2
-		}
-		if u < fq { // Case 1: p precedes q
-			rnk++
-			if c != nil {
-				c.Filtered++
-			}
-			if !gr.DisableDomin {
-				dom.observe(pj, gr.P[pj], q)
-			}
-			if rnk >= cutoff {
-				return cutoff, false
-			}
-			continue
-		}
-		if l <= fq {
-			// Case 3: incomparable — refine inline with the exact score.
-			// Algorithm 1 collects candidates and refines after the scan,
-			// but refining immediately keeps rnk an exact running count,
-			// so the cutoff fires at the same pair as SIM's scan (this is
-			// what makes the paper's Figure 11 observation — GIR and SIM
-			// perform the same number of pair accesses — hold).
-			if c != nil {
-				c.PairwiseMults++
-				c.Refinements++
-				c.PointsVisited++
-			}
-			if vec.Dot(w, gr.P[pj]) < fq {
-				rnk++
-				if !gr.DisableDomin {
-					dom.observe(pj, gr.P[pj], q)
-				}
-				if rnk >= cutoff {
-					return cutoff, false
-				}
-			}
-		} else if c != nil { // Case 2: q precedes p
-			c.Filtered++
-		}
-	}
-	return rnk, true
-}
-
-// girScratch holds the per-query buffer rankBounded reuses across weight
-// vectors: the interleaved (lower, upper) column pairs, d·2n floats.
-type girScratch struct {
-	bounds []float64
+	scratch.wgid = int32(wgid)
 }
 
 func (gr *GIR) newScratch() *girScratch {
 	return &girScratch{
 		bounds: make([]float64, gr.pa.Dim()*2*gr.g.N()),
+		wgid:   -1,
 	}
 }
+
+// newGroupedDomin allocates a Domin buffer wired to the point groups, so
+// grouped Case-1 counting can add whole groups of live (non-dominator)
+// members in one step.
+func (gr *GIR) newGroupedDomin() *domin {
+	d := newDomin(len(gr.P))
+	d.groupOf = gr.pg.GroupMap()
+	nG := gr.pg.Groups()
+	d.groupSizes = make([]int32, nG)
+	for g := 0; g < nG; g++ {
+		d.groupSizes[g] = int32(gr.pg.Size(g))
+	}
+	d.groupLive = make([]int32, nG)
+	copy(d.groupLive, d.groupSizes)
+	d.groupChecked = make([]int32, nG)
+	return d
+}
+
+// queryState is the pooled per-query working set: Domin buffer, bound
+// scratch, result heap and collection buffer. getState resets the parts
+// that must not leak between queries; the scratch's gathered columns stay
+// valid across queries and are kept.
+type queryState struct {
+	dom     *domin
+	scratch *girScratch
+	heap    *topk.KRankHeap
+	res     []int
+}
+
+// getState pops a recycled query state from the pool (reset-on-get) or
+// allocates a fresh one.
+func (gr *GIR) getState() *queryState {
+	if st, ok := gr.pool.Get().(*queryState); ok {
+		st.dom.reset()
+		st.res = st.res[:0]
+		return st
+	}
+	return &queryState{
+		dom:     gr.newGroupedDomin(),
+		scratch: gr.newScratch(),
+		heap:    topk.NewKRankHeap(1),
+	}
+}
+
+func (gr *GIR) putState(st *queryState) { gr.pool.Put(st) }
 
 // cancelChunk is the cancellation granularity of both scan paths: the
 // sequential loops poll ctx.Err() every cancelChunk weight vectors, and
@@ -265,24 +478,32 @@ func (gr *GIR) ReverseTopKCtx(ctx context.Context, q vec.Vector, k, workers int,
 		return gr.reverseTopKParallel(ctx, q, k, workers, c)
 	}
 	done := ctx.Done()
-	dom := newDomin(len(gr.P))
-	scratch := gr.newScratch()
-	var res []int
-	for wi := range gr.W {
-		if done != nil && wi%cancelChunk == 0 && wi > 0 {
+	st := gr.getState()
+	defer gr.putState(st)
+	// Visit W in cell-sorted order so consecutive weights share the
+	// gathered bound columns; the answer set is order-independent
+	// (DESIGN.md §9) and re-sorted ascending below.
+	for pos, wi := range gr.wg.MemberOrder() {
+		if done != nil && pos%cancelChunk == 0 && pos > 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		if _, ok := gr.rankBounded(wi, q, k, dom, scratch, c); ok {
-			res = append(res, wi)
+		if _, ok := gr.rankBounded(int(wi), q, k, st.dom, st.scratch, c); ok {
+			st.res = append(st.res, int(wi))
 		}
 		// Algorithm 2 lines 7–8: with k dominators, no weight can place q
 		// in its top-k.
-		if dom.count >= k {
+		if st.dom.count >= k {
 			return nil, nil
 		}
 	}
+	if len(st.res) == 0 {
+		return nil, nil
+	}
+	sort.Ints(st.res)
+	res := make([]int, len(st.res))
+	copy(res, st.res)
 	return res, nil
 }
 
@@ -304,6 +525,19 @@ func (gr *GIR) ReverseKRanksParallel(q vec.Vector, k, workers int, c *stats.Coun
 	return res
 }
 
+// admitCutoff is the rank bound for the next weight under the cell-sorted
+// visit order: one PAST the heap's admission threshold, because a weight
+// whose exact rank ties the worst retained match can still win the
+// (rank, index) tie-break — it must be evaluated exactly, not pruned.
+// This mirrors the parallel watermark's T+1 rule (DESIGN.md §7, §9).
+func admitCutoff(h *topk.KRankHeap) int {
+	t := h.Threshold()
+	if t == maxInt {
+		return t
+	}
+	return t + 1
+}
+
 // ReverseKRanksCtx is ReverseKRanksParallel under a context, with the
 // same cancellation contract as ReverseTopKCtx: every goroutine polls
 // ctx between preference chunks, so cancellation is honoured within one
@@ -322,17 +556,18 @@ func (gr *GIR) ReverseKRanksCtx(ctx context.Context, q vec.Vector, k, workers in
 		return gr.reverseKRanksParallel(ctx, q, k, workers, c)
 	}
 	done := ctx.Done()
-	h := topk.NewKRankHeap(k)
-	dom := newDomin(len(gr.P))
-	scratch := gr.newScratch()
-	for wi := range gr.W {
-		if done != nil && wi%cancelChunk == 0 && wi > 0 {
+	st := gr.getState()
+	defer gr.putState(st)
+	h := st.heap
+	h.Reset(k)
+	for pos, wi := range gr.wg.MemberOrder() {
+		if done != nil && pos%cancelChunk == 0 && pos > 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		if rnk, ok := gr.rankBounded(wi, q, h.Threshold(), dom, scratch, c); ok {
-			h.Offer(topk.Match{WeightIndex: wi, Rank: rnk})
+		if rnk, ok := gr.rankBounded(int(wi), q, admitCutoff(h), st.dom, st.scratch, c); ok {
+			h.Offer(topk.Match{WeightIndex: int(wi), Rank: rnk})
 		}
 	}
 	return h.Results(), nil

@@ -39,14 +39,14 @@ import (
 //     T+1). The watermark is the CAS-minimum of all published T values.
 //
 // Determinism: results are bit-identical to the sequential path. Workers
-// claim chunks in ascending index order, so each worker processes an
-// ascending subsequence of W and the per-shard tie argument of the
-// sequential scan (equal ranks keep the smaller weight index) holds
-// within every worker; the global answer is recovered by re-sorting the
-// merged candidates on the same (rank, index) total order. Pruning via
-// the watermark uses T+1, not T, so rank == T candidates — which can
-// still win index ties against another shard — are always refined
-// exactly. See DESIGN.md §7.
+// claim chunks of POSITIONS in the cell-sorted visit order (the same
+// order the sequential scan uses, so both paths share the weight-group
+// scratch reuse); a worker's shard is therefore an arbitrary subsequence
+// of W by index, and every pruning cutoff — the local heap threshold as
+// well as the watermark — uses T+1, not T, so rank == T candidates,
+// which can still win (rank, index) ties, are always refined exactly.
+// The global answer is recovered by re-sorting the merged candidates on
+// the (rank, index) total order. See DESIGN.md §7 and §9.
 
 // normalizeWorkers resolves a worker-count request: non-positive means
 // GOMAXPROCS, and a query never uses more workers than weight vectors.
@@ -168,9 +168,10 @@ func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers
 		wg.Add(1)
 		go func(out *workerOut) {
 			defer wg.Done()
-			dom := newDomin(len(gr.P))
-			dom.shared = shared
-			scratch := gr.newScratch()
+			st := gr.getState()
+			defer gr.putState(st)
+			st.dom.shared = shared
+			order := gr.wg.MemberOrder()
 			for {
 				if shared.count.Load() >= int64(k) {
 					return
@@ -180,15 +181,15 @@ func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers
 				}
 				end := int(cursor.Add(int64(chunk)))
 				start := end - chunk
-				if start >= len(gr.W) {
+				if start >= len(order) {
 					return
 				}
-				if end > len(gr.W) {
-					end = len(gr.W)
+				if end > len(order) {
+					end = len(order)
 				}
-				for wi := start; wi < end; wi++ {
-					if _, ok := gr.rankBounded(wi, q, k, dom, scratch, &out.c); ok {
-						out.res = append(out.res, wi)
+				for _, wi := range order[start:end] {
+					if _, ok := gr.rankBounded(int(wi), q, k, st.dom, st.scratch, &out.c); ok {
+						out.res = append(out.res, int(wi))
 					}
 					if shared.count.Load() >= int64(k) {
 						return
@@ -238,25 +239,30 @@ func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, worke
 		wg.Add(1)
 		go func(out *workerOut) {
 			defer wg.Done()
-			h := topk.NewKRankHeap(k)
-			dom := newDomin(len(gr.P))
-			scratch := gr.newScratch()
+			st := gr.getState()
+			defer gr.putState(st)
+			h := st.heap
+			h.Reset(k)
+			order := gr.wg.MemberOrder()
 			for {
 				if done != nil && ctx.Err() != nil {
 					break
 				}
 				end := int(cursor.Add(int64(chunk)))
 				start := end - chunk
-				if start >= len(gr.W) {
+				if start >= len(order) {
 					break
 				}
-				if end > len(gr.W) {
-					end = len(gr.W)
+				if end > len(order) {
+					end = len(order)
 				}
-				for wi := start; wi < end; wi++ {
-					cutoff := wm.cutoff(h.Threshold())
-					if rnk, ok := gr.rankBounded(wi, q, cutoff, dom, scratch, &out.c); ok {
-						if h.Offer(topk.Match{WeightIndex: wi, Rank: rnk}) && h.Len() == k {
+				for _, wi := range order[start:end] {
+					// The shard is not ascending by weight index, so even
+					// the local threshold must admit rank == T ties: T+1,
+					// same as the watermark rule.
+					cutoff := wm.cutoff(admitCutoff(h))
+					if rnk, ok := gr.rankBounded(int(wi), q, cutoff, st.dom, st.scratch, &out.c); ok {
+						if h.Offer(topk.Match{WeightIndex: int(wi), Rank: rnk}) && h.Len() == k {
 							wm.tighten(h.Threshold())
 						}
 					}

@@ -1,0 +1,249 @@
+package algo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gridrank/internal/dataset"
+	"gridrank/internal/stats"
+	"gridrank/internal/topk"
+	"gridrank/internal/vec"
+)
+
+// This file cross-validates the cell-grouped scan against the pre-grouping
+// per-point implementation, embedded below verbatim (modulo counters) as
+// the reference. Grouping, visit reordering and state pooling are pure
+// execution-strategy changes: answers must be identical element for
+// element on every dataset, at every worker count — that is the contract
+// DESIGN.md §9 argues and this test enforces.
+
+// refRankBounded is the pre-grouping GInTop-k: a per-point scan over
+// P^(A) with the same Case 1/2/3 classification, Domin buffer and cutoff
+// semantics the grouped scan re-derives per group.
+func refRankBounded(gr *GIR, wi int, q vec.Vector, cutoff int, dom *domin, bnd []float64) (int, bool) {
+	w := gr.W[wi]
+	fq := vec.Dot(w, q)
+	rnk := dom.count
+	if rnk >= cutoff {
+		return cutoff, false
+	}
+	wa := gr.wa.Row(wi)
+	d := len(wa)
+	n2 := 2 * gr.g.N()
+	for i, wc := range wa {
+		loCol := gr.g.LowerColumn(wc)
+		upCol := gr.g.UpperColumn(wc)
+		row := bnd[i*n2 : (i+1)*n2]
+		for pc := range loCol {
+			row[2*pc] = loCol[pc]
+			row[2*pc+1] = upCol[pc]
+		}
+	}
+	approx := gr.pa.Cells()
+	for pj := range gr.P {
+		if dom.has(pj) {
+			continue
+		}
+		pa := approx[pj*d : pj*d+d]
+		var u, l float64
+		off := 0
+		for _, pc := range pa {
+			j := off + 2*int(pc)
+			l += bnd[j]
+			u += bnd[j+1]
+			off += n2
+		}
+		if u < fq { // Case 1
+			rnk++
+			if !gr.DisableDomin {
+				dom.observe(pj, gr.P[pj], q)
+			}
+			if rnk >= cutoff {
+				return cutoff, false
+			}
+			continue
+		}
+		if l <= fq { // Case 3
+			if vec.Dot(w, gr.P[pj]) < fq {
+				rnk++
+				if !gr.DisableDomin {
+					dom.observe(pj, gr.P[pj], q)
+				}
+				if rnk >= cutoff {
+					return cutoff, false
+				}
+			}
+		}
+	}
+	return rnk, true
+}
+
+// refReverseTopK is the pre-grouping sequential GIRTop-k: ascending
+// weight order, dominator early exit.
+func refReverseTopK(gr *GIR, q vec.Vector, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	dom := newDomin(len(gr.P))
+	bnd := make([]float64, gr.pa.Dim()*2*gr.g.N())
+	var res []int
+	for wi := range gr.W {
+		if _, ok := refRankBounded(gr, wi, q, k, dom, bnd); ok {
+			res = append(res, wi)
+		}
+		if dom.count >= k {
+			return nil
+		}
+	}
+	return res
+}
+
+// refReverseKRanks is the pre-grouping sequential GIRk-Rank: ascending
+// weight order, heap threshold as the cutoff (safe only because the visit
+// order is ascending by index — ties keep the earlier weight).
+func refReverseKRanks(gr *GIR, q vec.Vector, k int) []topk.Match {
+	if k <= 0 {
+		return nil
+	}
+	dom := newDomin(len(gr.P))
+	bnd := make([]float64, gr.pa.Dim()*2*gr.g.N())
+	h := topk.NewKRankHeap(k)
+	for wi := range gr.W {
+		if rnk, ok := refRankBounded(gr, wi, q, h.Threshold(), dom, bnd); ok {
+			h.Offer(topk.Match{WeightIndex: wi, Rank: rnk})
+		}
+	}
+	return h.Results()
+}
+
+// catalogSet samples n vectors (with repetition) from a base catalog of
+// distinct vectors, producing the duplicate-heavy datasets that stress
+// multi-member cell groups.
+func catalogSet(rng *rand.Rand, base []vec.Vector, n int) []vec.Vector {
+	out := make([]vec.Vector, n)
+	for i := range out {
+		out[i] = base[rng.Intn(len(base))]
+	}
+	return out
+}
+
+// TestGroupedVsReference cross-validates grouped GIR (sequential and at
+// workers 2, 4, 8) against the embedded pre-grouping reference and brute
+// force across 50+ datasets: UN/CL/AC/NO products × UN/CL/EX weights,
+// d ∈ 2..10, grid resolutions down to n=1 (every point in one cell), and
+// duplicate-heavy catalog-sampled sets. Answers must be identical
+// element for element everywhere. Run under -race in CI.
+func TestGroupedVsReference(t *testing.T) {
+	datasets := 56
+	if testing.Short() {
+		datasets = 18
+	}
+	pdists := []dataset.Distribution{dataset.Uniform, dataset.Clustered, dataset.AntiCorrelated, dataset.Normal}
+	wdists := []dataset.Distribution{dataset.Uniform, dataset.Clustered, dataset.Exponential}
+	for i := 0; i < datasets; i++ {
+		rng := rand.New(rand.NewSource(int64(7000 + i)))
+		pd := pdists[i%len(pdists)]
+		wd := wdists[i%len(wdists)]
+		d := 2 + rng.Intn(9)                  // 2..10
+		nP := 30 + rng.Intn(150)              // 30..179
+		nW := 25 + rng.Intn(120)              // 25..144
+		n := []int{1, 2, 4, 8, 16, 32}[i%6]   // coarse grids maximize grouping
+		dup := i%3 == 0                       // every third dataset is catalog-sampled
+		name := fmt.Sprintf("%02d-%s-%s-d%d-P%d-W%d-n%d-dup%v", i, pd, wd, d, nP, nW, n, dup)
+		t.Run(name, func(t *testing.T) {
+			P := dataset.GenerateProducts(rng, pd, nP, d, dataset.DefaultRange)
+			W := dataset.GenerateWeights(rng, wd, nW, d)
+			points, weights := P.Points, W.Points
+			if dup {
+				// Collapse onto a small catalog: ~5 members per distinct
+				// vector, so most groups have many members.
+				points = catalogSet(rng, points[:1+nP/5], nP)
+				weights = catalogSet(rng, weights[:1+nW/5], nW)
+			}
+			brute := NewBrute(points, weights)
+			gir := NewGIR(points, weights, P.Range, n)
+			ref := NewGIR(points, weights, P.Range, n)
+			for qi := 0; qi < 2; qi++ {
+				var q vec.Vector
+				if qi == 0 {
+					q = points[rng.Intn(nP)]
+				} else {
+					q = make(vec.Vector, d)
+					for j := range q {
+						q[j] = rng.Float64() * P.Range
+					}
+				}
+				for _, k := range []int{1, 5, nW} {
+					wantRTK := refReverseTopK(ref, q, k)
+					wantRKR := refReverseKRanks(ref, q, k)
+					// The reference must itself agree with brute force,
+					// otherwise it proves nothing.
+					if b := brute.ReverseTopK(q, k, nil); !equalInts(wantRTK, b) {
+						t.Fatalf("reference RTK k=%d disagrees with brute: got %v want %v", k, wantRTK, b)
+					}
+					if b := brute.ReverseKRanks(q, k, nil); !equalMatches(wantRKR, b) {
+						t.Fatalf("reference RKR k=%d disagrees with brute: got %+v want %+v", k, wantRKR, b)
+					}
+					for _, workers := range []int{1, 2, 4, 8} {
+						gotRTK := gir.ReverseTopKParallel(q, k, workers, nil)
+						if !equalInts(gotRTK, wantRTK) {
+							t.Fatalf("grouped RTK k=%d workers=%d: got %v want %v", k, workers, gotRTK, wantRTK)
+						}
+						gotRKR := gir.ReverseKRanksParallel(q, k, workers, nil)
+						if !equalMatches(gotRKR, wantRKR) {
+							t.Fatalf("grouped RKR k=%d workers=%d: got %+v want %+v", k, workers, gotRKR, wantRKR)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGroupedStateReuse hammers one pooled GIR with interleaved query
+// shapes so recycled state (Domin buffer, scratch tag, heap) crossing
+// queries would be caught immediately against brute force.
+func TestGroupedStateReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	P := dataset.GenerateProducts(rng, dataset.Clustered, 120, 4, dataset.DefaultRange)
+	W := dataset.GenerateWeights(rng, dataset.Uniform, 80, 4)
+	points := catalogSet(rng, P.Points[:30], 120)
+	gir := NewGIR(points, W.Points, P.Range, 8)
+	brute := NewBrute(points, W.Points)
+	for iter := 0; iter < 60; iter++ {
+		q := points[rng.Intn(len(points))]
+		if iter%3 == 0 {
+			q = make(vec.Vector, 4)
+			for j := range q {
+				q[j] = rng.Float64() * P.Range
+			}
+		}
+		k := 1 + rng.Intn(12)
+		if got, want := gir.ReverseKRanks(q, k, nil), brute.ReverseKRanks(q, k, nil); !equalMatches(got, want) {
+			t.Fatalf("iter %d k=%d: pooled RKR diverged: got %+v want %+v", iter, k, got, want)
+		}
+		if got, want := gir.ReverseTopK(q, k, nil), brute.ReverseTopK(q, k, nil); !equalInts(got, want) {
+			t.Fatalf("iter %d k=%d: pooled RTK diverged: got %v want %v", iter, k, got, want)
+		}
+	}
+}
+
+// TestGroupedCountersSane checks the grouped counter invariants on a
+// duplicate-heavy dataset directly (the parallel cross-validation test
+// checks them after worker merges).
+func TestGroupedCountersSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	P := dataset.GenerateProducts(rng, dataset.Clustered, 200, 5, dataset.DefaultRange)
+	W := dataset.GenerateWeights(rng, dataset.Clustered, 100, 5)
+	points := catalogSet(rng, P.Points[:25], 200)
+	gir := NewGIR(points, W.Points, P.Range, 16)
+	q := points[7]
+	var c stats.Counters
+	gir.ReverseKRanks(q, 10, &c)
+	checkStatsInvariants(t, &c)
+	if c.ApproxVisited > int64(gir.PointGroups())*int64(len(gir.W)) {
+		t.Fatalf("ApproxVisited %d exceeds groups×weights %d — counting per point, not per group?",
+			c.ApproxVisited, gir.PointGroups()*len(gir.W))
+	}
+}

@@ -83,14 +83,17 @@ func TestParallelCrossValidation(t *testing.T) {
 }
 
 // checkStatsInvariants asserts the accounting identities that must
-// survive the per-worker counter merge: every point examined through the
-// grid was decided by bounds (Filtered) or refined exactly (Refinements),
-// never both and never neither, and the derived filter rate is a valid
+// survive the per-worker counter merge under grouped counting (see
+// DESIGN.md §9): ApproxVisited and BoundSums count per GROUP bound
+// evaluation (one fused pass per distinct cell, so they stay equal),
+// while Filtered and Refinements count per POINT — a visited group with
+// live members decides at least one point, so the per-point tallies are
+// at least the per-group ones, and the derived filter rate is a valid
 // fraction.
 func checkStatsInvariants(t *testing.T, c *stats.Counters) {
 	t.Helper()
-	if c.Filtered+c.Refinements != c.ApproxVisited {
-		t.Fatalf("merged stats: Filtered(%d) + Refined(%d) != points examined (%d)",
+	if c.Filtered+c.Refinements < c.ApproxVisited {
+		t.Fatalf("merged stats: Filtered(%d) + Refined(%d) < groups examined (%d)",
 			c.Filtered, c.Refinements, c.ApproxVisited)
 	}
 	if c.BoundSums != c.ApproxVisited {

@@ -1,0 +1,8 @@
+//go:build race
+
+package algo
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// asserting exact allocation counts skip under it, since its
+// instrumentation allocates on its own.
+const raceEnabled = true

@@ -1,0 +1,130 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridrank/internal/vec"
+)
+
+func randomPoints(rng *rand.Rand, n, d int, r float64, levels int) []vec.Vector {
+	ps := make([]vec.Vector, n)
+	for i := range ps {
+		p := make(vec.Vector, d)
+		for j := range p {
+			if levels > 0 {
+				// Quantized attributes force heavy cell duplication.
+				p[j] = float64(rng.Intn(levels)) * r / float64(levels)
+			} else {
+				p[j] = rng.Float64() * r
+			}
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// TestGroupedInvariants checks the structural contract of NewGrouped on a
+// spread of shapes: duplicate-heavy quantized grids, continuous data with
+// few collisions, and single-group degenerate inputs.
+func TestGroupedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		name      string
+		n, d, gn  int
+		levels    int
+		maxGroups int // 0 = no bound asserted
+	}{
+		{name: "continuous", n: 200, d: 4, gn: 16, levels: 0},
+		{name: "quantized", n: 300, d: 3, gn: 4, levels: 3, maxGroups: 27},
+		{name: "coarse", n: 150, d: 5, gn: 1, levels: 0, maxGroups: 1},
+		{name: "single", n: 1, d: 2, gn: 8, levels: 0, maxGroups: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := randomPoints(rng, tc.n, tc.d, 100, tc.levels)
+			g := New(tc.gn, 100, 1)
+			ix := NewPointIndex(g, ps)
+			gi := NewGrouped(ix)
+
+			if gi.Count() != tc.n {
+				t.Fatalf("Count = %d, want %d", gi.Count(), tc.n)
+			}
+			if tc.maxGroups > 0 && gi.Groups() > tc.maxGroups {
+				t.Fatalf("Groups = %d, want <= %d", gi.Groups(), tc.maxGroups)
+			}
+
+			// MemberOrder is a permutation of [0, n).
+			seen := make([]bool, tc.n)
+			for _, m := range gi.MemberOrder() {
+				if m < 0 || int(m) >= tc.n || seen[m] {
+					t.Fatalf("MemberOrder not a permutation: element %d", m)
+				}
+				seen[m] = true
+			}
+
+			// Every member's approximate row equals its group's row, member
+			// lists are ascending, and GroupOf agrees with membership.
+			rowSeen := make(map[string]int)
+			for gid := 0; gid < gi.Groups(); gid++ {
+				row := gi.Row(gid)
+				if prev, dup := rowSeen[string(row)]; dup {
+					t.Fatalf("groups %d and %d share row %v", prev, gid, row)
+				}
+				rowSeen[string(row)] = gid
+				members := gi.Members(gid)
+				if len(members) != gi.Size(gid) || len(members) == 0 {
+					t.Fatalf("group %d: %d members, Size %d", gid, len(members), gi.Size(gid))
+				}
+				for i, m := range members {
+					if i > 0 && members[i-1] >= m {
+						t.Fatalf("group %d members not ascending: %v", gid, members)
+					}
+					if gi.GroupOf(int(m)) != int32(gid) {
+						t.Fatalf("GroupOf(%d) = %d, want %d", m, gi.GroupOf(int(m)), gid)
+					}
+					got := ix.Row(int(m))
+					if string(got) != string(row) {
+						t.Fatalf("member %d row %v != group %d row %v", m, got, gid, row)
+					}
+				}
+			}
+
+			// Groups are numbered by first occurrence: the first member of
+			// group g appears before the first member of group g+1 in
+			// element order.
+			first := make([]int32, gi.Groups())
+			for gid := range first {
+				first[gid] = gi.Members(gid)[0]
+			}
+			for gid := 1; gid < len(first); gid++ {
+				if first[gid-1] >= first[gid] {
+					t.Fatalf("group numbering not by first occurrence: firsts %v", first)
+				}
+			}
+
+			// GroupMap is consistent with GroupOf.
+			gm := gi.GroupMap()
+			if len(gm) != tc.n {
+				t.Fatalf("GroupMap length %d, want %d", len(gm), tc.n)
+			}
+			for i, gid := range gm {
+				if gid != gi.GroupOf(i) {
+					t.Fatalf("GroupMap[%d] = %d != GroupOf = %d", i, gid, gi.GroupOf(i))
+				}
+			}
+		})
+	}
+}
+
+// TestGroupedIdenticalVectors pins full collapse: identical vectors form
+// exactly one group containing everything.
+func TestGroupedIdenticalVectors(t *testing.T) {
+	p := vec.Vector{1, 2, 3}
+	ps := []vec.Vector{p, p, p, p, p}
+	ix := NewPointIndex(New(32, 10, 1), ps)
+	gi := NewGrouped(ix)
+	if gi.Groups() != 1 || gi.Size(0) != 5 {
+		t.Fatalf("got %d groups, group 0 size %d; want 1 group of 5", gi.Groups(), gi.Size(0))
+	}
+}

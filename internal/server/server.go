@@ -325,6 +325,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"dim":             s.ix.Dim(),
 		"products":        s.ix.NumProducts(),
 		"preferences":     s.ix.NumPreferences(),
+		"pointGroups":     s.ix.PointGroups(),
+		"weightGroups":    s.ix.WeightGroups(),
 		"gridPartitions":  s.ix.GridPartitions(),
 		"gridMemoryBytes": s.ix.GridMemoryBytes(),
 		"maxParallelism":  s.maxParallelism,

@@ -142,9 +142,14 @@ func matchWorse(a, b Match) bool {
 // KRankHeap is the bounded heap of Algorithm 3: it retains the k weight
 // vectors with the smallest rank seen so far and exposes the current
 // admission threshold (minRank) used to early-terminate rank counting.
+//
+// The heap operations are hand-rolled over []Match rather than going
+// through container/heap: the interface{} indirection there boxes every
+// pushed Match, which is the difference between a zero-allocation and an
+// O(k)-allocation steady-state query (see DESIGN.md §9).
 type KRankHeap struct {
 	k int
-	h matchHeap
+	h []Match
 }
 
 // NewKRankHeap creates a heap retaining the best k matches. It panics when
@@ -158,6 +163,16 @@ func NewKRankHeap(k int) *KRankHeap {
 
 // Len returns the number of retained matches.
 func (kh *KRankHeap) Len() int { return len(kh.h) }
+
+// Reset empties the heap and re-arms it for a new query retaining k
+// matches, reusing the backing array. It panics when k < 1.
+func (kh *KRankHeap) Reset(k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("topk: KRankHeap needs k >= 1, got %d", k))
+	}
+	kh.k = k
+	kh.h = kh.h[:0]
+}
 
 // Threshold returns the current admission cutoff: a new match must have
 // rank strictly below the worst retained rank once the heap is full
@@ -175,36 +190,62 @@ func (kh *KRankHeap) Threshold() int {
 // worst retained match when full. It reports whether the match was kept.
 func (kh *KRankHeap) Offer(m Match) bool {
 	if len(kh.h) < kh.k {
-		heap.Push(&kh.h, m)
+		kh.h = append(kh.h, m)
+		siftUpMatch(kh.h, len(kh.h)-1)
 		return true
 	}
 	if !matchWorse(kh.h[0], m) {
 		return false
 	}
 	kh.h[0] = m
-	heap.Fix(&kh.h, 0)
+	siftDownMatch(kh.h, 0)
 	return true
 }
 
 // Results returns the retained matches ordered by ascending rank, then
-// ascending weight index.
+// ascending weight index. The copy is heapsorted in place (it inherits
+// the heap invariant from the retained slice), so the returned slice is
+// the only allocation.
 func (kh *KRankHeap) Results() []Match {
 	out := make([]Match, len(kh.h))
 	copy(out, kh.h)
-	sort.Slice(out, func(a, b int) bool { return matchWorse(out[b], out[a]) })
+	// Repeatedly swap the worst match (root) to the end: ascending
+	// (rank, index) order falls out.
+	for i := len(out) - 1; i > 0; i-- {
+		out[0], out[i] = out[i], out[0]
+		siftDownMatch(out[:i], 0)
+	}
 	return out
 }
 
-type matchHeap []Match
+// siftUpMatch restores the max-heap invariant (worst match at the root
+// under matchWorse) after appending at index i.
+func siftUpMatch(h []Match, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !matchWorse(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
 
-func (h matchHeap) Len() int            { return len(h) }
-func (h matchHeap) Less(i, j int) bool  { return matchWorse(h[i], h[j]) }
-func (h matchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *matchHeap) Push(x interface{}) { *h = append(*h, x.(Match)) }
-func (h *matchHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// siftDownMatch restores the invariant after replacing the element at
+// index i.
+func siftDownMatch(h []Match, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && matchWorse(h[l], h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && matchWorse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }

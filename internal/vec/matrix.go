@@ -1,0 +1,71 @@
+package vec
+
+import "fmt"
+
+// Matrix is a dense row-major collection of equal-dimension vectors backed
+// by one contiguous []float64. The scan algorithms iterate vectors in row
+// order, so contiguous backing turns the pointer-chasing [][]float64 walk
+// into sequential memory traffic; Rows() exposes the same data as
+// []Vector stride-d views, so code written against slices of vectors
+// keeps working unchanged.
+type Matrix struct {
+	data []float64
+	d    int
+	rows []Vector
+}
+
+// NewMatrix copies vs into contiguous storage. It panics on an empty set
+// or ragged rows — matrix shape is program configuration, not user input.
+func NewMatrix(vs []Vector) *Matrix {
+	if len(vs) == 0 {
+		panic("vec: empty matrix")
+	}
+	d := len(vs[0])
+	if d == 0 {
+		panic("vec: zero-dimensional matrix")
+	}
+	data := make([]float64, len(vs)*d)
+	for i, v := range vs {
+		if len(v) != d {
+			panic(fmt.Sprintf("vec: row %d has dimension %d, want %d", i, len(v), d))
+		}
+		copy(data[i*d:(i+1)*d], v)
+	}
+	return fromFlat(data, d)
+}
+
+// MatrixFromFlat wraps an existing row-major backing array without
+// copying. len(data) must be a positive multiple of d.
+func MatrixFromFlat(data []float64, d int) *Matrix {
+	if d < 1 || len(data) == 0 || len(data)%d != 0 {
+		panic(fmt.Sprintf("vec: flat length %d not a positive multiple of dim %d", len(data), d))
+	}
+	return fromFlat(data, d)
+}
+
+func fromFlat(data []float64, d int) *Matrix {
+	m := &Matrix{data: data, d: d, rows: make([]Vector, len(data)/d)}
+	for i := range m.rows {
+		// Full-slice views: appends through a row can never bleed into the
+		// next one.
+		m.rows[i] = data[i*d : (i+1)*d : (i+1)*d]
+	}
+	return m
+}
+
+// Len returns the number of rows.
+func (m *Matrix) Len() int { return len(m.rows) }
+
+// Dim returns the row dimensionality.
+func (m *Matrix) Dim() int { return m.d }
+
+// Data returns the contiguous backing array (Len()·Dim() floats,
+// row-major). Callers must not modify it.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Row returns row i as a view into the backing array.
+func (m *Matrix) Row(i int) Vector { return m.rows[i] }
+
+// Rows returns all rows as stride-d views into the backing array. The
+// slice is the matrix's own storage; callers must not modify it.
+func (m *Matrix) Rows() []Vector { return m.rows }

@@ -1,0 +1,139 @@
+package vec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]Vector, 17)
+	for i := range vs {
+		v := make(Vector, 5)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		vs[i] = v
+	}
+	m := NewMatrix(vs)
+	if m.Len() != 17 || m.Dim() != 5 {
+		t.Fatalf("shape = %d×%d, want 17×5", m.Len(), m.Dim())
+	}
+	if len(m.Data()) != 85 {
+		t.Fatalf("backing length %d, want 85", len(m.Data()))
+	}
+	for i, v := range vs {
+		if !Equal(m.Row(i), v) || !Equal(m.Rows()[i], v) {
+			t.Fatalf("row %d: got %v want %v", i, m.Row(i), v)
+		}
+	}
+	// NewMatrix copies: mutating the source must not reach the matrix.
+	vs[3][2] = -99
+	if m.Row(3)[2] == -99 {
+		t.Fatal("NewMatrix aliased its input")
+	}
+	// Rows are views: the backing array and the row views agree.
+	m.Data()[5*7+1] = 42
+	if m.Row(7)[1] != 42 {
+		t.Fatal("Row is not a view of Data")
+	}
+	// Full-slice views: appending through a row must not clobber the next.
+	r := m.Row(2)
+	_ = append(r, 1.0)
+	if m.Row(3)[0] == 1.0 && vs[3][0] != 1.0 {
+		t.Fatal("append through a row view bled into the next row")
+	}
+}
+
+func TestMatrixFromFlat(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := MatrixFromFlat(data, 3)
+	if m.Len() != 2 || m.Dim() != 3 {
+		t.Fatalf("shape = %d×%d, want 2×3", m.Len(), m.Dim())
+	}
+	if !Equal(m.Row(1), Vector{4, 5, 6}) {
+		t.Fatalf("row 1 = %v", m.Row(1))
+	}
+	// No copy: writes through the original slice are visible.
+	data[0] = 9
+	if m.Row(0)[0] != 9 {
+		t.Fatal("MatrixFromFlat copied its input")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"empty", func() { NewMatrix(nil) }},
+		{"zero-dim", func() { NewMatrix([]Vector{{}}) }},
+		{"ragged", func() { NewMatrix([]Vector{{1, 2}, {1}}) }},
+		{"flat-misaligned", func() { MatrixFromFlat([]float64{1, 2, 3}, 2) }},
+		{"flat-empty", func() { MatrixFromFlat(nil, 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+// naiveDot is the straight reference loop Dot's unrolled kernel must match
+// bit for bit (same accumulation order, so the floating-point result is
+// identical, not merely close).
+func naiveDot(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for d := 0; d <= 33; d++ { // covers every tail length and the empty case
+		for trial := 0; trial < 50; trial++ {
+			a := make(Vector, d)
+			b := make(Vector, d)
+			for i := 0; i < d; i++ {
+				// Mixed magnitudes make accumulation-order changes visible.
+				a[i] = (rng.Float64() - 0.5) * float64(int64(1)<<uint(rng.Intn(40)))
+				b[i] = (rng.Float64() - 0.5) * float64(int64(1)<<uint(rng.Intn(40)))
+			}
+			if got, want := Dot(a, b), naiveDot(a, b); got != want {
+				t.Fatalf("d=%d: Dot = %v, naive = %v (must be bit-identical)", d, got, want)
+			}
+		}
+	}
+}
+
+func benchVectors(d int) (Vector, Vector) {
+	rng := rand.New(rand.NewSource(3))
+	a := make(Vector, d)
+	b := make(Vector, d)
+	for i := 0; i < d; i++ {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	return a, b
+}
+
+var dotSink float64
+
+func BenchmarkDot(b *testing.B) {
+	for _, d := range []int{4, 6, 8, 16, 64} {
+		a, v := benchVectors(d)
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dotSink += Dot(a, v)
+			}
+		})
+	}
+}

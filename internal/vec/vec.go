@@ -21,13 +21,31 @@ type Vector = []float64
 // Dot returns the inner product Σ a[i]·b[i], the score function f_w(p) of
 // the paper. It panics if the lengths differ, since mismatched
 // dimensionality is always a programming error.
+//
+// The loop is unrolled 4-wide with a scalar tail. The accumulator is a
+// single variable updated in index order, so the floating-point result is
+// bit-identical to the naive loop — rank comparisons must not move when
+// the kernel changes shape. Each block is accessed through a capped
+// sub-slice (a[i:i+4:i+4]), which reduces the four per-element bounds
+// checks to one slice check per block; among the unroll shapes measured
+// (naive, reslice-advance, indexed blocks) this one is fastest from d = 6
+// through d = 64.
 func Dot(a, b Vector) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: dimension mismatch %d != %d", len(a), len(b)))
 	}
 	var s float64
-	for i, ai := range a {
-		s += ai * b[i]
+	i := 0
+	for ; i+4 <= len(a) && i+4 <= len(b); i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		s += aa[0] * bb[0]
+		s += aa[1] * bb[1]
+		s += aa[2] * bb[2]
+		s += aa[3] * bb[3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }

@@ -92,12 +92,16 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := wset.ValidateWeights(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
 	}
+	// Same contiguous layout as New: one backing array per set, shared by
+	// the index views and the algorithm. The on-disk format is unchanged.
+	pm := vec.NewMatrix(pset.Points)
+	wm := vec.NewMatrix(wset.Points)
 	return &Index{
-		products:    pset.Points,
-		preferences: wset.Points,
+		products:    pm.Rows(),
+		preferences: wm.Rows(),
 		dim:         pset.Dim,
 		rangeP:      rangeP,
-		gir:         algo.NewGIR(pset.Points, wset.Points, rangeP, n),
+		gir:         algo.NewGIRFromMatrices(pm, wm, rangeP, n),
 	}, nil
 }
 

@@ -1,0 +1,64 @@
+#!/bin/sh
+# bench.sh runs the GIR benchmark suite and records the results in
+# BENCH_gir.json so performance changes are tracked in review, not lost
+# in terminal scrollback.
+#
+# Usage: scripts/bench.sh [-short]
+#
+#   -short   quick smoke run: fewer iterations, skips the distribution
+#            sweep (BenchmarkGIRGroupedSweep skips itself under -short).
+#            Used by the CI bench job.
+#
+# Covered benchmarks: the query-path suite (BenchmarkGIR*) from
+# bench_test.go, parallel_bench_test.go and group_bench_test.go — the
+# grouped acceptance workloads, the paper-parameter RTK/RKR runs, the
+# high-dimensional run and the intra-query parallel sweep. Each entry
+# records ns/op, B/op, allocs/op and any custom metrics the benchmark
+# reports (e.g. filter% for the grouped sweep).
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME=1s
+SHORT_FLAG=""
+if [ "${1:-}" = "-short" ]; then
+    BENCHTIME=2x
+    SHORT_FLAG="-short"
+fi
+
+OUT=BENCH_gir.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkGIR' -benchmem -benchtime "$BENCHTIME" \
+    $SHORT_FLAG . | tee "$RAW"
+
+# Parse `go test -bench` lines into JSON. A line looks like:
+#   BenchmarkName-8  	  123	  456 ns/op	  789 B/op	  2 allocs/op	  91.2 filter%
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": ["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s", \
+        (first ? "" : ",\n"), name, iters
+    first = 0
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9_%\/]/, "_", unit)
+        gsub(/\//, "_per_", unit)
+        gsub(/%/, "_pct", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+/^cpu:/ { cpu = substr($0, 6); gsub(/^[ \t]+|"/, "", cpu) }
+END {
+    print ""
+    print "  ],"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\"\n", BT
+    print "}"
+}' BT="$BENCHTIME" "$RAW" > "$OUT"
+
+echo "wrote $OUT"

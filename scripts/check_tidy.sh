@@ -1,0 +1,19 @@
+#!/bin/sh
+# check_tidy.sh fails when the tree contains zero-byte tracked files —
+# almost always editor or merge debris (an accidental `touch`, a half
+# finished `git add`), never something this repo wants committed.
+set -eu
+cd "$(dirname "$0")/.."
+
+bad=0
+for f in $(git ls-files); do
+    if [ -f "$f" ] && [ ! -s "$f" ]; then
+        echo "zero-byte tracked file: $f"
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "delete the file(s) or give them content" >&2
+    exit 1
+fi
+echo "no zero-byte tracked files"
