@@ -15,33 +15,44 @@ type BatchResult[T any] struct {
 }
 
 // ReverseTopKBatchCtx answers many reverse top-k queries concurrently on
-// up to workers goroutines (0 means GOMAXPROCS). The index is immutable,
-// so queries share it safely; results are returned in input order. The
-// context governs the whole batch: when it is cancelled or expires, the
-// in-flight queries stop within one preference chunk and every
-// unfinished entry carries ctx.Err().
-func (ix *Index) ReverseTopKBatchCtx(ctx context.Context, queries []Vector, k, workers int) []BatchResult[[]int] {
+// up to workers goroutines (0 means GOMAXPROCS). Queries read one epoch
+// snapshot each, so they share the index safely; results are returned in
+// input order. The context governs the whole batch: when it is cancelled
+// or expires, the in-flight queries stop within one preference chunk and
+// every unfinished entry carries ctx.Err().
+//
+// Each per-query scan runs sequentially (WithWorkers(1)) regardless of
+// the index's Parallelism setting: the batch already parallelizes across
+// queries, and nesting the index default under every batch worker would
+// multiply the goroutine count to workers × Parallelism and oversubscribe
+// the CPUs. Pass WithWorkers explicitly in opts to override (opts apply
+// to every query in the batch, and later options win). WithStats is not
+// usable here — concurrent queries would race on the one sink.
+func (ix *Index) ReverseTopKBatchCtx(ctx context.Context, queries []Vector, k, workers int, opts ...QueryOption) []BatchResult[[]int] {
+	opts = append([]QueryOption{WithWorkers(1)}, opts...)
 	return runBatch(ctx, queries, workers, func(q Vector) ([]int, error) {
-		return ix.ReverseTopKCtx(ctx, q, k)
+		return ix.ReverseTopKCtx(ctx, q, k, opts...)
 	})
 }
 
 // ReverseKRanksBatchCtx answers many reverse k-ranks queries
-// concurrently, with the same context contract as ReverseTopKBatchCtx.
-func (ix *Index) ReverseKRanksBatchCtx(ctx context.Context, queries []Vector, k, workers int) []BatchResult[[]Match] {
+// concurrently, with the same context, option and worker contracts as
+// ReverseTopKBatchCtx.
+func (ix *Index) ReverseKRanksBatchCtx(ctx context.Context, queries []Vector, k, workers int, opts ...QueryOption) []BatchResult[[]Match] {
+	opts = append([]QueryOption{WithWorkers(1)}, opts...)
 	return runBatch(ctx, queries, workers, func(q Vector) ([]Match, error) {
-		return ix.ReverseKRanksCtx(ctx, q, k)
+		return ix.ReverseKRanksCtx(ctx, q, k, opts...)
 	})
 }
 
 // ReverseTopKBatch is ReverseTopKBatchCtx with a background context.
-func (ix *Index) ReverseTopKBatch(queries []Vector, k, workers int) []BatchResult[[]int] {
-	return ix.ReverseTopKBatchCtx(context.Background(), queries, k, workers)
+func (ix *Index) ReverseTopKBatch(queries []Vector, k, workers int, opts ...QueryOption) []BatchResult[[]int] {
+	return ix.ReverseTopKBatchCtx(context.Background(), queries, k, workers, opts...)
 }
 
 // ReverseKRanksBatch is ReverseKRanksBatchCtx with a background context.
-func (ix *Index) ReverseKRanksBatch(queries []Vector, k, workers int) []BatchResult[[]Match] {
-	return ix.ReverseKRanksBatchCtx(context.Background(), queries, k, workers)
+func (ix *Index) ReverseKRanksBatch(queries []Vector, k, workers int, opts ...QueryOption) []BatchResult[[]Match] {
+	return ix.ReverseKRanksBatchCtx(context.Background(), queries, k, workers, opts...)
 }
 
 func runBatch[T any](ctx context.Context, queries []Vector, workers int, f func(Vector) (T, error)) []BatchResult[T] {

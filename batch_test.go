@@ -2,6 +2,7 @@ package gridrank
 
 import (
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -58,6 +59,81 @@ func TestBatchMatchesSequential(t *testing.T) {
 				if rkr[i].Value[j] != wantKR[j] {
 					t.Fatalf("workers=%d query %d RKR mismatch", workers, i)
 				}
+			}
+		}
+	}
+}
+
+// TestBatchPinsWorkerGoroutines pins the fix for worker multiplication:
+// a batch on an index configured with intra-query Parallelism used to
+// spawn workers × Parallelism goroutines (each per-query scan picked up
+// the index default underneath the batch's own pool). The batch now
+// forces sequential per-query scans, so the goroutine peak stays at the
+// batch worker count.
+func TestBatchPinsWorkerGoroutines(t *testing.T) {
+	P, err := GenerateProducts(41, Uniform, 4000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := GeneratePreferences(42, Uniform, 1200, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(P, W, &Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := P[:48]
+	const batchWorkers = 4
+	baseline := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	peakc := make(chan int, 1)
+	go func() {
+		peak := 0
+		for {
+			select {
+			case <-stop:
+				peakc <- peak
+				return
+			default:
+			}
+			if n := runtime.NumGoroutine(); n > peak {
+				peak = n
+			}
+		}
+	}()
+	res := ix.ReverseTopKBatchCtx(context.Background(), queries, 10, batchWorkers)
+	close(stop)
+	peak := <-peakc
+	for i := range res {
+		if res[i].Err != nil {
+			t.Fatalf("query %d: %v", i, res[i].Err)
+		}
+	}
+	// baseline + the batch pool + the sampler, with a little slack for
+	// runtime helpers. The pre-fix behavior peaks at
+	// baseline + batchWorkers × Parallelism and trips this by a wide
+	// margin.
+	if limit := baseline + batchWorkers + 3; peak > limit {
+		t.Fatalf("goroutine peak %d during batch (baseline %d, limit %d): per-query scans multiplied the batch workers",
+			peak, baseline, limit)
+	}
+	// An explicit per-query override still works and answers identically.
+	over := ix.ReverseTopKBatchCtx(context.Background(), queries[:8], 10, 2, WithWorkers(3))
+	for i := range over {
+		if over[i].Err != nil {
+			t.Fatalf("override query %d: %v", i, over[i].Err)
+		}
+		want, err := ix.ReverseTopKCtx(context.Background(), queries[i], 10, WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(over[i].Value) {
+			t.Fatalf("override answers differ for query %d", i)
+		}
+		for j := range want {
+			if over[i].Value[j] != want[j] {
+				t.Fatalf("override answers differ for query %d", i)
 			}
 		}
 	}

@@ -1,0 +1,28 @@
+// Command rrqindex builds, inspects and mutates persisted Grid-index
+// files. Mutation verbs load the index, apply the change in memory and
+// write the file back atomically, so a crash mid-write never corrupts
+// the index on disk.
+//
+// Usage:
+//
+//	rrqindex build -products p.grd -prefs w.grd -grid 100 -out index.gri
+//	rrqindex info -index index.gri
+//	rrqindex insert-product -index index.gri -v "120.5,80,3000,42"
+//	rrqindex insert-pref -index index.gri -v "0.4,0.3,0.2,0.1;0.25,0.25,0.25,0.25"
+//	rrqindex delete-product -index index.gri -i "3,5,7"
+//	rrqindex delete-pref -index index.gri -i 0
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gridrank/internal/cli"
+)
+
+func main() {
+	if err := cli.RunIndex(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rrqindex:", err)
+		os.Exit(1)
+	}
+}

@@ -3,11 +3,15 @@ package gridrank
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
+	"errors"
 	"testing"
 )
 
-// FuzzReadIndex ensures the index parser never panics and that parsed
-// indexes answer queries without crashing.
+// FuzzReadIndex ensures the index parser never panics, rejects every
+// malformed stream with ErrBadIndexFile (callers branch on it to tell
+// corruption from I/O failures), and that parsed indexes answer queries
+// without crashing.
 func FuzzReadIndex(f *testing.F) {
 	P, err := GenerateProducts(51, Uniform, 30, 3)
 	if err != nil {
@@ -29,9 +33,34 @@ func FuzzReadIndex(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(valid.Bytes()[:20])
 	f.Add([]byte("GRI1aaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	// Every truncation of the header region.
+	for cut := 1; cut < 16; cut++ {
+		f.Add(valid.Bytes()[:cut])
+	}
+	// Corrupt header fields on an otherwise valid stream: magic, grid
+	// partitions (0 and absurd), rangeP (zero, negative, NaN bits).
+	corrupt := func(off int, val uint32) []byte {
+		b := append([]byte(nil), valid.Bytes()...)
+		binary.LittleEndian.PutUint32(b[off:], val)
+		return b
+	}
+	f.Add(corrupt(0, 0))
+	f.Add(corrupt(0, 0x31495248))
+	f.Add(corrupt(4, 0))
+	f.Add(corrupt(4, 1<<30))
+	f.Add(corrupt(8, 0))
+	b := append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint64(b[8:], ^uint64(0)) // NaN rangeP
+	f.Add(b)
+	// Body corruption: truncated mid-dataset and flipped length prefix.
+	f.Add(valid.Bytes()[:valid.Len()-7])
+	f.Add(corrupt(16, ^uint32(0)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadIndex(bytes.NewReader(data))
 		if err != nil {
+			if !errors.Is(err, ErrBadIndexFile) {
+				t.Fatalf("ReadIndex error %v does not wrap ErrBadIndexFile", err)
+			}
 			return
 		}
 		// A successfully parsed index must answer queries.

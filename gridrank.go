@@ -40,6 +40,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"gridrank/internal/algo"
 	"gridrank/internal/model"
@@ -131,14 +133,59 @@ var ErrBadK = errors.New("gridrank: k must be positive")
 // ErrBadParallelism reports a negative worker count.
 var ErrBadParallelism = errors.New("gridrank: parallelism must be non-negative")
 
-// Index holds the Grid-index over one product set and one preference set.
-// It is immutable after construction and safe for concurrent queries.
+// Index holds the Grid-index over one product set and one preference
+// set. It is safe for concurrent use: queries read an immutable epoch
+// snapshot resolved once per call (no locks on the query path), and the
+// mutation methods (InsertProduct, DeleteProduct, InsertPreference,
+// DeletePreference and their Ctx/batch variants — see mutate.go)
+// install new epochs behind a writer lock without disturbing in-flight
+// queries.
 type Index struct {
-	products    []Vector
-	preferences []Vector
-	dim         int
-	rangeP      float64
-	gir         *algo.GIR
+	dim int
+	// par is the default intra-query worker count (Options.Parallelism /
+	// SetParallelism); atomic so it can be retuned while serving.
+	par atomic.Int32
+	// mu serializes mutators; queries never take it.
+	mu sync.Mutex
+	// cur is the current epoch. Mutators build the next epoch under mu
+	// and publish it with one atomic store; queries load it once and run
+	// entirely against that snapshot.
+	cur atomic.Pointer[epoch]
+}
+
+// epoch is one immutable snapshot of the indexed data and its derived
+// structures. Everything reachable from an epoch is read-only after
+// publication; successive epochs share whatever a mutation left
+// untouched (the grid table, the whole non-mutated side, and — via
+// copy-on-write matrices — most of the raw data).
+type epoch struct {
+	// seq numbers epochs from 0 (construction), incremented per install.
+	seq    uint64
+	pm, wm *vec.Matrix
+	rangeP float64
+	gir    *algo.GIR
+}
+
+// snap returns the current epoch snapshot.
+func (ix *Index) snap() *epoch { return ix.cur.Load() }
+
+// computeRangeP reproduces New's point-range derivation exactly — max
+// attribute, floored at 1 for all-zero sets, nudged one ulp up — so an
+// index maintained by mutations persists byte-identically to one built
+// fresh over the same data.
+func computeRangeP(products []Vector) float64 {
+	rangeP := 0.0
+	for _, p := range products {
+		for _, x := range p {
+			if x > rangeP {
+				rangeP = x
+			}
+		}
+	}
+	if rangeP == 0 {
+		rangeP = 1
+	}
+	return math.Nextafter(rangeP, math.Inf(1))
 }
 
 // New validates the data sets and builds the Grid-index. Products must
@@ -216,65 +263,73 @@ func New(products, preferences []Vector, opts *Options) (*Index, error) {
 		}
 	}
 	// rangeP is the max observed value; nudge it up so the top value maps
-	// strictly inside the last cell even after floating-point rounding.
+	// strictly inside the last cell even after floating-point rounding
+	// (computeRangeP applies the same rule for the mutation paths).
 	rangeP = math.Nextafter(rangeP, math.Inf(1))
 	// Copy both sets into contiguous row-major storage: the index and the
 	// algorithm share one backing array per set, the scans stream
 	// sequential memory, and callers keep ownership of their slices.
 	pm := vec.NewMatrix(products)
 	wm := vec.NewMatrix(preferences)
-	gir := algo.NewGIRFromMatrices(pm, wm, rangeP, n)
-	gir.Parallelism = parallelism
-	return &Index{
-		products:    pm.Rows(),
-		preferences: wm.Rows(),
-		dim:         d,
-		rangeP:      rangeP,
-		gir:         gir,
-	}, nil
+	ix := &Index{dim: d}
+	ix.par.Store(int32(parallelism))
+	ix.cur.Store(&epoch{
+		pm:     pm,
+		wm:     wm,
+		rangeP: rangeP,
+		gir:    algo.NewGIRFromMatrices(pm, wm, rangeP, n),
+	})
+	return ix, nil
 }
 
 // Dim returns the indexed dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
 
-// NumProducts returns |P|.
-func (ix *Index) NumProducts() int { return len(ix.products) }
+// NumProducts returns |P| of the current epoch.
+func (ix *Index) NumProducts() int { return ix.snap().pm.Len() }
 
-// NumPreferences returns |W|.
-func (ix *Index) NumPreferences() int { return len(ix.preferences) }
+// NumPreferences returns |W| of the current epoch.
+func (ix *Index) NumPreferences() int { return ix.snap().wm.Len() }
 
 // GridPartitions returns the grid resolution n chosen at construction.
-func (ix *Index) GridPartitions() int { return ix.gir.Grid().N() }
+func (ix *Index) GridPartitions() int { return ix.snap().gir.Grid().N() }
+
+// Epoch returns the index's mutation epoch: 0 for a freshly built or
+// loaded index, incremented by one for every installed mutation (a
+// batch call counts as one). Two calls observing the same epoch saw the
+// identical immutable snapshot.
+func (ix *Index) Epoch() uint64 { return ix.snap().seq }
 
 // Parallelism returns the default intra-query worker count configured
 // through Options.Parallelism or SetParallelism (0 means sequential).
-func (ix *Index) Parallelism() int { return ix.gir.Parallelism }
+func (ix *Index) Parallelism() int { return int(ix.par.Load()) }
 
 // SetParallelism changes the default intra-query worker count, e.g. for
 // an index restored with Load (the setting is runtime configuration and
-// is not persisted). It must not be called while queries are in flight.
+// is not persisted). It is safe to call while queries are in flight;
+// running queries keep the count they resolved at entry.
 func (ix *Index) SetParallelism(workers int) error {
 	if workers < 0 {
 		return fmt.Errorf("%w: got %d", ErrBadParallelism, workers)
 	}
-	ix.gir.Parallelism = workers
+	ix.par.Store(int32(workers))
 	return nil
 }
 
 // GridMemoryBytes returns the memory footprint of the boundary table.
-func (ix *Index) GridMemoryBytes() int { return ix.gir.Grid().MemoryBytes() }
+func (ix *Index) GridMemoryBytes() int { return ix.snap().gir.Grid().MemoryBytes() }
 
 // PointGroups returns the number of distinct approximate product rows —
 // grid cells actually occupied by P. The scan's bound work is
 // proportional to this, not to NumProducts(): the further it falls
 // below NumProducts(), the more the cell-grouped scan saves (DESIGN.md
 // §9). Equal values mean grouping is inert for this data and grid.
-func (ix *Index) PointGroups() int { return ix.gir.PointGroups() }
+func (ix *Index) PointGroups() int { return ix.snap().gir.PointGroups() }
 
 // WeightGroups is PointGroups for the preference set: the number of
 // distinct approximate preference rows. Preferences sharing a row reuse
 // the gathered bound columns during a scan.
-func (ix *Index) WeightGroups() int { return ix.gir.WeightGroups() }
+func (ix *Index) WeightGroups() int { return ix.snap().gir.WeightGroups() }
 
 func (ix *Index) checkQuery(q Vector, k int) error {
 	if len(q) != ix.dim {
@@ -408,7 +463,7 @@ func (ix *Index) AggregateReverseRank(bundle []Vector, k int) ([]AggMatch, error
 			return nil, err
 		}
 	}
-	res := ix.gir.AggregateReverseRank(bundle, k, nil)
+	res := ix.snap().gir.AggregateReverseRank(bundle, k, nil)
 	out := make([]AggMatch, len(res))
 	for i, m := range res {
 		out[i] = AggMatch{WeightIndex: m.WeightIndex, AggRank: m.AggRank}
@@ -425,7 +480,7 @@ func (ix *Index) TopK(w Vector, k int) ([]Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadK, k)
 	}
-	res := topk.TopK(ix.products, w, k, nil)
+	res := topk.TopK(ix.snap().pm.Rows(), w, k, nil)
 	out := make([]Result, len(res))
 	for i, r := range res {
 		out[i] = Result{Index: r.Index, Score: r.Score}
@@ -447,7 +502,7 @@ func (ix *Index) Rank(w, q Vector) (int, error) {
 			return 0, fmt.Errorf("gridrank: query attribute %d = %v (must be finite and non-negative)", j, x)
 		}
 	}
-	return topk.Rank(ix.products, w, q, nil), nil
+	return topk.Rank(ix.snap().pm.Rows(), w, q, nil), nil
 }
 
 // WeightInterval is a closed range [Lo, Hi] of λ values: every preference

@@ -48,23 +48,29 @@ func Generate(opts GenOptions) (string, error) {
 	default:
 		return "", fmt.Errorf("unknown -kind %q (want products or prefs)", opts.Kind)
 	}
+	// Validate the format before creating the file: a bad -format must
+	// not leave an empty opts.Out behind.
+	switch opts.Format {
+	case "binary", "", "csv":
+	default:
+		return "", fmt.Errorf("unknown -format %q (want binary or csv)", opts.Format)
+	}
 	f, err := os.Create(opts.Out)
 	if err != nil {
 		return "", err
 	}
 	defer f.Close()
-	switch opts.Format {
-	case "binary", "":
-		err = dataset.WriteBinary(f, ds)
-	case "csv":
+	if opts.Format == "csv" {
 		err = dataset.WriteCSV(f, ds)
-	default:
-		return "", fmt.Errorf("unknown -format %q (want binary or csv)", opts.Format)
+	} else {
+		err = dataset.WriteBinary(f, ds)
+	}
+	if err == nil {
+		err = f.Close()
 	}
 	if err != nil {
-		return "", err
-	}
-	if err := f.Close(); err != nil {
+		// A failed write leaves no partial data set behind.
+		os.Remove(opts.Out)
 		return "", err
 	}
 	return fmt.Sprintf("wrote %d %s (%s, d=%d) to %s", ds.Len(), opts.Kind, opts.Dist, ds.Dim, opts.Out), nil

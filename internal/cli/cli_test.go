@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -62,6 +63,12 @@ func TestGenerateErrors(t *testing.T) {
 		if _, err := Generate(opts); err == nil {
 			t.Errorf("case %d should fail: %+v", i, opts)
 		}
+	}
+	// A failed Generate must not leave its output file behind (the bad
+	// -format case used to litter an empty "x" in the working directory).
+	if _, err := os.Stat("x"); !os.IsNotExist(err) {
+		os.Remove("x")
+		t.Error(`failed Generate left file "x" behind`)
 	}
 }
 

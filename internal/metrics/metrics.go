@@ -34,11 +34,49 @@ var LatencyBuckets = []float64{
 type Registry struct {
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
+
+	// mutations counts successful index mutations by kind
+	// (insert_product, delete_product, insert_preference,
+	// delete_preference); epoch mirrors the index's mutation epoch.
+	mutMu     sync.Mutex
+	mutations map[string]*atomic.Int64
+	epoch     atomic.Uint64
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{endpoints: make(map[string]*Endpoint)}
+	return &Registry{
+		endpoints: make(map[string]*Endpoint),
+		mutations: make(map[string]*atomic.Int64),
+	}
+}
+
+// AddMutations records n successful index mutations of the given kind
+// (rendered as gridrank_mutations_total{kind=...}).
+func (r *Registry) AddMutations(kind string, n int64) {
+	r.mutMu.Lock()
+	c := r.mutations[kind]
+	if c == nil {
+		c = new(atomic.Int64)
+		r.mutations[kind] = c
+	}
+	r.mutMu.Unlock()
+	c.Add(n)
+}
+
+// SetIndexEpoch publishes the index's current mutation epoch (rendered
+// as the gridrank_index_epoch gauge).
+func (r *Registry) SetIndexEpoch(epoch uint64) { r.epoch.Store(epoch) }
+
+// snapshotMutations copies the mutation-counter map for rendering.
+func (r *Registry) snapshotMutations() map[string]int64 {
+	r.mutMu.Lock()
+	defer r.mutMu.Unlock()
+	out := make(map[string]int64, len(r.mutations))
+	for kind, c := range r.mutations {
+		out[kind] = c.Load()
+	}
+	return out
 }
 
 // Endpoint returns the metrics bucket for name, creating it on first
@@ -222,6 +260,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		b.printf("gridrank_filter_rate{endpoint=%q} %s\n", e.name, formatFloat(rate))
 	}
+
+	muts := r.snapshotMutations()
+	kinds := make([]string, 0, len(muts))
+	for kind := range muts {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	b.printf("# HELP gridrank_mutations_total Successful index mutations by kind.\n")
+	b.printf("# TYPE gridrank_mutations_total counter\n")
+	for _, kind := range kinds {
+		b.printf("gridrank_mutations_total{kind=%q} %d\n", kind, muts[kind])
+	}
+	b.printf("# HELP gridrank_index_epoch Current index mutation epoch (0 = as built or loaded).\n")
+	b.printf("# TYPE gridrank_index_epoch gauge\n")
+	b.printf("gridrank_index_epoch %d\n", r.epoch.Load())
 	return b.err
 }
 

@@ -171,3 +171,50 @@ func TestConcurrentObserve(t *testing.T) {
 		}
 	}
 }
+
+func TestMutationCountersAndEpoch(t *testing.T) {
+	r := New()
+	// A fresh registry still renders the epoch gauge (0 = as built).
+	out := render(t, r)
+	if !strings.Contains(out, "gridrank_index_epoch 0") {
+		t.Errorf("missing zero epoch gauge in:\n%s", out)
+	}
+
+	r.AddMutations("insert_product", 3)
+	r.AddMutations("delete_preference", 1)
+	r.AddMutations("insert_product", 2)
+	r.SetIndexEpoch(6)
+
+	out = render(t, r)
+	for _, want := range []string{
+		`gridrank_mutations_total{kind="delete_preference"} 1`,
+		`gridrank_mutations_total{kind="insert_product"} 5`,
+		"gridrank_index_epoch 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Kinds render sorted so scrapes diff cleanly.
+	if strings.Index(out, "delete_preference") > strings.Index(out, "insert_product") {
+		t.Error("mutation kinds not sorted")
+	}
+}
+
+func TestConcurrentMutationCounters(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.AddMutations("insert_product", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if out := render(t, r); !strings.Contains(out, `gridrank_mutations_total{kind="insert_product"} 800`) {
+		t.Errorf("lost mutation counts:\n%s", out)
+	}
+}

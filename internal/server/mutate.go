@@ -1,0 +1,216 @@
+package server
+
+// Mutation endpoints. The index's copy-on-write epochs make these safe
+// under full query traffic: a mutation installs a new snapshot, queries
+// in flight finish against the one they started with. Endpoints:
+//
+//	POST   /v1/products         {"product":[...]} | {"products":[[...],...]}
+//	DELETE /v1/products/{id}
+//	DELETE /v1/products         {"ids":[...]}
+//	POST   /v1/preferences      {"preference":[...]} | {"preferences":[[...],...]}
+//	DELETE /v1/preferences/{id}
+//	DELETE /v1/preferences      {"ids":[...]}
+//
+// Every successful mutation response carries the new epoch (also
+// surfaced by GET /v1/index and the gridrank_index_epoch gauge), so a
+// client can tell which snapshot its subsequent queries will see at
+// minimum. Element ids are positional: deleting id i shifts every id
+// above i down by one, exactly like rebuilding over the remaining data.
+//
+// Status mapping: 400 for malformed vectors or batches, 404 for an
+// unknown id, 409 for deleting the last element of a set.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"gridrank"
+)
+
+// Mutation kinds, the label values of gridrank_mutations_total.
+const (
+	mutInsertProduct    = "insert_product"
+	mutDeleteProduct    = "delete_product"
+	mutInsertPreference = "insert_preference"
+	mutDeletePreference = "delete_preference"
+)
+
+// mutationErrorStatus maps a mutation error to its HTTP status.
+func mutationErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, gridrank.ErrOutOfRange):
+		return http.StatusNotFound
+	case errors.Is(err, gridrank.ErrLastElement):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// recordMutations publishes a successful mutation into the metrics
+// registry: the per-kind counter and the epoch gauge.
+func (s *Server) recordMutations(kind string, n int) {
+	s.metrics.AddMutations(kind, int64(n))
+	s.metrics.SetIndexEpoch(s.ix.Epoch())
+}
+
+// insertRequest accepts one vector or a batch (exactly one of the pair;
+// the field names differ between the product and preference endpoints).
+type insertRequest struct {
+	Product     []float64   `json:"product,omitempty"`
+	Products    [][]float64 `json:"products,omitempty"`
+	Preference  []float64   `json:"preference,omitempty"`
+	Preferences [][]float64 `json:"preferences,omitempty"`
+}
+
+// insertVectors extracts the single-or-batch pair of an insert request.
+func insertVectors(single []float64, batch [][]float64, kind string) ([]gridrank.Vector, error) {
+	switch {
+	case single != nil && batch != nil:
+		return nil, fmt.Errorf("provide either %q or %q, not both", kind, kind+"s")
+	case single != nil:
+		return []gridrank.Vector{single}, nil
+	case len(batch) > 0:
+		out := make([]gridrank.Vector, len(batch))
+		for i, v := range batch {
+			out[i] = v
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%q vector or %q array required", kind, kind+"s")
+	}
+}
+
+type insertResponse struct {
+	// FirstID is the id of the first inserted element; a batch occupies
+	// consecutive ids from it.
+	FirstID  int    `json:"firstId"`
+	Inserted int    `json:"inserted"`
+	Total    int    `json:"total"`
+	Epoch    uint64 `json:"epoch"`
+}
+
+type deleteRequest struct {
+	IDs []int `json:"ids"`
+}
+
+type deleteResponse struct {
+	Deleted int    `json:"deleted"`
+	Total   int    `json:"total"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+func (s *Server) handleInsertProducts(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	vs, err := insertVectors(req.Product, req.Products, "product")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	first, err := s.ix.InsertProductsCtx(r.Context(), vs)
+	if err != nil {
+		s.writeError(w, mutationErrorStatus(err), err)
+		return
+	}
+	s.recordMutations(mutInsertProduct, len(vs))
+	s.writeJSON(w, http.StatusOK, insertResponse{
+		FirstID: first, Inserted: len(vs), Total: s.ix.NumProducts(), Epoch: s.ix.Epoch(),
+	})
+}
+
+func (s *Server) handleInsertPreferences(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	vs, err := insertVectors(req.Preference, req.Preferences, "preference")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	first, err := s.ix.InsertPreferencesCtx(r.Context(), vs)
+	if err != nil {
+		s.writeError(w, mutationErrorStatus(err), err)
+		return
+	}
+	s.recordMutations(mutInsertPreference, len(vs))
+	s.writeJSON(w, http.StatusOK, insertResponse{
+		FirstID: first, Inserted: len(vs), Total: s.ix.NumPreferences(), Epoch: s.ix.Epoch(),
+	})
+}
+
+// pathID parses the {id} wildcard of a delete-by-id route.
+func pathID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return 0, fmt.Errorf("bad element id %q", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+func (s *Server) handleDeleteProduct(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.ix.DeleteProductCtx(r.Context(), id); err != nil {
+		s.writeError(w, mutationErrorStatus(err), err)
+		return
+	}
+	s.recordMutations(mutDeleteProduct, 1)
+	s.writeJSON(w, http.StatusOK, deleteResponse{
+		Deleted: 1, Total: s.ix.NumProducts(), Epoch: s.ix.Epoch(),
+	})
+}
+
+func (s *Server) handleDeletePreference(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.ix.DeletePreferenceCtx(r.Context(), id); err != nil {
+		s.writeError(w, mutationErrorStatus(err), err)
+		return
+	}
+	s.recordMutations(mutDeletePreference, 1)
+	s.writeJSON(w, http.StatusOK, deleteResponse{
+		Deleted: 1, Total: s.ix.NumPreferences(), Epoch: s.ix.Epoch(),
+	})
+}
+
+func (s *Server) handleDeleteProducts(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.ix.DeleteProductsCtx(r.Context(), req.IDs); err != nil {
+		s.writeError(w, mutationErrorStatus(err), err)
+		return
+	}
+	s.recordMutations(mutDeleteProduct, len(req.IDs))
+	s.writeJSON(w, http.StatusOK, deleteResponse{
+		Deleted: len(req.IDs), Total: s.ix.NumProducts(), Epoch: s.ix.Epoch(),
+	})
+}
+
+func (s *Server) handleDeletePreferences(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.ix.DeletePreferencesCtx(r.Context(), req.IDs); err != nil {
+		s.writeError(w, mutationErrorStatus(err), err)
+		return
+	}
+	s.recordMutations(mutDeletePreference, len(req.IDs))
+	s.writeJSON(w, http.StatusOK, deleteResponse{
+		Deleted: len(req.IDs), Total: s.ix.NumPreferences(), Epoch: s.ix.Epoch(),
+	})
+}

@@ -1,8 +1,9 @@
 // Package server exposes a gridrank index over HTTP with a small JSON
 // API, turning the library into the kind of service the paper's
 // applications describe (market analysis, product placement, business
-// reviewing). The index is immutable, so all handlers are safe under
-// concurrent requests.
+// reviewing). Queries read immutable epoch snapshots and the mutation
+// endpoints install new epochs atomically, so all handlers are safe
+// under concurrent requests — including mutations racing queries.
 //
 // Endpoints:
 //
@@ -14,6 +15,12 @@
 //	POST /v1/batch           {"queries":[{"type":"reverse-topk","product":3,"k":10}, ...], "parallelism":4}
 //	POST /v1/topk            {"preference":[...], "k":10}
 //	POST /v1/rank            {"preference":[...], "query":[...]|"product":i}
+//	POST   /v1/products         insert one product or a batch (see mutate.go)
+//	DELETE /v1/products/{id}    delete one product
+//	DELETE /v1/products         {"ids":[...]} batch delete
+//	POST   /v1/preferences      insert one preference or a batch
+//	DELETE /v1/preferences/{id} delete one preference
+//	DELETE /v1/preferences      {"ids":[...]} batch delete
 //
 // Request lifecycle: every query runs under the request's context, with
 // a deadline from the per-request "timeoutMs" field (falling back to
@@ -53,13 +60,15 @@ const statusClientClosed = 499
 
 // Endpoint names used for metrics labels.
 const (
-	epHealthz = "healthz"
-	epIndex   = "index"
-	epRTK     = "reverse_topk"
-	epRKR     = "reverse_kranks"
-	epBatch   = "batch"
-	epTopK    = "topk"
-	epRank    = "rank"
+	epHealthz     = "healthz"
+	epIndex       = "index"
+	epRTK         = "reverse_topk"
+	epRKR         = "reverse_kranks"
+	epBatch       = "batch"
+	epTopK        = "topk"
+	epRank        = "rank"
+	epProducts    = "products"
+	epPreferences = "preferences"
 )
 
 // Config tunes server behaviour beyond the index itself.
@@ -135,6 +144,15 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/batch", s.instrument(epBatch, s.handleBatch))
 	s.mux.HandleFunc("/v1/topk", s.instrument(epTopK, s.handleTopK))
 	s.mux.HandleFunc("/v1/rank", s.instrument(epRank, s.handleRank))
+	// Mutation routes (see mutate.go) use method-qualified patterns so
+	// POST and DELETE on one path dispatch to distinct handlers and other
+	// methods get the mux's own 405.
+	s.mux.HandleFunc("POST /v1/products", s.instrument(epProducts, s.handleInsertProducts))
+	s.mux.HandleFunc("DELETE /v1/products", s.instrument(epProducts, s.handleDeleteProducts))
+	s.mux.HandleFunc("DELETE /v1/products/{id}", s.instrument(epProducts, s.handleDeleteProduct))
+	s.mux.HandleFunc("POST /v1/preferences", s.instrument(epPreferences, s.handleInsertPreferences))
+	s.mux.HandleFunc("DELETE /v1/preferences", s.instrument(epPreferences, s.handleDeletePreferences))
+	s.mux.HandleFunc("DELETE /v1/preferences/{id}", s.instrument(epPreferences, s.handleDeletePreference))
 	return s
 }
 
@@ -240,6 +258,12 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, req interface{})
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return false
 	}
+	return s.decodeBody(w, r, req)
+}
+
+// decodeBody parses a request body into req regardless of method (the
+// mutation routes bind methods in their mux patterns).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, req interface{}) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
@@ -323,6 +347,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"dim":             s.ix.Dim(),
+		"epoch":           s.ix.Epoch(),
 		"products":        s.ix.NumProducts(),
 		"preferences":     s.ix.NumPreferences(),
 		"pointGroups":     s.ix.PointGroups(),

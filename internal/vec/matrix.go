@@ -1,6 +1,9 @@
 package vec
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Matrix is a dense row-major collection of equal-dimension vectors backed
 // by one contiguous []float64. The scan algorithms iterate vectors in row
@@ -12,6 +15,13 @@ type Matrix struct {
 	data []float64
 	d    int
 	rows []Vector
+	// tailExtended records that a derived matrix has already appended a
+	// row into this matrix's spare backing capacity. WithAppended claims
+	// it with a CAS: the first derivation may reuse the tail in place
+	// (readers of this matrix never touch data beyond their own length),
+	// any later derivation from the same base copies instead — two
+	// children writing the same tail slot would corrupt each other.
+	tailExtended atomic.Bool
 }
 
 // NewMatrix copies vs into contiguous storage. It panics on an empty set
@@ -69,3 +79,47 @@ func (m *Matrix) Row(i int) Vector { return m.rows[i] }
 // Rows returns all rows as stride-d views into the backing array. The
 // slice is the matrix's own storage; callers must not modify it.
 func (m *Matrix) Rows() []Vector { return m.rows }
+
+// WithAppended derives a new matrix with v as an extra final row. The
+// receiver is unchanged and stays fully usable — derived matrices are
+// the copy-on-write building block of the index's epoch snapshots.
+//
+// When the backing array has spare capacity the new row is written into
+// it in place (amortized O(d): the tail beyond the receiver's length is
+// invisible to its readers, and the tailExtended claim ensures only one
+// derivation ever reuses it); otherwise the data is copied into a
+// backing array grown by half, so repeated appends amortize to O(d) per
+// row plus the one-time copies.
+func (m *Matrix) WithAppended(v Vector) *Matrix {
+	if len(v) != m.d {
+		panic(fmt.Sprintf("vec: appended row has dimension %d, want %d", len(v), m.d))
+	}
+	n := len(m.data)
+	if cap(m.data) >= n+m.d && m.tailExtended.CompareAndSwap(false, true) {
+		data := m.data[: n+m.d : cap(m.data)]
+		copy(data[n:], v)
+		return fromFlat(data, m.d)
+	}
+	grown := n + m.d + n/2
+	data := make([]float64, n+m.d, grown)
+	copy(data, m.data)
+	copy(data[n:], v)
+	return fromFlat(data, m.d)
+}
+
+// WithRemoved derives a new matrix without row i. The receiver is
+// unchanged; the surviving rows keep their order (rows after i shift
+// down by one). It panics on an out-of-range i or when removing the
+// last remaining row — an empty matrix is not representable.
+func (m *Matrix) WithRemoved(i int) *Matrix {
+	if i < 0 || i >= m.Len() {
+		panic(fmt.Sprintf("vec: removed row %d out of range [0, %d)", i, m.Len()))
+	}
+	if m.Len() == 1 {
+		panic("vec: cannot remove the last row")
+	}
+	data := make([]float64, len(m.data)-m.d)
+	copy(data, m.data[:i*m.d])
+	copy(data[i*m.d:], m.data[(i+1)*m.d:])
+	return fromFlat(data, m.d)
+}

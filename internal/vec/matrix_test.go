@@ -137,3 +137,58 @@ func BenchmarkDot(b *testing.B) {
 		})
 	}
 }
+
+// TestMatrixWithAppended covers both append paths (tail reuse and
+// grow-copy) and proves derivation never disturbs the base matrix.
+func TestMatrixWithAppended(t *testing.T) {
+	base := NewMatrix([]Vector{{1, 2}, {3, 4}})
+	snapshot := append([]float64{}, base.Data()...)
+
+	a := base.WithAppended(Vector{5, 6})
+	b := base.WithAppended(Vector{7, 8}) // second derive from same base must not corrupt a
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("derived lengths %d, %d, want 3", a.Len(), b.Len())
+	}
+	if got := a.Row(2); got[0] != 5 || got[1] != 6 {
+		t.Fatalf("a last row = %v, want [5 6]", got)
+	}
+	if got := b.Row(2); got[0] != 7 || got[1] != 8 {
+		t.Fatalf("b last row = %v, want [7 8]", got)
+	}
+	for i, x := range base.Data() {
+		if x != snapshot[i] {
+			t.Fatalf("base mutated at %d: %v vs %v", i, base.Data(), snapshot)
+		}
+	}
+	// A long append chain exercises both the in-place and the grow path.
+	m := NewMatrix([]Vector{{0, 0}})
+	for i := 1; i <= 50; i++ {
+		m = m.WithAppended(Vector{float64(i), float64(-i)})
+	}
+	if m.Len() != 51 {
+		t.Fatalf("chain length %d, want 51", m.Len())
+	}
+	for i := 0; i < 51; i++ {
+		if r := m.Row(i); r[0] != float64(i) || r[1] != float64(-i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestMatrixWithRemoved(t *testing.T) {
+	base := NewMatrix([]Vector{{1, 1}, {2, 2}, {3, 3}})
+	m := base.WithRemoved(1)
+	if m.Len() != 2 || m.Row(0)[0] != 1 || m.Row(1)[0] != 3 {
+		t.Fatalf("WithRemoved(1) = %v", m.Rows())
+	}
+	if base.Len() != 3 || base.Row(1)[0] != 2 {
+		t.Fatalf("base mutated: %v", base.Rows())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing the last row should panic")
+		}
+	}()
+	one := NewMatrix([]Vector{{9}})
+	one.WithRemoved(0)
+}

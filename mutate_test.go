@@ -1,0 +1,417 @@
+package gridrank
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randProduct samples a product vector; scale stretches it beyond the
+// typical [0, 1) data range to exercise the rangeP-growth rebuild path.
+func randProduct(rng *rand.Rand, d int, scale float64) Vector {
+	p := make(Vector, d)
+	for j := range p {
+		p[j] = rng.Float64() * scale
+	}
+	return p
+}
+
+// randPreference samples a simplex weight vector (non-negative, sums
+// to 1), occasionally skewed so one component dominates and the
+// rangeW-growth rebuild path triggers.
+func randPreference(rng *rand.Rand, d int) Vector {
+	w := make(Vector, d)
+	sum := 0.0
+	for j := range w {
+		w[j] = rng.Float64()
+		if rng.Intn(8) == 0 {
+			w[j] += 3 // skew: this component will dominate
+		}
+		sum += w[j]
+	}
+	for j := range w {
+		w[j] /= sum
+	}
+	return w
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkMutatedEquivalence compares the mutated index against a fresh
+// build over the same data: identical answers for both query types at
+// several worker counts, ranks cross-validated against the exact scan,
+// and identical persisted bytes.
+func checkMutatedEquivalence(t *testing.T, ix *Index, ps, ws []Vector, n int, rng *rand.Rand) {
+	t.Helper()
+	fresh, err := New(ps, ws, &Options{GridPartitions: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumProducts() != len(ps) || ix.NumPreferences() != len(ws) {
+		t.Fatalf("mutated index holds %d/%d elements, want %d/%d",
+			ix.NumProducts(), ix.NumPreferences(), len(ps), len(ws))
+	}
+	d := ix.Dim()
+	queries := []Vector{ps[rng.Intn(len(ps))], randProduct(rng, d, 1.2)}
+	ctx := context.Background()
+	for _, q := range queries {
+		for _, workers := range []int{1, 2, 4, 8} {
+			wantRTK, err := fresh.ReverseTopKCtx(ctx, q, 4, WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRTK, err := ix.ReverseTopKCtx(ctx, q, 4, WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameInts(gotRTK, wantRTK) {
+				t.Fatalf("workers=%d: mutated RTK %v, fresh %v", workers, gotRTK, wantRTK)
+			}
+			wantRKR, err := fresh.ReverseKRanksCtx(ctx, q, 4, WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRKR, err := ix.ReverseKRanksCtx(ctx, q, 4, WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameMatches(gotRKR, wantRKR) {
+				t.Fatalf("workers=%d: mutated RKR %v, fresh %v", workers, gotRKR, wantRKR)
+			}
+		}
+		// Brute force: every reported rank must equal the exact scan's
+		// count of strictly better products.
+		matches, err := ix.ReverseKRanksCtx(ctx, q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			brute := 0
+			w := ws[m.WeightIndex]
+			var fq float64
+			for j := range q {
+				fq += w[j] * q[j]
+			}
+			for _, p := range ps {
+				var fp float64
+				for j := range p {
+					fp += w[j] * p[j]
+				}
+				if fp < fq {
+					brute++
+				}
+			}
+			if m.Rank != brute {
+				t.Fatalf("rank(w%d, q) = %d, brute force %d", m.WeightIndex, m.Rank, brute)
+			}
+		}
+	}
+	var mb, fb bytes.Buffer
+	if _, err := ix.WriteTo(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.WriteTo(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mb.Bytes(), fb.Bytes()) {
+		t.Fatalf("mutated index persists %d bytes differing from a fresh build's %d", mb.Len(), fb.Len())
+	}
+}
+
+// TestMutationEquivalence drives random insert/delete sequences over
+// many random datasets and checks, at several points per sequence, that
+// the mutated index is indistinguishable from a fresh build over the
+// same data: answers (all worker counts), exact-scan ranks, and Save
+// bytes.
+func TestMutationEquivalence(t *testing.T) {
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(9000 + trial)))
+			d := 2 + rng.Intn(3)
+			n := 8
+			dist := Uniform
+			if trial%2 == 1 {
+				dist = Clustered
+			}
+			P, err := GenerateProducts(int64(trial), dist, 15+rng.Intn(40), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			W, err := GeneratePreferences(int64(trial+1000), Uniform, 10+rng.Intn(25), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix, err := New(P, W, &Options{GridPartitions: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps := append([]Vector{}, P...)
+			ws := append([]Vector{}, W...)
+			wantEpoch := uint64(0)
+			for step := 0; step < 12; step++ {
+				switch op := rng.Intn(6); {
+				case op == 0 && len(ps) > 2:
+					i := rng.Intn(len(ps))
+					if err := ix.DeleteProduct(i); err != nil {
+						t.Fatal(err)
+					}
+					ps = append(ps[:i:i], ps[i+1:]...)
+				case op == 1 && len(ws) > 2:
+					i := rng.Intn(len(ws))
+					if err := ix.DeletePreference(i); err != nil {
+						t.Fatal(err)
+					}
+					ws = append(ws[:i:i], ws[i+1:]...)
+				case op == 2:
+					w := randPreference(rng, d)
+					id, err := ix.InsertPreference(w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if id != len(ws) {
+						t.Fatalf("InsertPreference id %d, want %d", id, len(ws))
+					}
+					ws = append(ws, w)
+				case op == 3 && len(ps) > 4: // batch delete
+					ids := []int{rng.Intn(len(ps) / 2), len(ps)/2 + rng.Intn(len(ps)/2)}
+					if err := ix.DeleteProducts(ids); err != nil {
+						t.Fatal(err)
+					}
+					ps = append(ps[:ids[0]:ids[0]], ps[ids[0]+1:]...)
+					ps = append(ps[:ids[1]-1:ids[1]-1], ps[ids[1]:]...)
+				case op == 4: // batch insert
+					batch := []Vector{randProduct(rng, d, 1), randProduct(rng, d, 1.5)}
+					first, err := ix.InsertProducts(batch)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if first != len(ps) {
+						t.Fatalf("InsertProducts first id %d, want %d", first, len(ps))
+					}
+					ps = append(ps, batch...)
+				default:
+					// Scale beyond 1 sometimes exceeds the current rangeP and
+					// exercises the range-growth rebuild.
+					p := randProduct(rng, d, []float64{0.9, 1.0, 1.4}[rng.Intn(3)])
+					id, err := ix.InsertProduct(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if id != len(ps) {
+						t.Fatalf("InsertProduct id %d, want %d", id, len(ps))
+					}
+					ps = append(ps, p)
+				}
+				wantEpoch++
+				if got := ix.Epoch(); got != wantEpoch {
+					t.Fatalf("Epoch() = %d after %d mutations", got, wantEpoch)
+				}
+				if step == 5 {
+					checkMutatedEquivalence(t, ix, ps, ws, n, rng)
+				}
+			}
+			checkMutatedEquivalence(t, ix, ps, ws, n, rng)
+		})
+	}
+}
+
+// TestMutationValidation covers every rejection path; a failed mutation
+// must leave the epoch untouched.
+func TestMutationValidation(t *testing.T) {
+	ix := mustIndex(t, nil)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name string
+		call func() error
+		want error
+	}{
+		{"product wrong dim", func() error { _, err := ix.InsertProduct(Vector{1}); return err }, ErrDimensionMismatch},
+		{"product NaN", func() error { _, err := ix.InsertProduct(Vector{math.NaN(), 0}); return err }, nil},
+		{"product negative", func() error { _, err := ix.InsertProduct(Vector{-1, 0}); return err }, nil},
+		{"preference wrong dim", func() error { _, err := ix.InsertPreference(Vector{1}); return err }, ErrDimensionMismatch},
+		{"preference bad sum", func() error { _, err := ix.InsertPreference(Vector{0.5, 0.6}); return err }, nil},
+		{"preference negative", func() error { _, err := ix.InsertPreference(Vector{-0.5, 1.5}); return err }, nil},
+		{"delete product out of range", func() error { return ix.DeleteProduct(len(phones)) }, ErrOutOfRange},
+		{"delete product negative", func() error { return ix.DeleteProduct(-1) }, ErrOutOfRange},
+		{"delete preference out of range", func() error { return ix.DeletePreference(99) }, ErrOutOfRange},
+		{"empty product batch", func() error { _, err := ix.InsertProducts(nil); return err }, nil},
+		{"empty preference batch", func() error { _, err := ix.InsertPreferences(nil); return err }, nil},
+		{"empty delete batch", func() error { return ix.DeleteProducts(nil) }, nil},
+		{"duplicate batch ids", func() error { return ix.DeleteProducts([]int{1, 1}) }, nil},
+		{"batch id out of range", func() error { return ix.DeletePreferences([]int{0, 7}) }, ErrOutOfRange},
+		{"batch deletes all", func() error { return ix.DeleteProducts([]int{0, 1, 2, 3, 4}) }, ErrLastElement},
+		{"cancelled insert", func() error { _, err := ix.InsertProductCtx(cancelled, Vector{0.1, 0.1}); return err }, context.Canceled},
+		{"cancelled delete", func() error { return ix.DeletePreferenceCtx(cancelled, 0) }, context.Canceled},
+		{"bad element in batch", func() error { _, err := ix.InsertProducts([]Vector{{0.1, 0.1}, {math.Inf(1), 0}}); return err }, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.call()
+			if err == nil {
+				t.Fatal("mutation accepted")
+			}
+			if c.want != nil && !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+	if ix.Epoch() != 0 || ix.NumProducts() != len(phones) || ix.NumPreferences() != len(users) {
+		t.Fatal("failed mutations changed the index")
+	}
+
+	// The last element of either set is not deletable.
+	small, err := New([]Vector{{0.5, 0.5}}, []Vector{{0.4, 0.6}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.DeleteProduct(0); !errors.Is(err, ErrLastElement) {
+		t.Fatalf("deleting the last product: %v", err)
+	}
+	if err := small.DeletePreference(0); !errors.Is(err, ErrLastElement) {
+		t.Fatalf("deleting the last preference: %v", err)
+	}
+}
+
+// TestConcurrentMutationsAndQueries runs mutators and queriers together
+// (meaningful under -race): queries must always succeed against a
+// consistent snapshot while epochs roll forward.
+func TestConcurrentMutationsAndQueries(t *testing.T) {
+	P, err := GenerateProducts(31, Uniform, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := GeneratePreferences(32, Uniform, 120, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(P, W, &Options{GridPartitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mutations = 120
+	ctx := context.Background()
+	stop := make(chan struct{})
+	errc := make(chan error, 16)
+	var qwg, mwg sync.WaitGroup
+
+	// Queriers: random valid queries, plus snapshot reads. Answers only
+	// need to be error-free; consistency with one epoch is what the
+	// equivalence test proves, here the race detector is the oracle.
+	for g := 0; g < 4; g++ {
+		qwg.Add(1)
+		go func(seed int64) {
+			defer qwg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := randProduct(rng, 4, 1)
+				if _, err := ix.ReverseTopKCtx(ctx, q, 5, WithWorkers(1+rng.Intn(4))); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := ix.ReverseKRanksCtx(ctx, q, 5); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := ix.Product(0); err != nil {
+					errc <- err
+					return
+				}
+				var buf bytes.Buffer
+				if _, err := ix.WriteTo(&buf); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(int64(100 + g))
+	}
+	// One product mutator and one preference mutator: each is the sole
+	// writer for its kind, so its size bookkeeping stays accurate.
+	mwg.Add(2)
+	go func() {
+		defer mwg.Done()
+		rng := rand.New(rand.NewSource(7))
+		size := ix.NumProducts()
+		for op := 0; op < mutations; op++ {
+			if size > 250 && rng.Intn(2) == 0 {
+				if err := ix.DeleteProduct(rng.Intn(size)); err != nil {
+					errc <- err
+					return
+				}
+				size--
+			} else {
+				if _, err := ix.InsertProduct(randProduct(rng, 4, 1)); err != nil {
+					errc <- err
+					return
+				}
+				size++
+			}
+		}
+	}()
+	go func() {
+		defer mwg.Done()
+		rng := rand.New(rand.NewSource(8))
+		size := ix.NumPreferences()
+		for op := 0; op < mutations; op++ {
+			if size > 100 && rng.Intn(2) == 0 {
+				if err := ix.DeletePreference(rng.Intn(size)); err != nil {
+					errc <- err
+					return
+				}
+				size--
+			} else {
+				if _, err := ix.InsertPreference(randPreference(rng, 4)); err != nil {
+					errc <- err
+					return
+				}
+				size++
+			}
+		}
+	}()
+
+	mwg.Wait()
+	close(stop)
+	qwg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if got := ix.Epoch(); got != 2*mutations {
+		t.Fatalf("Epoch() = %d after %d mutations", got, 2*mutations)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"gridrank/internal/algo"
 	"gridrank/internal/dataset"
@@ -26,34 +27,56 @@ import (
 // (O(|P|·d) cell assignments plus an (n+1)² table), so the file stores the
 // authoritative data and reconstruction happens on load; this keeps the
 // format immune to grid layout changes.
+//
+// A mutated index persists exactly like a fresh build over the same data:
+// the mutation paths maintain rangeP with New's derivation (see
+// computeRangeP), so Save after any insert/delete sequence produces a
+// file byte-identical to Save of New(current data).
 
 const indexMagic = 0x31495247 // "GRI1"
 
 // ErrBadIndexFile reports a corrupt or foreign index file.
 var ErrBadIndexFile = errors.New("gridrank: bad index file")
 
+// countingWriter tracks every byte reaching the underlying writer, so
+// WriteTo can honor the io.WriterTo contract (return the full count, not
+// just the last unbuffered write) while still buffering the stream.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
 // WriteTo serializes the index (data sets plus construction parameters).
+// It serializes one epoch snapshot: concurrent mutations never tear the
+// written file. The returned count is the total number of bytes written
+// to w, per the io.WriterTo contract.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var written int64
+	e := ix.snap()
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	hdr := make([]byte, 4+4+8)
 	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(ix.GridPartitions()))
-	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(ix.rangeP))
-	nw, err := bw.Write(hdr)
-	written += int64(nw)
-	if err != nil {
-		return written, err
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(e.gir.Grid().N()))
+	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(e.rangeP))
+	if _, err := bw.Write(hdr); err != nil {
+		return cw.n, err
 	}
-	pset := &dataset.Dataset{Dim: ix.dim, Range: ix.rangeP, Points: ix.products}
+	pset := &dataset.Dataset{Dim: ix.dim, Range: e.rangeP, Points: e.pm.Rows()}
 	if err := dataset.WriteBinary(bw, pset); err != nil {
-		return written, err
+		return cw.n, err
 	}
-	wset := &dataset.Dataset{Dim: ix.dim, Range: 1, Points: ix.preferences}
+	wset := &dataset.Dataset{Dim: ix.dim, Range: 1, Points: e.wm.Rows()}
 	if err := dataset.WriteBinary(bw, wset); err != nil {
-		return written, err
+		return cw.n, err
 	}
-	return written, bw.Flush()
+	err := bw.Flush()
+	return cw.n, err
 }
 
 // ReadIndex deserializes an index written by WriteTo, rebuilding the
@@ -86,6 +109,12 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if pset.Dim != wset.Dim {
 		return nil, fmt.Errorf("%w: dimension mismatch %d vs %d", ErrBadIndexFile, pset.Dim, wset.Dim)
 	}
+	// An index is never built over an empty side (New rejects it, and
+	// mutations refuse to delete the last element), so an empty data set
+	// here is corruption, not a degenerate-but-valid file.
+	if pset.Len() == 0 || wset.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty data set", ErrBadIndexFile)
+	}
 	if err := pset.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
 	}
@@ -96,26 +125,53 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	// the index views and the algorithm. The on-disk format is unchanged.
 	pm := vec.NewMatrix(pset.Points)
 	wm := vec.NewMatrix(wset.Points)
-	return &Index{
-		products:    pm.Rows(),
-		preferences: wm.Rows(),
-		dim:         pset.Dim,
-		rangeP:      rangeP,
-		gir:         algo.NewGIRFromMatrices(pm, wm, rangeP, n),
-	}, nil
+	ix := &Index{dim: pset.Dim}
+	ix.cur.Store(&epoch{
+		pm:     pm,
+		wm:     wm,
+		rangeP: rangeP,
+		gir:    algo.NewGIRFromMatrices(pm, wm, rangeP, n),
+	})
+	return ix, nil
 }
 
-// Save writes the index to the named file.
+// Save writes the index to the named file, atomically: the bytes go to a
+// temporary file in the same directory, are fsynced, and the temporary
+// file is renamed over path only once it is complete. A crash, full
+// disk, or write error part-way through never leaves path truncated or
+// torn — an existing good index stays intact.
 func (ix *Index) Save(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := ix.WriteTo(f); err != nil {
+	tmp := f.Name()
+	fail := func(e error) error {
 		f.Close()
+		os.Remove(tmp)
+		return e
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	// CreateTemp opens 0600; match the permissions os.Create would have
+	// given a directly written file.
+	if err := f.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load reads an index from the named file.
@@ -128,17 +184,19 @@ func Load(path string) (*Index, error) {
 	return ReadIndex(f)
 }
 
-// Products returns the indexed product vectors. The slice is the index's
-// own storage; callers must not modify it.
-func (ix *Index) Products() []Vector { return ix.products }
+// Products returns the indexed product vectors of the current epoch. The
+// slice is the index's own storage; callers must not modify it.
+func (ix *Index) Products() []Vector { return ix.snap().pm.Rows() }
 
-// Preferences returns the indexed preference vectors (not to be modified).
-func (ix *Index) Preferences() []Vector { return ix.preferences }
+// Preferences returns the indexed preference vectors of the current
+// epoch (not to be modified).
+func (ix *Index) Preferences() []Vector { return ix.snap().wm.Rows() }
 
 // Product returns a copy of product i.
 func (ix *Index) Product(i int) (Vector, error) {
-	if i < 0 || i >= len(ix.products) {
-		return nil, fmt.Errorf("gridrank: product index %d out of range [0, %d)", i, len(ix.products))
+	pm := ix.snap().pm
+	if i < 0 || i >= pm.Len() {
+		return nil, fmt.Errorf("gridrank: product index %d out of range [0, %d)", i, pm.Len())
 	}
-	return vec.Clone(ix.products[i]), nil
+	return vec.Clone(pm.Row(i)), nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -93,6 +94,116 @@ func TestReadIndexRejectsGarbage(t *testing.T) {
 		if _, err := ReadIndex(bytes.NewReader(data)); !errors.Is(err, ErrBadIndexFile) {
 			t.Errorf("%s: err = %v, want ErrBadIndexFile", name, err)
 		}
+	}
+}
+
+// TestWriteToCountsAllBytes pins the io.WriterTo contract: the returned
+// count is the whole serialized stream, not just the header (a former
+// bug — the buffered body bytes were flushed but never counted).
+func TestWriteToCountsAllBytes(t *testing.T) {
+	ix := persistIndex(t)
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo returned %d, but wrote %d bytes", n, buf.Len())
+	}
+	if n <= 16 {
+		t.Fatalf("WriteTo wrote only %d bytes — header without body?", n)
+	}
+	// Against a real file: the count must equal the file size.
+	path := filepath.Join(t.TempDir(), "ix.gri")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := ix.WriteTo(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn != st.Size() {
+		t.Fatalf("WriteTo returned %d, file holds %d bytes", fn, st.Size())
+	}
+}
+
+// TestSaveIsAtomic pins the crash-safe Save: the target file is
+// replaced wholesale by rename (never truncated and rewritten in
+// place), no temporary files survive, and a reader racing a rewrite
+// always loads a complete index.
+func TestSaveIsAtomic(t *testing.T) {
+	ix := persistIndex(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.gri")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.SameFile(before, after) {
+		t.Fatal("Save rewrote the index file in place; want atomic replacement via rename")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "index.gri" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("Save left extra files behind: %v", names)
+	}
+	// A failed Save (unwritable directory path) must leave the existing
+	// good file untouched.
+	if err := ix.Save(filepath.Join(dir, "missing", "index.gri")); err == nil {
+		t.Fatal("Save into a missing directory succeeded")
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("existing index unreadable after failed Save: %v", err)
+	}
+	// Readers racing rewrites must always observe a complete file.
+	stop := make(chan struct{})
+	loadErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				loadErr <- nil
+				return
+			default:
+			}
+			if _, err := Load(path); err != nil {
+				loadErr <- fmt.Errorf("concurrent Load: %w", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 25; i++ {
+		if err := ix.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-loadErr; err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -89,10 +89,10 @@ func resolveOptions(opts []QueryOption) (queryConfig, error) {
 func (cfg *queryConfig) resolveWorkers(ix *Index) int {
 	switch {
 	case cfg.workers < 0: // index default
-		if ix.gir.Parallelism < 1 {
-			return 1
+		if p := int(ix.par.Load()); p > 1 {
+			return p
 		}
-		return ix.gir.Parallelism
+		return 1
 	case cfg.workers == 0:
 		return runtime.GOMAXPROCS(0)
 	default:
@@ -134,7 +134,9 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...Qu
 		return nil, err
 	}
 	c := cfg.counters()
-	res, err := ix.gir.ReverseTopKCtx(ctx, q, k, cfg.resolveWorkers(ix), c)
+	// One snapshot load: the whole scan runs against a single epoch even
+	// if mutations land mid-query.
+	res, err := ix.snap().gir.ReverseTopKCtx(ctx, q, k, cfg.resolveWorkers(ix), c)
 	cfg.finish(c)
 	return res, err
 }
@@ -154,7 +156,7 @@ func (ix *Index) ReverseKRanksCtx(ctx context.Context, q Vector, k int, opts ...
 		return nil, err
 	}
 	c := cfg.counters()
-	matches, err := ix.gir.ReverseKRanksCtx(ctx, q, k, cfg.resolveWorkers(ix), c)
+	matches, err := ix.snap().gir.ReverseKRanksCtx(ctx, q, k, cfg.resolveWorkers(ix), c)
 	cfg.finish(c)
 	if err != nil {
 		return nil, err

@@ -12,7 +12,10 @@
 # Covered benchmarks: the query-path suite (BenchmarkGIR*) from
 # bench_test.go, parallel_bench_test.go and group_bench_test.go — the
 # grouped acceptance workloads, the paper-parameter RTK/RKR runs, the
-# high-dimensional run and the intra-query parallel sweep. Each entry
+# high-dimensional run and the intra-query parallel sweep — plus the
+# mutation-throughput suite (BenchmarkGIRMutation*) from
+# mutate_bench_test.go: single insert/delete epoch derivation, batch
+# rebuild, and mutation latency under concurrent query load. Each entry
 # records ns/op, B/op, allocs/op and any custom metrics the benchmark
 # reports (e.g. filter% for the grouped sweep).
 set -eu
