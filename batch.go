@@ -27,7 +27,9 @@ type BatchResult[T any] struct {
 // multiply the goroutine count to workers × Parallelism and oversubscribe
 // the CPUs. Pass WithWorkers explicitly in opts to override (opts apply
 // to every query in the batch, and later options win). WithStats is not
-// usable here — concurrent queries would race on the one sink.
+// usable here — concurrent queries would race on the one sink. WithTrace
+// IS usable: a trace serializes span recording internally, so every
+// query of the batch lands its spans on the one trace.
 func (ix *Index) ReverseTopKBatchCtx(ctx context.Context, queries []Vector, k, workers int, opts ...QueryOption) []BatchResult[[]int] {
 	opts = append([]QueryOption{WithWorkers(1)}, opts...)
 	return runBatch(ctx, queries, workers, func(q Vector) ([]int, error) {

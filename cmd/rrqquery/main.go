@@ -6,6 +6,11 @@
 //	rrqquery -p p.grd -w w.grd -type rtk -k 100 -qi 0
 //	rrqquery -p p.grd -w w.grd -type rkr -k 10 -q "120.5,80,3000,42,7,9"
 //	rrqquery -p p.grd -w w.grd -type rtk -algo bbr -qi 3 -stats
+//	rrqquery -p p.grd -w w.grd -type rkr -k 10 -qi 0 -explain
+//
+// -explain (gir only) traces the run and prints the span tree after the
+// results: data loading, index build, the grid scan with its Case-1/2/3
+// work breakdown (per worker when -parallel > 1) and the result merge.
 package main
 
 import (
@@ -35,6 +40,7 @@ func main() {
 	flag.BoolVar(&opts.ShowStats, "stats", false, "print operation counters")
 	flag.IntVar(&opts.Limit, "limit", 20, "max result rows printed (0 = all)")
 	flag.DurationVar(&opts.Timeout, "timeout", 0, "per-query deadline, e.g. 500ms (0 = none)")
+	flag.BoolVar(&opts.Explain, "explain", false, "print the traced span tree with the per-case scan breakdown (gir only)")
 	flag.Parse()
 	// Ctrl-C cancels the running query (gir stops within one preference
 	// chunk) instead of killing the process mid-print.

@@ -7,10 +7,20 @@
 //
 // Endpoints (JSON): GET /healthz, GET /metrics, GET /v1/index,
 // POST /v1/reverse-topk, /v1/reverse-kranks, /v1/batch, /v1/topk,
-// /v1/rank.
+// /v1/rank, and — when tracing is on — GET /debug/traces and
+// GET /debug/traces/{id}.
 //
 //	curl -s localhost:8080/v1/reverse-kranks \
 //	  -d '{"product": 42, "k": 10, "stats": true, "timeoutMs": 500}'
+//
+// Tracing: -trace-sample records that fraction of queries as span-level
+// traces (responses carry a trace_id and a traceparent header);
+// -slow-query additionally captures every query over the threshold and
+// logs one structured "slow query" line with its Case-1/2/3 breakdown.
+// Completed traces live in a bounded in-memory ring (-trace-buffer) and
+// are served by the /debug/traces endpoints.
+//
+//	rrqserver -demo -trace-sample 0.01 -slow-query 250ms
 //
 // The server shuts down gracefully: on SIGINT/SIGTERM it stops
 // accepting connections, lets in-flight requests drain for -drain, then
@@ -52,8 +62,15 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain period for in-flight requests")
 		logFmt   = flag.String("log", "text", "request log format: text, json, or off")
 		pprofA   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address, e.g. localhost:6060 (off when empty)")
+		sample   = flag.Float64("trace-sample", 0, "fraction of queries traced span-by-span, 0..1 (0 = off)")
+		slowQ    = flag.Duration("slow-query", 0, "capture and log every query slower than this, e.g. 250ms (0 = off)")
+		traceBuf = flag.Int("trace-buffer", 0, "completed traces kept in memory, rounded up to a power of two (0 = default)")
 	)
 	flag.Parse()
+	if *sample < 0 || *sample > 1 {
+		fmt.Fprintf(os.Stderr, "rrqserver: -trace-sample must be in [0, 1], got %g\n", *sample)
+		os.Exit(1)
+	}
 	logger, err := buildLogger(*logFmt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrqserver:", err)
@@ -82,10 +99,13 @@ func main() {
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: server.NewWithConfig(ix, server.Config{
-			MaxParallelism: *maxP,
-			QueryTimeout:   *qTimeout,
-			MaxBatch:       *maxBatch,
-			Logger:         logger,
+			MaxParallelism:  *maxP,
+			QueryTimeout:    *qTimeout,
+			MaxBatch:        *maxBatch,
+			Logger:          logger,
+			TraceSampleRate: *sample,
+			SlowQuery:       *slowQ,
+			TraceBuffer:     *traceBuf,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

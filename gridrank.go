@@ -74,8 +74,15 @@ type Stats struct {
 	// BoundSums is the number of Grid-index bound evaluations (additions
 	// and lookups only).
 	BoundSums int64
-	// Filtered is the number of points decided by bounds alone.
+	// Filtered is the number of points decided by bounds alone. It is
+	// always Case1Filtered + Case2Filtered.
 	Filtered int64
+	// Case1Filtered is the number of filtered points that counted against
+	// the query (upper bound below the query score, Section 3.1 Case 1).
+	Case1Filtered int64
+	// Case2Filtered is the number of filtered points discarded outright
+	// (lower bound above the query score, Case 2).
+	Case2Filtered int64
 	// Refined is the number of points needing an exact score.
 	Refined int64
 }
@@ -94,6 +101,8 @@ func fromCounters(c *stats.Counters) Stats {
 		PairwiseMults: c.PairwiseMults,
 		BoundSums:     c.BoundSums,
 		Filtered:      c.Filtered,
+		Case1Filtered: c.Case1Filtered,
+		Case2Filtered: c.Case2Filtered,
 		Refined:       c.Refinements,
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"gridrank/internal/grid"
 	"gridrank/internal/stats"
 	"gridrank/internal/topk"
+	"gridrank/internal/trace"
 	"gridrank/internal/vec"
 )
 
@@ -206,6 +207,7 @@ func (gr *GIR) rankBounded(wi int, q vec.Vector, cutoff int, dom *domin, scratch
 			rnk += live
 			if c != nil {
 				c.Filtered += int64(live)
+				c.Case1Filtered += int64(live)
 			}
 			// Dominance-test the members once per query (memoized); after
 			// the group is fully checked this branch is two loads.
@@ -247,6 +249,7 @@ func (gr *GIR) rankBounded(wi int, q vec.Vector, cutoff int, dom *domin, scratch
 			}
 		} else if c != nil { // Case 2: q precedes the whole group
 			c.Filtered += int64(live)
+			c.Case2Filtered += int64(live)
 		}
 	}
 	return rnk, true
@@ -465,6 +468,21 @@ func (gr *GIR) defaultWorkers() int {
 // returns ctx.Err() with no workers left behind. The answer is identical
 // for every worker count; a cancelled query returns a nil answer.
 func (gr *GIR) ReverseTopKCtx(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters) ([]int, error) {
+	return gr.ReverseTopKTraced(ctx, q, k, workers, c, nil)
+}
+
+// ReverseTopKTraced is ReverseTopKCtx with per-query tracing: when tr is
+// a recording trace, the scan and result merge emit spans carrying the
+// per-case breakdown of Section 3.1 (Case-1 adds, Case-2 skips, Case-3
+// refinements, the filter rate and the dominator count). A nil tr is the
+// common case and adds no work to the query path — every span call on a
+// nil trace is a free no-op.
+func (gr *GIR) ReverseTopKTraced(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace) ([]int, error) {
+	if tr != nil && c == nil {
+		// A traced query needs the per-case counters for its span
+		// attributes even when the caller did not ask for stats.
+		c = new(stats.Counters)
+	}
 	if c != nil {
 		defer func() { c.Queries++ }()
 	}
@@ -475,18 +493,23 @@ func (gr *GIR) ReverseTopKCtx(ctx context.Context, q vec.Vector, k, workers int,
 		return nil, err
 	}
 	if workers = normalizeWorkers(workers, len(gr.W)); workers > 1 {
-		return gr.reverseTopKParallel(ctx, q, k, workers, c)
+		return gr.reverseTopKParallel(ctx, q, k, workers, c, tr)
 	}
 	done := ctx.Done()
 	st := gr.getState()
 	defer gr.putState(st)
+	sp := tr.StartSpan("scan")
+	base := counterBaseline(sp, c)
+	var scanErr error
+	earlyEmpty := false
 	// Visit W in cell-sorted order so consecutive weights share the
 	// gathered bound columns; the answer set is order-independent
 	// (DESIGN.md §9) and re-sorted ascending below.
 	for pos, wi := range gr.wg.MemberOrder() {
 		if done != nil && pos%cancelChunk == 0 && pos > 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				scanErr = err
+				break
 			}
 		}
 		if _, ok := gr.rankBounded(int(wi), q, k, st.dom, st.scratch, c); ok {
@@ -495,15 +518,22 @@ func (gr *GIR) ReverseTopKCtx(ctx context.Context, q vec.Vector, k, workers int,
 		// Algorithm 2 lines 7–8: with k dominators, no weight can place q
 		// in its top-k.
 		if st.dom.count >= k {
-			return nil, nil
+			earlyEmpty = true
+			break
 		}
 	}
-	if len(st.res) == 0 {
+	endScanSpan(sp, c, base, st.dom.count, k, len(gr.W))
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if earlyEmpty || len(st.res) == 0 {
 		return nil, nil
 	}
+	msp := tr.StartSpan("merge")
 	sort.Ints(st.res)
 	res := make([]int, len(st.res))
 	copy(res, st.res)
+	msp.SetInt("results", int64(len(res))).End()
 	return res, nil
 }
 
@@ -543,6 +573,17 @@ func admitCutoff(h *topk.KRankHeap) int {
 // ctx between preference chunks, so cancellation is honoured within one
 // chunk and the call returns ctx.Err() with no workers left behind.
 func (gr *GIR) ReverseKRanksCtx(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters) ([]topk.Match, error) {
+	return gr.ReverseKRanksTraced(ctx, q, k, workers, c, nil)
+}
+
+// ReverseKRanksTraced is ReverseKRanksCtx with per-query tracing; see
+// ReverseTopKTraced for the span contract. The scan span additionally
+// records the heap's admission count and final cutoff, which together
+// show how quickly the Algorithm 3 bound tightened.
+func (gr *GIR) ReverseKRanksTraced(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace) ([]topk.Match, error) {
+	if tr != nil && c == nil {
+		c = new(stats.Counters)
+	}
 	if c != nil {
 		defer func() { c.Queries++ }()
 	}
@@ -553,22 +594,96 @@ func (gr *GIR) ReverseKRanksCtx(ctx context.Context, q vec.Vector, k, workers in
 		return nil, err
 	}
 	if workers = normalizeWorkers(workers, len(gr.W)); workers > 1 {
-		return gr.reverseKRanksParallel(ctx, q, k, workers, c)
+		return gr.reverseKRanksParallel(ctx, q, k, workers, c, tr)
 	}
 	done := ctx.Done()
 	st := gr.getState()
 	defer gr.putState(st)
 	h := st.heap
 	h.Reset(k)
+	sp := tr.StartSpan("scan")
+	base := counterBaseline(sp, c)
+	admits := 0
+	var scanErr error
 	for pos, wi := range gr.wg.MemberOrder() {
 		if done != nil && pos%cancelChunk == 0 && pos > 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				scanErr = err
+				break
 			}
 		}
 		if rnk, ok := gr.rankBounded(int(wi), q, admitCutoff(h), st.dom, st.scratch, c); ok {
-			h.Offer(topk.Match{WeightIndex: int(wi), Rank: rnk})
+			if h.Offer(topk.Match{WeightIndex: int(wi), Rank: rnk}) {
+				admits++
+			}
 		}
 	}
-	return h.Results(), nil
+	if sp != nil {
+		sp.SetInt("heap_admits", int64(admits))
+		sp.SetInt("cutoff_final", cutoffAttr(admitCutoff(h)))
+	}
+	endScanSpan(sp, c, base, st.dom.count, -1, len(gr.W))
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	msp := tr.StartSpan("merge")
+	res := h.Results()
+	msp.SetInt("results", int64(len(res))).End()
+	return res, nil
+}
+
+// counterBaseline snapshots c when the scan span is live, so the span's
+// attributes report this query's deltas even when the caller accumulates
+// counters across queries. The copy is skipped entirely on untraced
+// queries.
+func counterBaseline(sp *trace.Span, c *stats.Counters) stats.Counters {
+	if sp == nil || c == nil {
+		return stats.Counters{}
+	}
+	return *c
+}
+
+// cutoffAttr maps the sentinel "no bound" cutoff to -1 for span
+// attributes.
+func cutoffAttr(cut int) int64 {
+	if cut >= maxInt {
+		return -1
+	}
+	return int64(cut)
+}
+
+// endScanSpan closes a scan (or scan.worker) span with the per-case
+// breakdown of Section 3.1 accumulated since base. dominators < 0 and
+// cutoff < 0 suppress the respective attribute (the RKR path reports its
+// cutoff evolution separately; workers do not own the dominator count).
+func endScanSpan(sp *trace.Span, c *stats.Counters, base stats.Counters, dominators, cutoff, weights int) {
+	if sp == nil {
+		return
+	}
+	if weights >= 0 {
+		sp.SetInt("weights", int64(weights))
+	}
+	if dominators >= 0 {
+		sp.SetInt("dominators", int64(dominators))
+	}
+	if cutoff >= 0 {
+		sp.SetInt("cutoff_final", cutoffAttr(cutoff))
+	}
+	if c != nil {
+		d := stats.Counters{
+			Case1Filtered: c.Case1Filtered - base.Case1Filtered,
+			Case2Filtered: c.Case2Filtered - base.Case2Filtered,
+			Filtered:      c.Filtered - base.Filtered,
+			Refinements:   c.Refinements - base.Refinements,
+			BoundSums:     c.BoundSums - base.BoundSums,
+			PairwiseMults: c.PairwiseMults - base.PairwiseMults,
+		}
+		sp.SetInt("case1_filtered", d.Case1Filtered)
+		sp.SetInt("case2_filtered", d.Case2Filtered)
+		sp.SetInt("case3_refined", d.Refinements)
+		sp.SetInt("bound_sums", d.BoundSums)
+		sp.SetInt("exact_scores", d.PairwiseMults)
+		sp.SetFloat("filter_rate", d.FilterRate())
+	}
+	sp.End()
 }

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -32,5 +33,22 @@ func TestSteadyStateAllocations(t *testing.T) {
 	}
 	if got := testing.AllocsPerRun(20, func() { gir.ReverseTopK(q, 10, nil) }); got > 2 {
 		t.Errorf("steady-state RTK allocates %v times per query, want <= 2", got)
+	}
+	// The traced entrypoints with a nil trace must match: an untraced
+	// query through the tracing-aware code path pays nothing.
+	ctx := context.Background()
+	if got := testing.AllocsPerRun(20, func() {
+		if _, err := gir.ReverseKRanksTraced(ctx, q, 10, 1, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 2 {
+		t.Errorf("nil-trace RKR allocates %v times per query, want <= 2", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		if _, err := gir.ReverseTopKTraced(ctx, q, 10, 1, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 2 {
+		t.Errorf("nil-trace RTK allocates %v times per query, want <= 2", got)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"gridrank/internal/stats"
 	"gridrank/internal/topk"
+	"gridrank/internal/trace"
 	"gridrank/internal/vec"
 )
 
@@ -153,11 +154,13 @@ func (wm *rankWatermark) cutoff(local int) int {
 // cancelChunk weights), so cancellation stops every worker within one
 // chunk; the coordinator then joins them all and returns ctx.Err() —
 // cancellation never leaks a goroutine.
-func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters) ([]int, error) {
+func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace) ([]int, error) {
 	shared := newSharedDomin(len(gr.P))
 	var cursor atomic.Int64
 	chunk := parallelChunk(len(gr.W), workers)
 	done := ctx.Done()
+	sp := tr.StartSpan("scan")
+	sp.SetInt("workers", int64(workers))
 	type workerOut struct {
 		res []int
 		c   stats.Counters
@@ -166,8 +169,12 @@ func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(out *workerOut) {
+		go func(widx int, out *workerOut) {
 			defer wg.Done()
+			wsp := sp.Child("scan.worker")
+			wsp.SetInt("worker", int64(widx))
+			scanned := 0
+			defer func() { endWorkerSpan(wsp, &out.c, scanned) }()
 			st := gr.getState()
 			defer gr.putState(st)
 			st.dom.shared = shared
@@ -187,48 +194,74 @@ func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers
 				if end > len(order) {
 					end = len(order)
 				}
-				for _, wi := range order[start:end] {
+				for oi, wi := range order[start:end] {
 					if _, ok := gr.rankBounded(int(wi), q, k, st.dom, st.scratch, &out.c); ok {
 						out.res = append(out.res, int(wi))
 					}
 					if shared.count.Load() >= int64(k) {
+						scanned += oi + 1
 						return
 					}
 				}
+				scanned += end - start
 			}
-		}(&outs[w])
+		}(w, &outs[w])
 	}
 	wg.Wait()
+	base := counterBaseline(sp, c)
 	if c != nil {
 		for w := range outs {
 			c.Add(&outs[w].c)
 		}
+	} else if sp != nil {
+		// The span still wants the merged breakdown; fold into a local.
+		c = new(stats.Counters)
+		for w := range outs {
+			c.Add(&outs[w].c)
+		}
 	}
+	dominators := int(shared.count.Load())
+	endScanSpan(sp, c, base, dominators, k, len(gr.W))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	// Algorithm 2 lines 7–8, sharded: k distinct dominators imply every
 	// weight ranks q at k or worse, so the answer is empty — exactly what
 	// the sequential early exit returns.
-	if shared.count.Load() >= int64(k) {
+	if dominators >= k {
 		return nil, nil
 	}
+	msp := tr.StartSpan("merge")
 	var res []int
 	for w := range outs {
 		res = append(res, outs[w].res...)
 	}
 	sort.Ints(res)
+	msp.SetInt("results", int64(len(res))).End()
 	return res, nil
+}
+
+// endWorkerSpan closes one scan.worker span with the worker's private
+// counter breakdown and how many weights it claimed. Free when tracing
+// is off (nil span).
+func endWorkerSpan(wsp *trace.Span, c *stats.Counters, scanned int) {
+	if wsp == nil {
+		return
+	}
+	wsp.SetInt("weights_scanned", int64(scanned))
+	endScanSpan(wsp, c, stats.Counters{}, -1, -1, -1)
 }
 
 // reverseKRanksParallel is GIRk-Rank (Algorithm 3) sharded over workers
 // goroutines. Callers guarantee workers >= 2, k >= 1 and a live ctx on
 // entry; the cancellation contract matches reverseTopKParallel.
-func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters) ([]topk.Match, error) {
+func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace) ([]topk.Match, error) {
 	wm := newRankWatermark()
 	var cursor atomic.Int64
 	chunk := parallelChunk(len(gr.W), workers)
 	done := ctx.Done()
+	sp := tr.StartSpan("scan")
+	sp.SetInt("workers", int64(workers))
 	type workerOut struct {
 		matches []topk.Match
 		c       stats.Counters
@@ -237,8 +270,12 @@ func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, worke
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(out *workerOut) {
+		go func(widx int, out *workerOut) {
 			defer wg.Done()
+			wsp := sp.Child("scan.worker")
+			wsp.SetInt("worker", int64(widx))
+			scanned := 0
+			defer func() { endWorkerSpan(wsp, &out.c, scanned) }()
 			st := gr.getState()
 			defer gr.putState(st)
 			h := st.heap
@@ -267,23 +304,33 @@ func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, worke
 						}
 					}
 				}
+				scanned += end - start
 			}
 			out.matches = h.Results()
-		}(&outs[w])
+		}(w, &outs[w])
 	}
 	wg.Wait()
+	base := counterBaseline(sp, c)
 	counters := make([]*stats.Counters, workers)
 	var all []topk.Match
 	for w := range outs {
 		counters[w] = &outs[w].c
 		all = append(all, outs[w].matches...)
 	}
+	if c == nil && sp != nil {
+		c = new(stats.Counters)
+	}
 	if c != nil {
 		stats.Merge(c, counters...)
 	}
+	if sp != nil {
+		sp.SetInt("cutoff_final", cutoffAttr(int(wm.v.Load())))
+	}
+	endScanSpan(sp, c, base, -1, -1, len(gr.W))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	msp := tr.StartSpan("merge")
 	// Every global top-k match survives some worker's local heap (a
 	// worker's heap keeps its shard's k best, a superset of the shard's
 	// contribution to the global answer), so sorting the union on the
@@ -298,5 +345,6 @@ func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, worke
 	if len(all) > k {
 		all = all[:k]
 	}
+	msp.SetInt("results", int64(len(all))).End()
 	return all, nil
 }

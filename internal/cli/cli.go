@@ -16,6 +16,7 @@ import (
 	"gridrank/internal/dataset"
 	"gridrank/internal/stats"
 	"gridrank/internal/topk"
+	"gridrank/internal/trace"
 	"gridrank/internal/vec"
 )
 
@@ -104,6 +105,10 @@ type QueryOptions struct {
 	ShowStats    bool
 	Limit        int           // max printed result rows, 0 = all
 	Timeout      time.Duration // per-query deadline, 0 = none
+	// Explain, when true, traces the run (data loading, index build and
+	// the query's span tree with the Case-1/2/3 breakdown) and prints the
+	// phase report after the results. Requires -algo gir.
+	Explain bool
 }
 
 // applyParallel configures intra-query workers on algorithms that
@@ -147,6 +152,21 @@ func RunQueryCtx(ctx context.Context, w io.Writer, opts QueryOptions) error {
 	if opts.PPath == "" || opts.WPath == "" {
 		return fmt.Errorf("-p and -w are required")
 	}
+	if opts.Explain && opts.Algo != "gir" {
+		return fmt.Errorf("-explain is only supported by -algo gir, not %s", opts.Algo)
+	}
+	// With -explain the whole run is traced at rate 1 and the span tree
+	// printed after the results; tr stays nil otherwise, making every
+	// span call below a free no-op.
+	var (
+		tracer *trace.Tracer
+		tr     *trace.Trace
+	)
+	if opts.Explain {
+		tracer = trace.New(trace.Config{SampleRate: 1, Capacity: 4})
+		tr = tracer.Start(opts.Type, trace.Parent{})
+	}
+	lsp := tr.StartSpan("load_data")
 	P, err := LoadSet(opts.PPath)
 	if err != nil {
 		return fmt.Errorf("loading products: %w", err)
@@ -155,6 +175,7 @@ func RunQueryCtx(ctx context.Context, w io.Writer, opts QueryOptions) error {
 	if err != nil {
 		return fmt.Errorf("loading preferences: %w", err)
 	}
+	lsp.SetInt("products", int64(P.Len())).SetInt("preferences", int64(W.Len())).End()
 	if P.Dim != W.Dim {
 		return fmt.Errorf("dimension mismatch: products %d, preferences %d", P.Dim, W.Dim)
 	}
@@ -170,7 +191,9 @@ func RunQueryCtx(ctx context.Context, w io.Writer, opts QueryOptions) error {
 	var c stats.Counters
 	switch opts.Type {
 	case "rtk":
+		bsp := tr.StartSpan("build_index")
 		a, err := BuildRTK(opts.Algo, P, W, opts.N, opts.Capacity)
+		bsp.End()
 		if err != nil {
 			return err
 		}
@@ -179,7 +202,7 @@ func RunQueryCtx(ctx context.Context, w io.Writer, opts QueryOptions) error {
 		}
 		var res []int
 		if g, ok := a.(*algo.GIR); ok {
-			res, err = g.ReverseTopKCtx(ctx, q, opts.K, girWorkers(opts.Parallel), &c)
+			res, err = g.ReverseTopKTraced(ctx, q, opts.K, girWorkers(opts.Parallel), &c, tr)
 		} else if err = ctx.Err(); err == nil {
 			res = a.ReverseTopK(q, opts.K, &c)
 		}
@@ -195,7 +218,9 @@ func RunQueryCtx(ctx context.Context, w io.Writer, opts QueryOptions) error {
 			fmt.Fprintf(w, "  w[%d] = %s\n", wi, FormatVector(W.Points[wi]))
 		}
 	case "rkr":
+		bsp := tr.StartSpan("build_index")
 		a, err := BuildRKR(opts.Algo, P, W, opts.N, opts.Capacity)
+		bsp.End()
 		if err != nil {
 			return err
 		}
@@ -204,7 +229,7 @@ func RunQueryCtx(ctx context.Context, w io.Writer, opts QueryOptions) error {
 		}
 		var res []topk.Match
 		if g, ok := a.(*algo.GIR); ok {
-			res, err = g.ReverseKRanksCtx(ctx, q, opts.K, girWorkers(opts.Parallel), &c)
+			res, err = g.ReverseKRanksTraced(ctx, q, opts.K, girWorkers(opts.Parallel), &c, tr)
 		} else if err = ctx.Err(); err == nil {
 			res = a.ReverseKRanks(q, opts.K, &c)
 		}
@@ -224,6 +249,12 @@ func RunQueryCtx(ctx context.Context, w io.Writer, opts QueryOptions) error {
 	}
 	if opts.ShowStats {
 		fmt.Fprintln(w, "stats:", c.String())
+	}
+	if tr != nil {
+		tr.SetAttr("k", int64(opts.K))
+		tr.Finish()
+		fmt.Fprintln(w)
+		return trace.WriteText(w, tracer.Get(tr.ID()))
 	}
 	return nil
 }

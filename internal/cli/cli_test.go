@@ -170,6 +170,64 @@ func TestFormatVector(t *testing.T) {
 	}
 }
 
+func TestRunQueryExplain(t *testing.T) {
+	pPath, wPath := genFiles(t)
+	base := QueryOptions{
+		PPath: pPath, WPath: wPath, K: 5, QIndex: 0,
+		N: 16, Capacity: 16, Limit: 3, Algo: "gir", Explain: true,
+	}
+	for _, typ := range []string{"rtk", "rkr"} {
+		opts := base
+		opts.Type = typ
+		var buf bytes.Buffer
+		if err := RunQuery(&buf, opts); err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		out := buf.String()
+		// Results first, then the EXPLAIN span tree with the full
+		// pipeline phases and the scan's case breakdown.
+		if !strings.Contains(out, strings.ToUpper(typ)) {
+			t.Errorf("%s explain output missing results header:\n%s", typ, out)
+		}
+		wants := []string{
+			"trace ", "load_data", "build_index", "scan",
+			"case1_filtered=", "case2_filtered=", "case3_refined=",
+			"filter_rate=", "products=500", "preferences=200", "k=5",
+		}
+		if typ == "rkr" {
+			// RKR always produces k results to merge; RTK's answer set may
+			// legitimately be empty, skipping the merge phase.
+			wants = append(wants, "merge")
+		}
+		for _, want := range wants {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s explain output missing %q:\n%s", typ, want, out)
+			}
+		}
+		if strings.Contains(out, "trace not found") {
+			t.Errorf("%s explain trace was not captured:\n%s", typ, out)
+		}
+	}
+	// The parallel path adds per-worker spans to the tree.
+	par := base
+	par.Type = "rkr"
+	par.Parallel = 3
+	var buf bytes.Buffer
+	if err := RunQuery(&buf, par); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "scan.worker") {
+		t.Errorf("parallel explain output missing worker spans:\n%s", out)
+	}
+	// -explain requires gir: other algorithms have no span instrumentation.
+	bad := base
+	bad.Type = "rtk"
+	bad.Algo = "brute"
+	if err := RunQuery(&bytes.Buffer{}, bad); err == nil || !strings.Contains(err.Error(), "-explain") {
+		t.Errorf("-explain with -algo brute should fail, got %v", err)
+	}
+}
+
 func TestRunQueryParallel(t *testing.T) {
 	pPath, wPath := genFiles(t)
 	base := QueryOptions{

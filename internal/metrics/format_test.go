@@ -1,0 +1,420 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file is a strict structural validator for the text exposition
+// format (version 0.0.4) the registry renders: every scrape must parse,
+// families must be announced (HELP then TYPE) before their first sample
+// and never reappear, label values must escape cleanly, histogram
+// buckets must be cumulative with +Inf last, and counters must follow
+// the _total naming convention. The point is to fail here, in-process,
+// rather than in a Prometheus server's scrape-error log.
+
+// sample is one parsed metric line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// family is one parsed metric family: its announcements and samples in
+// order of appearance.
+type family struct {
+	help    string
+	typ     string
+	samples []sample
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// baseFamily strips the histogram/summary sample suffixes so samples
+// attach to their announced family.
+func baseFamily(name string, families map[string]*family) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f := families[base]; f != nil && (f.typ == "histogram" || f.typ == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseExposition parses a full scrape strictly, failing the test on the
+// first structural violation.
+func parseExposition(t *testing.T, text string) map[string]*family {
+	t.Helper()
+	families := make(map[string]*family)
+	var current string // family currently being emitted
+	seen := make(map[string]bool)
+	var lastLine string // for error context
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("line %d: %s\n  line: %q\n  prev: %q", lineNo, fmt.Sprintf(format, args...), line, lastLine)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" || help == "" {
+				fail("malformed HELP line")
+			}
+			if seen[name] {
+				fail("family %s announced twice", name)
+			}
+			families[name] = &family{help: help}
+			current = name
+			lastLine = line
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				fail("malformed TYPE line")
+			}
+			f := families[name]
+			if f == nil {
+				fail("TYPE for %s without preceding HELP", name)
+			}
+			if current != name {
+				fail("TYPE for %s does not follow its HELP", name)
+			}
+			if f.typ != "" {
+				fail("family %s typed twice", name)
+			}
+			if !validTypes[typ] {
+				fail("invalid TYPE %q", typ)
+			}
+			f.typ = typ
+			lastLine = line
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fail("unknown comment form")
+		}
+		s := parseSampleLine(t, line, fail)
+		fam := baseFamily(s.name, families)
+		f := families[fam]
+		if f == nil {
+			fail("sample for unannounced family %s", s.name)
+		}
+		if f.typ == "" {
+			fail("sample for %s before its TYPE", s.name)
+		}
+		if fam != current {
+			if seen[fam] {
+				fail("family %s reappears after other families", fam)
+			}
+			fail("sample for %s outside its family block (current %s)", s.name, current)
+		}
+		seen[fam] = true
+		f.samples = append(f.samples, s)
+		lastLine = line
+	}
+	// Every announced family must carry a TYPE (empty sample sets are
+	// fine: a counter family with no traffic renders zero lines).
+	for name, f := range families {
+		if f.typ == "" {
+			t.Fatalf("family %s has HELP but no TYPE", name)
+		}
+	}
+	return families
+}
+
+// parseSampleLine parses `name{labels} value` strictly, including label
+// escape sequences.
+func parseSampleLine(t *testing.T, line string, fail func(string, ...any)) sample {
+	t.Helper()
+	s := sample{labels: map[string]string{}}
+	rest := line
+	// Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+	i := 0
+	for i < len(rest) {
+		c := rest[i]
+		if c == '{' || c == ' ' {
+			break
+		}
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			fail("invalid metric name character %q", c)
+		}
+		i++
+	}
+	if i == 0 {
+		fail("empty metric name")
+	}
+	s.name, rest = rest[:i], rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for !strings.HasPrefix(rest, "}") {
+			eq := strings.IndexByte(rest, '=')
+			if eq <= 0 {
+				fail("malformed label pair")
+			}
+			key := rest[:eq]
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				fail("label value for %s not quoted", key)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for len(rest) > 0 {
+				c := rest[0]
+				if c == '"' {
+					rest = rest[1:]
+					closed = true
+					break
+				}
+				if c == '\\' {
+					if len(rest) < 2 {
+						fail("dangling escape in label %s", key)
+					}
+					switch rest[1] {
+					case '\\', '"':
+						val.WriteByte(rest[1])
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						fail("invalid escape \\%c in label %s", rest[1], key)
+					}
+					rest = rest[2:]
+					continue
+				}
+				if c == '\n' {
+					fail("raw newline in label %s", key)
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			if !closed {
+				fail("unterminated label value for %s", key)
+			}
+			if _, dup := s.labels[key]; dup {
+				fail("duplicate label %s", key)
+			}
+			s.labels[key] = val.String()
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			} else if !strings.HasPrefix(rest, "}") {
+				fail("expected , or } after label %s", key)
+			}
+		}
+		rest = rest[1:] // consume }
+	}
+	if !strings.HasPrefix(rest, " ") {
+		fail("expected single space before value")
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		fail("malformed value field %q", rest)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		fail("unparseable value %q: %v", rest, err)
+	}
+	s.value = v
+	return s
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return strconv.ParseFloat("+inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-inf", 64)
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// scrapeWithTraffic drives a registry through every metric surface —
+// including an endpoint name that needs label escaping — and returns the
+// rendered scrape.
+func scrapeWithTraffic(t *testing.T) string {
+	t.Helper()
+	r := New()
+	for _, name := range []string{
+		"reverse_topk",
+		"reverse_kranks",
+		`path"with\quotes` + "\nand newline", // must escape, not corrupt the scrape
+	} {
+		e := r.Endpoint(name)
+		e.Begin()
+		e.Observe(3*time.Millisecond, 200)
+		e.Begin()
+		e.Observe(7*time.Second, 429) // lands in the +Inf bucket
+		e.AddFilterCounts(990, 10)
+	}
+	r.AddMutations("insert_product", 3)
+	r.SetIndexEpoch(5)
+	r.SetTraceSource(func() TraceCounts {
+		return TraceCounts{Started: 10, Kept: 4, Dropped: 6, Slow: 1, Evicted: 2}
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestExpositionFormatStrict(t *testing.T) {
+	text := scrapeWithTraffic(t)
+	families := parseExposition(t, text)
+
+	for name, f := range families {
+		// Counter families must follow the _total convention (histogram
+		// component samples are exempt by construction: their family name
+		// is the base).
+		if f.typ == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Errorf("counter family %s does not end in _total", name)
+		}
+	}
+
+	// The escaped endpoint label must round-trip through the parser.
+	rawName := `path"with\quotes` + "\nand newline"
+	found := false
+	for _, s := range families["gridrank_requests_total"].samples {
+		if s.labels["endpoint"] == rawName {
+			found = true
+			if s.value != 2 {
+				t.Errorf("escaped endpoint count = %g, want 2", s.value)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("escaped endpoint label did not round-trip; samples: %+v",
+			families["gridrank_requests_total"].samples)
+	}
+
+	// Histogram invariants: per endpoint, le strictly increasing,
+	// cumulative counts non-decreasing, +Inf last, _count == +Inf bucket.
+	hist := families["gridrank_request_duration_seconds"]
+	if hist == nil || hist.typ != "histogram" {
+		t.Fatal("latency histogram family missing or mistyped")
+	}
+	type histState struct {
+		lastLe    float64
+		lastCum   float64
+		infSeen   bool
+		infBucket float64
+		count     float64
+		hasCount  bool
+	}
+	byEndpoint := map[string]*histState{}
+	for _, s := range hist.samples {
+		ep := s.labels["endpoint"]
+		st := byEndpoint[ep]
+		if st == nil {
+			st = &histState{lastLe: -1}
+			byEndpoint[ep] = st
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			if st.infSeen {
+				t.Errorf("endpoint %q: bucket after +Inf", ep)
+			}
+			le, err := parseValue(s.labels["le"])
+			if err != nil {
+				t.Fatalf("endpoint %q: bad le %q", ep, s.labels["le"])
+			}
+			if le <= st.lastLe {
+				t.Errorf("endpoint %q: le %g not strictly increasing after %g", ep, le, st.lastLe)
+			}
+			if s.value < st.lastCum {
+				t.Errorf("endpoint %q: bucket counts not cumulative: %g after %g", ep, s.value, st.lastCum)
+			}
+			st.lastLe, st.lastCum = le, s.value
+			if s.labels["le"] == "+Inf" {
+				st.infSeen, st.infBucket = true, s.value
+			}
+		case strings.HasSuffix(s.name, "_count"):
+			st.count, st.hasCount = s.value, true
+		}
+	}
+	for ep, st := range byEndpoint {
+		if !st.infSeen {
+			t.Errorf("endpoint %q: no +Inf bucket", ep)
+		}
+		if !st.hasCount {
+			t.Errorf("endpoint %q: no _count sample", ep)
+		}
+		if st.hasCount && st.infSeen && st.count != st.infBucket {
+			t.Errorf("endpoint %q: _count %g != +Inf bucket %g", ep, st.count, st.infBucket)
+		}
+		if st.count != 2 {
+			t.Errorf("endpoint %q: _count %g, want 2", ep, st.count)
+		}
+	}
+
+	// Trace and runtime families must be present with sane values.
+	for name, want := range map[string]float64{
+		"gridrank_traces_started_total": 10,
+		"gridrank_traces_kept_total":    4,
+		"gridrank_traces_dropped_total": 6,
+		"gridrank_traces_evicted_total": 2,
+		"gridrank_slow_queries_total":   1,
+	} {
+		f := families[name]
+		if f == nil || len(f.samples) != 1 {
+			t.Errorf("family %s missing or wrong sample count", name)
+			continue
+		}
+		if f.samples[0].value != want {
+			t.Errorf("%s = %g, want %g", name, f.samples[0].value, want)
+		}
+	}
+	for _, name := range []string{
+		"gridrank_build_info", "gridrank_go_goroutines", "gridrank_go_gomaxprocs",
+		"gridrank_go_heap_alloc_bytes", "gridrank_go_heap_inuse_bytes",
+		"gridrank_go_gc_pause_seconds_total",
+	} {
+		f := families[name]
+		if f == nil || len(f.samples) != 1 {
+			t.Errorf("runtime family %s missing", name)
+			continue
+		}
+		if f.samples[0].value < 0 {
+			t.Errorf("%s negative: %g", name, f.samples[0].value)
+		}
+	}
+	bi := families["gridrank_build_info"].samples[0]
+	if bi.value != 1 || bi.labels["go_version"] == "" || bi.labels["module_version"] == "" {
+		t.Errorf("build_info malformed: %+v", bi)
+	}
+	if families["gridrank_go_goroutines"].samples[0].value < 1 {
+		t.Error("goroutine count below 1")
+	}
+}
+
+// TestExpositionWithoutTraceSource checks the trace families vanish
+// cleanly when no tracer is registered, and the scrape still parses.
+func TestExpositionWithoutTraceSource(t *testing.T) {
+	r := New()
+	r.Endpoint("reverse_topk").Begin()
+	r.Endpoint("reverse_topk").Observe(time.Millisecond, 200)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	families := parseExposition(t, sb.String())
+	if families["gridrank_traces_started_total"] != nil {
+		t.Error("trace family rendered without a source")
+	}
+	if families["gridrank_go_goroutines"] == nil {
+		t.Error("runtime telemetry missing")
+	}
+}

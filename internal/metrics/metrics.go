@@ -1,8 +1,12 @@
 // Package metrics is the server's observability layer: a dependency-free
 // registry of per-endpoint request counters, error counters by status
-// code, latency histograms and Grid-index filter-rate gauges, rendered
-// in the Prometheus text exposition format (version 0.0.4) for GET
-// /metrics.
+// code, latency histograms, Grid-index filter-rate gauges, tracing
+// counters and Go runtime telemetry, rendered in the Prometheus text
+// exposition format (version 0.0.4) for GET /metrics.
+//
+// Runtime telemetry (goroutines, heap, GC pause total, GOMAXPROCS,
+// build info) is gathered at scrape time — one runtime.ReadMemStats per
+// scrape, no background sampler goroutine.
 //
 // The hot path is lock-free: requests, latencies and filter counts go
 // through atomics; the only mutexes guard endpoint creation (once per
@@ -16,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,6 +47,43 @@ type Registry struct {
 	mutMu     sync.Mutex
 	mutations map[string]*atomic.Int64
 	epoch     atomic.Uint64
+
+	// traceSource, when set, is polled at scrape time for the tracing
+	// subsystem's counters (started/kept/dropped/evicted traces and slow
+	// queries).
+	traceMu     sync.Mutex
+	traceSource func() TraceCounts
+}
+
+// TraceCounts is the tracing subsystem's counter snapshot, polled at
+// scrape time through SetTraceSource. The field meanings match
+// trace.Counts; the duplicate type keeps the import graph acyclic
+// (internal/trace must not depend on metrics and vice versa).
+type TraceCounts struct {
+	Started int64 // traces begun (sampled or recorded for the slow filter)
+	Kept    int64 // traces published to the debug ring
+	Dropped int64 // recorded traces discarded as fast and unsampled
+	Slow    int64 // queries over the slow-query threshold
+	Evicted int64 // published traces overwritten by newer ones
+}
+
+// SetTraceSource registers the tracing counter snapshot function,
+// typically trace.(*Tracer).Counts. A nil source removes the trace
+// metric families from the scrape.
+func (r *Registry) SetTraceSource(f func() TraceCounts) {
+	r.traceMu.Lock()
+	r.traceSource = f
+	r.traceMu.Unlock()
+}
+
+func (r *Registry) traceCounts() (TraceCounts, bool) {
+	r.traceMu.Lock()
+	f := r.traceSource
+	r.traceMu.Unlock()
+	if f == nil {
+		return TraceCounts{}, false
+	}
+	return f(), true
 }
 
 // New returns an empty registry.
@@ -275,7 +318,71 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	b.printf("# HELP gridrank_index_epoch Current index mutation epoch (0 = as built or loaded).\n")
 	b.printf("# TYPE gridrank_index_epoch gauge\n")
 	b.printf("gridrank_index_epoch %d\n", r.epoch.Load())
+
+	if tc, ok := r.traceCounts(); ok {
+		b.printf("# HELP gridrank_traces_started_total Query traces begun (head-sampled, remote-parented or recorded for the slow-query filter).\n")
+		b.printf("# TYPE gridrank_traces_started_total counter\n")
+		b.printf("gridrank_traces_started_total %d\n", tc.Started)
+		b.printf("# HELP gridrank_traces_kept_total Completed traces published to the debug ring.\n")
+		b.printf("# TYPE gridrank_traces_kept_total counter\n")
+		b.printf("gridrank_traces_kept_total %d\n", tc.Kept)
+		b.printf("# HELP gridrank_traces_dropped_total Recorded traces discarded at completion as fast and unsampled.\n")
+		b.printf("# TYPE gridrank_traces_dropped_total counter\n")
+		b.printf("gridrank_traces_dropped_total %d\n", tc.Dropped)
+		b.printf("# HELP gridrank_traces_evicted_total Published traces overwritten by newer ones in the bounded ring.\n")
+		b.printf("# TYPE gridrank_traces_evicted_total counter\n")
+		b.printf("gridrank_traces_evicted_total %d\n", tc.Evicted)
+		b.printf("# HELP gridrank_slow_queries_total Queries that exceeded the slow-query threshold.\n")
+		b.printf("# TYPE gridrank_slow_queries_total counter\n")
+		b.printf("gridrank_slow_queries_total %d\n", tc.Slow)
+	}
+
+	writeRuntimeTelemetry(b)
 	return b.err
+}
+
+// buildInfo is resolved once: the module version and Go toolchain are
+// fixed for the process lifetime.
+var buildInfoOnce = sync.OnceValues(func() (goVersion, modVersion string) {
+	goVersion, modVersion = runtime.Version(), "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		if bi.Main.Version != "" {
+			modVersion = bi.Main.Version
+		}
+	}
+	return goVersion, modVersion
+})
+
+// writeRuntimeTelemetry renders the Go runtime gauges, gathered at
+// scrape time. runtime.ReadMemStats is a brief stop-the-world, which at
+// scrape cadence (seconds to minutes) is noise; in exchange there is no
+// background goroutine and no staleness.
+func writeRuntimeTelemetry(b *errWriter) {
+	goVersion, modVersion := buildInfoOnce()
+	b.printf("# HELP gridrank_build_info Build metadata; the value is always 1.\n")
+	b.printf("# TYPE gridrank_build_info gauge\n")
+	b.printf("gridrank_build_info{go_version=%q,module_version=%q} 1\n", goVersion, modVersion)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.printf("# HELP gridrank_go_goroutines Current number of goroutines.\n")
+	b.printf("# TYPE gridrank_go_goroutines gauge\n")
+	b.printf("gridrank_go_goroutines %d\n", runtime.NumGoroutine())
+	b.printf("# HELP gridrank_go_gomaxprocs Value of GOMAXPROCS, the query workers' CPU budget.\n")
+	b.printf("# TYPE gridrank_go_gomaxprocs gauge\n")
+	b.printf("gridrank_go_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+	b.printf("# HELP gridrank_go_heap_alloc_bytes Bytes of allocated heap objects.\n")
+	b.printf("# TYPE gridrank_go_heap_alloc_bytes gauge\n")
+	b.printf("gridrank_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	b.printf("# HELP gridrank_go_heap_inuse_bytes Bytes in in-use heap spans.\n")
+	b.printf("# TYPE gridrank_go_heap_inuse_bytes gauge\n")
+	b.printf("gridrank_go_heap_inuse_bytes %d\n", ms.HeapInuse)
+	b.printf("# HELP gridrank_go_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n")
+	b.printf("# TYPE gridrank_go_gc_pause_seconds_total counter\n")
+	b.printf("gridrank_go_gc_pause_seconds_total %s\n", formatFloat(float64(ms.PauseTotalNs)/1e9))
 }
 
 // formatFloat renders a float the way Prometheus expects: shortest

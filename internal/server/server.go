@@ -9,6 +9,8 @@
 //
 //	GET  /healthz            liveness
 //	GET  /metrics            Prometheus text exposition (see internal/metrics)
+//	GET  /debug/traces       recent query traces, newest first (see internal/trace)
+//	GET  /debug/traces/{id}  one stored trace with its full span tree
 //	GET  /v1/index           index metadata (incl. maxParallelism, queryTimeoutMs)
 //	POST /v1/reverse-topk    {"query":[...]|"product":i, "k":100, "parallelism":4, "stats":true, "timeoutMs":500}
 //	POST /v1/reverse-kranks  {"query":[...]|"product":i, "k":10, "parallelism":4, "stats":true, "timeoutMs":500}
@@ -30,6 +32,15 @@
 // the metrics middleware (counts, latency histogram, filter rate — see
 // GET /metrics) and, when Config.Logger is set, structured request
 // logging.
+//
+// Tracing: with Config.TraceSampleRate or Config.SlowQuery set, the
+// query endpoints record per-request traces — decode, epoch snapshot,
+// grid scan (with the Case-1/2/3 breakdown), per-worker scan spans,
+// merge and encode. Incoming W3C traceparent headers are honoured (the
+// remote trace ID is reused and always sampled); sampled responses
+// carry a "trace_id" field and a traceparent response header, and slow
+// queries are logged and always captured regardless of the sampling
+// coin. Completed traces are served by the /debug/traces endpoints.
 package server
 
 import (
@@ -44,6 +55,7 @@ import (
 
 	"gridrank"
 	"gridrank/internal/metrics"
+	"gridrank/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies; a query vector of a few thousand
@@ -52,6 +64,10 @@ const maxBodyBytes = 1 << 20
 
 // DefaultMaxBatch bounds the number of queries in one /v1/batch request.
 const DefaultMaxBatch = 256
+
+// DefaultTraceBuffer is the default capacity of the completed-trace ring
+// served at /debug/traces.
+const DefaultTraceBuffer = 256
 
 // statusClientClosed is nginx's convention for "client closed request":
 // the client disconnected before the answer was ready, so no status ever
@@ -98,6 +114,20 @@ type Config struct {
 	// share one across servers to aggregate. nil creates a private
 	// registry, exposed at GET /metrics either way.
 	Metrics *metrics.Registry
+
+	// TraceSampleRate is the fraction of queries traced head-first, in
+	// [0, 1]. 0 disables probabilistic sampling; slow-query capture and
+	// remote traceparent headers still work when SlowQuery is set.
+	TraceSampleRate float64
+
+	// SlowQuery, when positive, turns on tail-based capture: every query
+	// records spans, and those slower than this threshold are kept in
+	// the trace ring and logged even when the sampling coin said no.
+	SlowQuery time.Duration
+
+	// TraceBuffer bounds the completed-trace ring served at
+	// /debug/traces. 0 means DefaultTraceBuffer.
+	TraceBuffer int
 }
 
 // Server wraps an index with HTTP handlers.
@@ -109,6 +139,7 @@ type Server struct {
 	maxBatch       int
 	logger         *slog.Logger
 	metrics        *metrics.Registry
+	tracer         *trace.Tracer
 }
 
 // New builds a Server around an index with the default configuration.
@@ -127,6 +158,24 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
 	}
+	if cfg.TraceBuffer <= 0 {
+		cfg.TraceBuffer = DefaultTraceBuffer
+	}
+	tracer := trace.New(trace.Config{
+		SampleRate: cfg.TraceSampleRate,
+		SlowQuery:  cfg.SlowQuery,
+		Capacity:   cfg.TraceBuffer,
+		Logger:     cfg.Logger,
+	})
+	if tracer.Enabled() {
+		cfg.Metrics.SetTraceSource(func() metrics.TraceCounts {
+			c := tracer.Counts()
+			return metrics.TraceCounts{
+				Started: c.Started, Kept: c.Kept, Dropped: c.Dropped,
+				Slow: c.Slow, Evicted: c.Evicted,
+			}
+		})
+	}
 	s := &Server{
 		ix:             ix,
 		mux:            http.NewServeMux(),
@@ -135,9 +184,12 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 		maxBatch:       cfg.MaxBatch,
 		logger:         cfg.Logger,
 		metrics:        cfg.Metrics,
+		tracer:         tracer,
 	}
 	s.mux.HandleFunc("/healthz", s.instrument(epHealthz, s.handleHealth))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	s.mux.HandleFunc("/v1/index", s.instrument(epIndex, s.handleIndex))
 	s.mux.HandleFunc("/v1/reverse-topk", s.instrument(epRTK, s.handleReverseTopK))
 	s.mux.HandleFunc("/v1/reverse-kranks", s.instrument(epRKR, s.handleReverseKRanks))
@@ -364,44 +416,60 @@ type rtkResponse struct {
 	Preferences []int           `json:"preferences"`
 	Count       int             `json:"count"`
 	Stats       *gridrank.Stats `json:"stats,omitempty"`
+	// TraceID identifies this query's trace when it was head-sampled;
+	// retrieve the span tree at GET /debug/traces/{trace_id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (s *Server) handleReverseTopK(w http.ResponseWriter, r *http.Request) {
+	tr := s.startTrace(r, epRTK)
 	var req queryRequest
-	if !s.decode(w, r, &req) {
+	dsp := tr.StartSpan("decode")
+	ok := s.decode(w, r, &req)
+	dsp.End()
+	if !ok {
+		finishQueryTrace(tr, nil, errors.New("bad request"))
 		return
 	}
+	tr.SetAttr("k", req.K)
 	q, err := s.resolveQueryVector(req.Query, req.Product)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
 	workers, err := s.resolveParallelism(req.Parallelism)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
 	ctx, cancel, err := s.queryContext(r, req.TimeoutMs)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
 	defer cancel()
 	var st gridrank.Stats
-	res, err := s.ix.ReverseTopKCtx(ctx, q, req.K, queryOptions(workers, &st)...)
+	res, err := s.ix.ReverseTopKCtx(ctx, q, req.K, traceQueryOption(queryOptions(workers, &st), tr)...)
 	s.metrics.Endpoint(epRTK).AddFilterCounts(st.Filtered, st.Refined)
 	if err != nil {
 		s.writeError(w, queryErrorStatus(err), err)
+		finishQueryTrace(tr, &st, err)
 		return
 	}
 	if res == nil {
 		res = []int{}
 	}
-	resp := rtkResponse{Preferences: res, Count: len(res)}
+	resp := rtkResponse{Preferences: res, Count: len(res), TraceID: decorateTraced(w, tr)}
 	if req.Stats {
 		resp.Stats = &st
 	}
+	esp := tr.StartSpan("encode")
 	s.writeJSON(w, http.StatusOK, resp)
+	esp.End()
+	finishQueryTrace(tr, &st, nil)
 }
 
 type rkrMatch struct {
@@ -413,45 +481,61 @@ type rkrMatch struct {
 type rkrResponse struct {
 	Matches []rkrMatch      `json:"matches"`
 	Stats   *gridrank.Stats `json:"stats,omitempty"`
+	// TraceID identifies this query's trace when it was head-sampled;
+	// retrieve the span tree at GET /debug/traces/{trace_id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (s *Server) handleReverseKRanks(w http.ResponseWriter, r *http.Request) {
+	tr := s.startTrace(r, epRKR)
 	var req queryRequest
-	if !s.decode(w, r, &req) {
+	dsp := tr.StartSpan("decode")
+	ok := s.decode(w, r, &req)
+	dsp.End()
+	if !ok {
+		finishQueryTrace(tr, nil, errors.New("bad request"))
 		return
 	}
+	tr.SetAttr("k", req.K)
 	q, err := s.resolveQueryVector(req.Query, req.Product)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
 	workers, err := s.resolveParallelism(req.Parallelism)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
 	ctx, cancel, err := s.queryContext(r, req.TimeoutMs)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
 	defer cancel()
 	var st gridrank.Stats
-	res, err := s.ix.ReverseKRanksCtx(ctx, q, req.K, queryOptions(workers, &st)...)
+	res, err := s.ix.ReverseKRanksCtx(ctx, q, req.K, traceQueryOption(queryOptions(workers, &st), tr)...)
 	s.metrics.Endpoint(epRKR).AddFilterCounts(st.Filtered, st.Refined)
 	if err != nil {
 		s.writeError(w, queryErrorStatus(err), err)
+		finishQueryTrace(tr, &st, err)
 		return
 	}
 	matches := make([]rkrMatch, len(res))
 	for i, m := range res {
 		matches[i] = rkrMatch{Preference: m.WeightIndex, Rank: m.Rank, Position: m.Rank + 1}
 	}
-	resp := rkrResponse{Matches: matches}
+	resp := rkrResponse{Matches: matches, TraceID: decorateTraced(w, tr)}
 	if req.Stats {
 		resp.Stats = &st
 	}
+	esp := tr.StartSpan("encode")
 	s.writeJSON(w, http.StatusOK, resp)
+	esp.End()
+	finishQueryTrace(tr, &st, nil)
 }
 
 // batchItem is one query of a /v1/batch request.
@@ -481,6 +565,9 @@ type batchItemResult struct {
 
 type batchResponse struct {
 	Results []batchItemResult `json:"results"`
+	// TraceID identifies the batch's trace when it was head-sampled. All
+	// queries of the batch land their spans on this one trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // handleBatch fans a list of mixed reverse-topk / reverse-kranks queries
@@ -489,27 +576,38 @@ type batchResponse struct {
 // back into input order. One bad item fails only itself; an expired or
 // cancelled batch context fails the whole request (504 / 499).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr := s.startTrace(r, epBatch)
 	var req batchRequest
-	if !s.decode(w, r, &req) {
+	dsp := tr.StartSpan("decode")
+	ok := s.decode(w, r, &req)
+	dsp.End()
+	if !ok {
+		finishQueryTrace(tr, nil, errors.New("bad request"))
 		return
 	}
+	tr.SetAttr("queries", len(req.Queries))
 	if len(req.Queries) == 0 {
-		s.writeError(w, http.StatusBadRequest, errors.New("queries must be a non-empty array"))
+		err := errors.New("queries must be a non-empty array")
+		s.writeError(w, http.StatusBadRequest, err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
 	if len(req.Queries) > s.maxBatch {
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), s.maxBatch))
+		err := fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), s.maxBatch)
+		s.writeError(w, http.StatusBadRequest, err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
 	workers, err := s.resolveParallelism(req.Parallelism)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
 	ctx, cancel, err := s.queryContext(r, req.TimeoutMs)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
 	defer cancel()
@@ -545,7 +643,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		k := item.K
 		switch item.Type {
 		case "reverse-topk":
-			batch := s.ix.ReverseTopKBatchCtx(ctx, g.vectors, k, workers)
+			batch := s.ix.ReverseTopKBatchCtx(ctx, g.vectors, k, workers, traceQueryOption(nil, tr)...)
 			for j, br := range batch {
 				i := g.indices[j]
 				if br.Err != nil {
@@ -559,7 +657,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				results[i] = batchItemResult{ReverseTopK: &rtkResponse{Preferences: res, Count: len(res)}}
 			}
 		case "reverse-kranks":
-			batch := s.ix.ReverseKRanksBatchCtx(ctx, g.vectors, k, workers)
+			batch := s.ix.ReverseKRanksBatchCtx(ctx, g.vectors, k, workers, traceQueryOption(nil, tr)...)
 			for j, br := range batch {
 				i := g.indices[j]
 				if br.Err != nil {
@@ -576,9 +674,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := ctx.Err(); err != nil {
 		s.writeError(w, queryErrorStatus(err), err)
+		finishQueryTrace(tr, nil, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, batchResponse{Results: results})
+	esp := tr.StartSpan("encode")
+	s.writeJSON(w, http.StatusOK, batchResponse{Results: results, TraceID: decorateTraced(w, tr)})
+	esp.End()
+	finishQueryTrace(tr, nil, nil)
 }
 
 type topkResponse struct {

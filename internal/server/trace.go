@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"gridrank"
+	"gridrank/internal/trace"
+)
+
+// Tracing glue: request-scoped trace construction, the /debug/traces
+// endpoints and the response decoration shared by the query handlers.
+
+// startTrace begins a per-request trace named after the endpoint,
+// honouring an incoming W3C traceparent header (a valid remote parent
+// reuses the caller's trace ID and forces sampling; a malformed header
+// is treated as absent, never rejected). Returns nil — a free no-op for
+// every span call — when tracing is disabled or the query lost the
+// sampling coin toss.
+func (s *Server) startTrace(r *http.Request, name string) *trace.Trace {
+	return s.tracer.Start(name, trace.ParseTraceparent(r.Header.Get("traceparent")))
+}
+
+// traceQueryOption appends WithTrace to opts when the request is traced.
+func traceQueryOption(opts []gridrank.QueryOption, tr *trace.Trace) []gridrank.QueryOption {
+	if tr != nil {
+		opts = append(opts, gridrank.WithTrace(tr))
+	}
+	return opts
+}
+
+// decorateTraced stamps a head-sampled trace onto the response headers.
+// Tail-only captures (slow-query candidates) are not advertised: whether
+// they survive is decided at Finish, after the response is gone — find
+// those through the slow-query log line or GET /debug/traces.
+func decorateTraced(w http.ResponseWriter, tr *trace.Trace) (traceID string) {
+	if !tr.Sampled() {
+		return ""
+	}
+	w.Header().Set("traceparent", tr.Traceparent())
+	return tr.ID()
+}
+
+// finishQueryTrace records the query outcome on the root span and
+// completes the trace.
+func finishQueryTrace(tr *trace.Trace, st *gridrank.Stats, err error) {
+	if tr == nil {
+		return
+	}
+	if st != nil {
+		tr.SetAttr("filtered", st.Filtered)
+		tr.SetAttr("refined", st.Refined)
+		tr.SetAttr("filter_rate", st.FilterRate())
+	}
+	if err != nil {
+		tr.SetAttr("error", err.Error())
+	}
+	tr.Finish()
+}
+
+// traceSummary is one row of GET /debug/traces.
+type traceSummary struct {
+	TraceID    string    `json:"traceId"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"durationMs"`
+	Sampled    bool      `json:"sampled"`
+	Slow       bool      `json:"slow,omitempty"`
+	Remote     bool      `json:"remoteParent,omitempty"`
+	Spans      int       `json:"spans"`
+}
+
+type tracesResponse struct {
+	Traces []traceSummary `json:"traces"`
+	// Counts reports the tracer's lifetime totals, so an empty list can
+	// be told apart from a disabled tracer.
+	Started int64 `json:"started"`
+	Kept    int64 `json:"kept"`
+	Dropped int64 `json:"dropped"`
+	Slow    int64 `json:"slow"`
+	Evicted int64 `json:"evicted"`
+}
+
+// handleTraces lists the stored traces, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	stored := s.tracer.Traces()
+	resp := tracesResponse{Traces: make([]traceSummary, 0, len(stored))}
+	for _, td := range stored {
+		resp.Traces = append(resp.Traces, traceSummary{
+			TraceID:    td.TraceID,
+			Name:       td.Name,
+			Start:      td.Start,
+			DurationMs: float64(td.DurationNs) / 1e6,
+			Sampled:    td.Sampled,
+			Slow:       td.Slow,
+			Remote:     td.Remote,
+			Spans:      len(td.Spans),
+		})
+	}
+	c := s.tracer.Counts()
+	resp.Started, resp.Kept, resp.Dropped, resp.Slow, resp.Evicted =
+		c.Started, c.Kept, c.Dropped, c.Slow, c.Evicted
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTraceByID serves one stored trace with its full span tree.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	td := s.tracer.Get(id)
+	if td == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no stored trace %q (never captured, or evicted from the bounded ring)", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, td)
+}

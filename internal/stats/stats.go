@@ -43,7 +43,17 @@ type Counters struct {
 	Refinements int64
 
 	// Filtered counts points decided by Grid bounds alone (Case 1 or 2).
+	// It always equals Case1Filtered + Case2Filtered.
 	Filtered int64
+
+	// Case1Filtered counts points whose lower bound already exceeded the
+	// query score (Case 1, Section 3.1): they raise the rank without an
+	// exact evaluation.
+	Case1Filtered int64
+
+	// Case2Filtered counts points whose upper bound fell below the query
+	// score (Case 2): they are discarded without an exact evaluation.
+	Case2Filtered int64
 
 	// WeightsPruned counts weight vectors (or whole weight groups) discarded
 	// without individual rank evaluation.
@@ -64,6 +74,8 @@ func (c *Counters) Add(o *Counters) {
 	c.CellsVisited += o.CellsVisited
 	c.Refinements += o.Refinements
 	c.Filtered += o.Filtered
+	c.Case1Filtered += o.Case1Filtered
+	c.Case2Filtered += o.Case2Filtered
 	c.WeightsPruned += o.WeightsPruned
 	c.Queries += o.Queries
 }
@@ -109,6 +121,8 @@ func (c *Counters) PerQuery() Counters {
 		CellsVisited:  c.CellsVisited / n,
 		Refinements:   c.Refinements / n,
 		Filtered:      c.Filtered / n,
+		Case1Filtered: c.Case1Filtered / n,
+		Case2Filtered: c.Case2Filtered / n,
 		WeightsPruned: c.WeightsPruned / n,
 		Queries:       1,
 	}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNoopPathAllocations pins the zero-cost contract the query path
+// relies on: when tracing is off (nil *Tracer, or a tracer with neither
+// sampling nor a slow threshold) every call a query makes — Start,
+// StartSpan, SetInt, Child, End, Finish, ID — must allocate nothing.
+// The GIR hot loop runs at zero allocations per query; tracing must not
+// change that when disabled.
+func TestNoopPathAllocations(t *testing.T) {
+	var nilTracer *Tracer
+	disabled := New(Config{})
+
+	if n := testing.AllocsPerRun(100, func() {
+		_ = nilTracer.Enabled()
+		tr := nilTracer.Start("q", Parent{})
+		sp := tr.StartSpan("scan")
+		sp.SetInt("k", 1).SetFloat("r", 0.5).SetStr("s", "x")
+		wsp := sp.Child("scan.worker")
+		wsp.End()
+		sp.End()
+		_ = tr.ID()
+		_ = tr.Sampled()
+		_ = tr.Traceparent()
+		tr.SetAttr("a", 1)
+		tr.Finish()
+	}); n != 0 {
+		t.Fatalf("nil tracer path allocates %v per run, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		if tr := disabled.Start("q", Parent{}); tr != nil {
+			t.Fatal("disabled tracer sampled")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled tracer Start allocates %v per run, want 0", n)
+	}
+
+	// An unsampled Start on a probabilistic tracer must also be free.
+	// SampleRate 0 with a slow threshold DOES record (tail sampling), so
+	// use a rate-only tracer with rate 0 via a tiny-but-nonzero rate that
+	// never hits: rate of exactly 0 disables; instead exercise the nil
+	// return from the coin by using rate 0 and no slow threshold, which
+	// is the `disabled` case above. Here pin the slow-only tracer's cost
+	// is bounded: it must record, so it allocates — just assert it still
+	// returns a usable trace rather than asserting allocs.
+	slow := New(Config{SlowQuery: time.Hour})
+	if tr := slow.Start("q", Parent{}); tr == nil {
+		t.Fatal("slow-only tracer did not record")
+	} else {
+		tr.Finish()
+	}
+}

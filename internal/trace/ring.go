@@ -1,0 +1,77 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a bounded lock-free ring buffer of completed traces: writers
+// claim a slot with one atomic increment and publish with one atomic
+// pointer store, so tracing never blocks the query path on readers (and
+// readers never block writers). The newest Capacity traces survive;
+// older ones are overwritten and counted as evicted.
+//
+// Snapshot and Get read the same atomics without locks. A read racing a
+// wrap-around write may observe a trace newer than the cursor it loaded
+// — harmless for the debug endpoints this serves.
+type Ring struct {
+	slots  []atomic.Pointer[TraceData]
+	cursor atomic.Uint64
+	mask   uint64
+}
+
+// NewRing builds a ring holding at least capacity traces (rounded up to
+// a power of two so slot selection is a mask, not a modulo).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[TraceData], n), mask: uint64(n - 1)}
+}
+
+// Capacity returns the slot count.
+func (r *Ring) Capacity() int { return len(r.slots) }
+
+// Put stores one completed trace, overwriting the oldest when full.
+func (r *Ring) Put(td *TraceData) {
+	i := r.cursor.Add(1) - 1
+	r.slots[i&r.mask].Store(td)
+}
+
+// Evicted returns how many stored traces have been overwritten.
+func (r *Ring) Evicted() int64 {
+	c := r.cursor.Load()
+	if c <= uint64(len(r.slots)) {
+		return 0
+	}
+	return int64(c - uint64(len(r.slots)))
+}
+
+// Snapshot returns the stored traces, newest first.
+func (r *Ring) Snapshot() []*TraceData {
+	c := r.cursor.Load()
+	n := uint64(len(r.slots))
+	if c < n {
+		n = c
+	}
+	out := make([]*TraceData, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if td := r.slots[(c-1-i)&r.mask].Load(); td != nil {
+			out = append(out, td)
+		}
+	}
+	return out
+}
+
+// Get returns the stored trace with the given hex trace ID, or nil.
+// Scans newest-first, so a reused remote ID resolves to its latest
+// capture.
+func (r *Ring) Get(id string) *TraceData {
+	for _, td := range r.Snapshot() {
+		if td.TraceID == id {
+			return td
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func mkTrace(i int) *TraceData {
+	return &TraceData{TraceID: fmt.Sprintf("%032x", i+1), Name: "q"}
+}
+
+func TestRingRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {100, 128}, {256, 256},
+	} {
+		if got := NewRing(tc.in).Capacity(); got != tc.want {
+			t.Errorf("NewRing(%d).Capacity() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRingWrapEvictsOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Put(mkTrace(i))
+	}
+	if got := r.Evicted(); got != 2 {
+		t.Fatalf("Evicted() = %d, want 2", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(snap))
+	}
+	// Newest first: traces 5,4,3,2 (0-indexed inserts).
+	for i, td := range snap {
+		want := mkTrace(5 - i).TraceID
+		if td.TraceID != want {
+			t.Fatalf("snap[%d] = %s, want %s", i, td.TraceID, want)
+		}
+	}
+	if got := r.Get(mkTrace(0).TraceID); got != nil {
+		t.Fatal("evicted trace still retrievable")
+	}
+	if got := r.Get(mkTrace(5).TraceID); got == nil {
+		t.Fatal("latest trace not retrievable")
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	if len(r.Snapshot()) != 0 || r.Evicted() != 0 {
+		t.Fatal("empty ring not empty")
+	}
+	r.Put(mkTrace(0))
+	r.Put(mkTrace(1))
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].TraceID != mkTrace(1).TraceID {
+		t.Fatalf("partial snapshot wrong: %d entries", len(snap))
+	}
+}
+
+func TestRingGetPrefersNewestDuplicate(t *testing.T) {
+	r := NewRing(4)
+	a := &TraceData{TraceID: "dup", Name: "old"}
+	b := &TraceData{TraceID: "dup", Name: "new"}
+	r.Put(a)
+	r.Put(b)
+	if got := r.Get("dup"); got == nil || got.Name != "new" {
+		t.Fatalf("Get returned %+v, want newest", got)
+	}
+}
+
+func TestRingConcurrentPutSnapshot(t *testing.T) {
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Put(mkTrace(base*1000 + i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			for _, td := range r.Snapshot() {
+				if td == nil {
+					t.Error("nil trace in snapshot")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(r.Snapshot()) != 16 {
+		t.Fatalf("full ring snapshot len = %d", len(r.Snapshot()))
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteText renders a stored trace as a human-readable span tree — the
+// EXPLAIN surface of rrqquery -explain and a quick way to eyeball a
+// /debug/traces capture:
+//
+//	trace 0af7651916cd43dd8448eb211c80319c reverse_kranks 1.234ms (slow)
+//	└─ reverse_kranks 1.234ms  endpoint=reverse_kranks k=10
+//	   ├─ snapshot 1µs  epoch=0
+//	   ├─ scan 1.1ms  case1_filtered=4800 case2_filtered=150 ...
+//	   └─ merge 5µs
+//
+// Attributes print sorted by key; durations round to the nearest
+// microsecond above 10µs for readability.
+func WriteText(w io.Writer, td *TraceData) error {
+	if td == nil {
+		_, err := fmt.Fprintln(w, "trace not found")
+		return err
+	}
+	flags := ""
+	if td.Slow {
+		flags += " (slow)"
+	}
+	if td.Remote {
+		flags += " (remote parent)"
+	}
+	if _, err := fmt.Fprintf(w, "trace %s %s %s%s\n", td.TraceID, td.Name, fmtDur(td.DurationNs), flags); err != nil {
+		return err
+	}
+	// Index spans and group children under their parents. Spans whose
+	// parent is unknown (the root's remote parent, or a span orphaned by
+	// a mid-trace Finish) render as top-level.
+	known := make(map[string]bool, len(td.Spans))
+	for _, sp := range td.Spans {
+		known[sp.SpanID] = true
+	}
+	children := make(map[string][]SpanData)
+	var tops []SpanData
+	for _, sp := range td.Spans {
+		if sp.ParentID != "" && known[sp.ParentID] && sp.ParentID != sp.SpanID {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		} else {
+			tops = append(tops, sp)
+		}
+	}
+	ew := &errWriter{w: w}
+	for i, sp := range tops {
+		writeSpanTree(ew, sp, children, "", i == len(tops)-1)
+	}
+	return ew.err
+}
+
+func writeSpanTree(w *errWriter, sp SpanData, children map[string][]SpanData, prefix string, last bool) {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	w.printf("%s%s%s %s%s\n", prefix, branch, sp.Name, fmtDur(sp.DurationNs), fmtAttrs(sp.Attrs))
+	kids := children[sp.SpanID]
+	for i, kid := range kids {
+		writeSpanTree(w, kid, children, childPrefix, i == len(kids)-1)
+	}
+}
+
+func fmtAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("  ")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch v := attrs[k].(type) {
+		case float64:
+			fmt.Fprintf(&b, "%s=%.4g", k, v)
+		default:
+			fmt.Fprintf(&b, "%s=%v", k, v)
+		}
+	}
+	return b.String()
+}
+
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	if d > 10*time.Microsecond {
+		d = d.Round(time.Microsecond)
+	}
+	return d.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *errWriter) printf(format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format, args...)
+}

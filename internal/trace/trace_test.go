@@ -1,0 +1,258 @@
+package trace
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerNeverRecords(t *testing.T) {
+	for _, tc := range []*Tracer{nil, New(Config{})} {
+		if tc.Enabled() {
+			t.Fatalf("tracer %+v reports enabled", tc)
+		}
+		if tr := tc.Start("q", Parent{}); tr != nil {
+			t.Fatalf("disabled tracer recorded a trace")
+		}
+		// Even a valid remote parent must not force recording on a fully
+		// disabled tracer: the operator turned tracing off.
+		parent := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+		if !parent.Valid {
+			t.Fatal("test traceparent did not parse")
+		}
+		if tr := tc.Start("q", parent); tr != nil {
+			t.Fatalf("disabled tracer honoured a remote parent")
+		}
+	}
+}
+
+func TestProbabilisticSampling(t *testing.T) {
+	tc := New(Config{SampleRate: 1})
+	tr := tc.Start("q", Parent{})
+	if tr == nil || !tr.Sampled() {
+		t.Fatal("rate-1 tracer did not sample")
+	}
+	id := tr.ID()
+	if len(id) != 32 {
+		t.Fatalf("trace ID %q is not 32 hex digits", id)
+	}
+	sp := tr.StartSpan("scan")
+	sp.SetInt("case1_filtered", 7).SetFloat("filter_rate", 0.99).SetStr("kind", "rtk")
+	sp.End()
+	tr.SetAttr("endpoint", "reverse_topk")
+	tr.Finish()
+
+	td := tc.Get(id)
+	if td == nil {
+		t.Fatalf("sampled trace %s not stored", id)
+	}
+	if !td.Sampled || td.Remote {
+		t.Fatalf("stored trace flags wrong: %+v", td)
+	}
+	if len(td.Spans) != 2 {
+		t.Fatalf("got %d spans, want root+scan", len(td.Spans))
+	}
+	root := td.Spans[0]
+	if root.Name != "q" || root.ParentID != "" || root.Attrs["endpoint"] != "reverse_topk" {
+		t.Fatalf("bad root span %+v", root)
+	}
+	scan := td.Spans[1]
+	if scan.Name != "scan" || scan.ParentID != root.SpanID {
+		t.Fatalf("bad scan span %+v", scan)
+	}
+	if scan.Attrs["case1_filtered"] != int64(7) || scan.Attrs["kind"] != "rtk" {
+		t.Fatalf("scan attrs lost: %+v", scan.Attrs)
+	}
+	if got := tc.Counts(); got.Started != 1 || got.Kept != 1 || got.Dropped != 0 {
+		t.Fatalf("counts %+v", got)
+	}
+}
+
+func TestTailSamplingKeepsSlowDropsFast(t *testing.T) {
+	// Fast + unsampled → dropped.
+	tc := New(Config{SlowQuery: time.Hour})
+	tr := tc.Start("q", Parent{})
+	if tr == nil {
+		t.Fatal("tail-mode tracer did not record")
+	}
+	if tr.Sampled() {
+		t.Fatal("tail-only trace claims head-sampled")
+	}
+	tr.Finish()
+	if got := tc.Counts(); got.Kept != 0 || got.Dropped != 1 {
+		t.Fatalf("fast trace not dropped: %+v", got)
+	}
+	if len(tc.Traces()) != 0 {
+		t.Fatal("dropped trace stored")
+	}
+
+	// Slow → kept and logged with the trace ID and scan breakdown.
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tc = New(Config{SlowQuery: time.Nanosecond, Logger: logger})
+	tr = tc.Start("q", Parent{})
+	sp := tr.StartSpan("scan")
+	sp.SetInt("case3_refined", 11)
+	time.Sleep(time.Microsecond)
+	sp.End()
+	id := tr.ID()
+	tr.Finish()
+	if td := tc.Get(id); td == nil || !td.Slow {
+		t.Fatalf("slow trace not captured: %+v", td)
+	}
+	log := buf.String()
+	if !strings.Contains(log, "slow query") || !strings.Contains(log, id) {
+		t.Fatalf("slow log line missing trace ID: %q", log)
+	}
+	if !strings.Contains(log, "scan.case3_refined=11") {
+		t.Fatalf("slow log line missing case breakdown: %q", log)
+	}
+	if got := tc.Counts(); got.Slow != 1 || got.Kept != 1 {
+		t.Fatalf("counts %+v", got)
+	}
+}
+
+func TestRemoteParentReusesID(t *testing.T) {
+	tc := New(Config{SlowQuery: time.Hour}) // head sampling off
+	parent := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	tr := tc.Start("q", parent)
+	if tr == nil || !tr.Sampled() {
+		t.Fatal("remote parent did not force sampling")
+	}
+	if tr.ID() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("remote trace ID not reused: %s", tr.ID())
+	}
+	tp := tr.Traceparent()
+	if !strings.HasPrefix(tp, "00-0af7651916cd43dd8448eb211c80319c-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("bad traceparent propagation %q", tp)
+	}
+	tr.Finish()
+	td := tc.Get(tr.ID())
+	if td == nil || !td.Remote {
+		t.Fatalf("remote trace not stored/flagged: %+v", td)
+	}
+	if td.Spans[0].ParentID != "b7ad6b7169203331" {
+		t.Fatalf("root span lost remote parent: %+v", td.Spans[0])
+	}
+}
+
+func TestConcurrentWorkerSpans(t *testing.T) {
+	tc := New(Config{SampleRate: 1})
+	tr := tc.Start("q", Parent{})
+	scan := tr.StartSpan("scan")
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := scan.Child("scan.worker")
+			sp.SetInt("worker", int64(i))
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	scan.End()
+	tr.Finish()
+	td := tc.Get(tr.ID())
+	if td == nil {
+		t.Fatal("trace not stored")
+	}
+	var workerSpans int
+	var scanID string
+	for _, sp := range td.Spans {
+		if sp.Name == "scan" {
+			scanID = sp.SpanID
+		}
+	}
+	for _, sp := range td.Spans {
+		if sp.Name == "scan.worker" {
+			workerSpans++
+			if sp.ParentID != scanID {
+				t.Fatalf("worker span parented to %s, want scan %s", sp.ParentID, scanID)
+			}
+		}
+	}
+	if workerSpans != workers {
+		t.Fatalf("got %d worker spans, want %d", workerSpans, workers)
+	}
+}
+
+func TestFinishIsIdempotentAndLateSpansDrop(t *testing.T) {
+	tc := New(Config{SampleRate: 1})
+	tr := tc.Start("q", Parent{})
+	sp := tr.StartSpan("late")
+	tr.Finish()
+	tr.Finish()
+	sp.End() // after Finish: must not panic, must not mutate the export
+	if got := tc.Counts(); got.Kept != 1 {
+		t.Fatalf("double Finish published twice: %+v", got)
+	}
+	td := tc.Get(tr.ID())
+	if len(td.Spans) != 1 {
+		t.Fatalf("late span leaked into export: %+v", td.Spans)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tc := New(Config{SampleRate: 1})
+	tr := tc.Start("reverse_kranks", Parent{})
+	sp := tr.StartSpan("scan")
+	sp.SetInt("case1_filtered", 42).SetFloat("filter_rate", 0.995)
+	wsp := sp.Child("scan.worker")
+	wsp.End()
+	sp.End()
+	tr.StartSpan("merge").End()
+	tr.Finish()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tc.Get(tr.ID())); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"trace ", "reverse_kranks", "scan", "scan.worker", "merge", "case1_filtered=42", "filter_rate=0.995"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteText(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDsAreUniqueAndNonZero(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := randTraceID()
+		if id.IsZero() {
+			t.Fatal("zero trace ID")
+		}
+		s := id.String()
+		if seen[s] {
+			t.Fatalf("duplicate trace ID %s", s)
+		}
+		seen[s] = true
+		if randSpanID() == 0 {
+			t.Fatal("zero span ID")
+		}
+	}
+}
+
+// TestSamplingRateRoughly checks the coin is actually biased by the rate
+// (loose bounds; the generator is not seeded).
+func TestSamplingRateRoughly(t *testing.T) {
+	tc := New(Config{SampleRate: 0.5})
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if tr := tc.Start("q", Parent{}); tr != nil {
+			hits++
+			tr.Finish()
+		}
+	}
+	if hits < n/4 || hits > 3*n/4 {
+		t.Fatalf("rate-0.5 sampled %d of %d", hits, n)
+	}
+}

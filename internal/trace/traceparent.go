@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) traceparent
+// handling. The header is
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	  00    -   32 hex   -   16 hex    -   2 hex
+//
+// Parsing is strict where the spec is strict (lowercase hex, non-zero
+// IDs, version ff invalid) and forgiving where it must be: a malformed
+// header yields the zero Parent, which Start treats as "no parent" — a
+// fresh trace ID, never an error to the client.
+
+// Parent is the sampling-relevant content of an incoming traceparent
+// header. The zero value means "no valid parent".
+type Parent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool // the sampled trace-flag bit
+	Valid   bool
+}
+
+// ParseTraceparent parses a traceparent header value. Any deviation from
+// the W3C grammar — wrong length, wrong separators, uppercase or
+// non-hex digits, all-zero IDs, the forbidden version ff — returns the
+// zero Parent rather than an error: trace propagation must never fail a
+// request.
+func ParseTraceparent(h string) Parent {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return Parent{}
+	}
+	if !isLowerHex(h[0:2]) || !isLowerHex(h[3:35]) || !isLowerHex(h[36:52]) || !isLowerHex(h[53:55]) {
+		return Parent{}
+	}
+	if h[0:2] == "ff" { // forbidden version
+		return Parent{}
+	}
+	hi, err := strconv.ParseUint(h[3:19], 16, 64)
+	if err != nil {
+		return Parent{}
+	}
+	lo, err := strconv.ParseUint(h[19:35], 16, 64)
+	if err != nil {
+		return Parent{}
+	}
+	sp, err := strconv.ParseUint(h[36:52], 16, 64)
+	if err != nil {
+		return Parent{}
+	}
+	flags, err := strconv.ParseUint(h[53:55], 16, 8)
+	if err != nil {
+		return Parent{}
+	}
+	id := TraceID{Hi: hi, Lo: lo}
+	if id.IsZero() || sp == 0 {
+		return Parent{}
+	}
+	return Parent{TraceID: id, SpanID: SpanID(sp), Sampled: flags&1 == 1, Valid: true}
+}
+
+// FormatTraceparent renders a version-00 traceparent with the sampled
+// flag set (this process only propagates traces it is recording).
+func FormatTraceparent(id TraceID, span SpanID) string {
+	return fmt.Sprintf("00-%s-%s-01", id, span)
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package trace
+
+import "testing"
+
+func TestParseTraceparentValid(t *testing.T) {
+	p := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	if !p.Valid {
+		t.Fatal("valid header rejected")
+	}
+	if p.TraceID.String() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("trace ID %s", p.TraceID)
+	}
+	if p.SpanID.String() != "b7ad6b7169203331" {
+		t.Fatalf("span ID %s", p.SpanID)
+	}
+	if !p.Sampled {
+		t.Fatal("sampled flag lost")
+	}
+	// Flag bit 0 clear → not sampled, still valid.
+	p = ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	if !p.Valid || p.Sampled {
+		t.Fatalf("flags-00 parse wrong: %+v", p)
+	}
+	// Future version with known layout is accepted per spec.
+	p = ParseTraceparent("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	if !p.Valid {
+		t.Fatal("future version rejected")
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"short":             "00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333-01",
+		"long":              "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+		"uppercase trace":   "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",
+		"uppercase span":    "00-0af7651916cd43dd8448eb211c80319c-B7AD6B7169203331-01",
+		"non-hex":           "00-0af7651916cd43dd8448eb211c80319z-b7ad6b7169203331-01",
+		"bad separator":     "00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01",
+		"version ff":        "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"zero trace id":     "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"zero span id":      "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		"spaces":            "00 0af7651916cd43dd8448eb211c80319c b7ad6b7169203331 01",
+		"garbage":           "not-a-traceparent-header-at-all-just-some-random-text",
+		"non-hex flags":     "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz",
+		"non-hex version":   "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"dash in trace id":  "00-0af7651916cd43dd-448eb211c80319c-b7ad6b7169203331-01",
+		"truncated at flag": "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-1",
+	}
+	for name, h := range cases {
+		if p := ParseTraceparent(h); p.Valid {
+			t.Errorf("%s: header %q accepted", name, h)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := TraceID{Hi: 0x0af7651916cd43dd, Lo: 0x8448eb211c80319c}
+	sp := SpanID(0xb7ad6b7169203331)
+	h := FormatTraceparent(id, sp)
+	if h != "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01" {
+		t.Fatalf("FormatTraceparent = %q", h)
+	}
+	p := ParseTraceparent(h)
+	if !p.Valid || p.TraceID != id || p.SpanID != sp || !p.Sampled {
+		t.Fatalf("round trip lost data: %+v", p)
+	}
+	// Small IDs must zero-pad.
+	h = FormatTraceparent(TraceID{Hi: 0, Lo: 1}, SpanID(2))
+	if h != "00-00000000000000000000000000000001-0000000000000002-01" {
+		t.Fatalf("zero padding broken: %q", h)
+	}
+	if p := ParseTraceparent(h); !p.Valid {
+		t.Fatal("padded header rejected")
+	}
+}

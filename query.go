@@ -23,6 +23,7 @@ import (
 	"runtime"
 
 	"gridrank/internal/stats"
+	"gridrank/internal/trace"
 )
 
 // QueryOption configures one call of the context-first query API
@@ -39,6 +40,8 @@ type queryConfig struct {
 	workers int
 	// stats, when non-nil, receives the query's work statistics.
 	stats *Stats
+	// tr, when non-nil, receives the query's execution spans.
+	tr *trace.Trace
 }
 
 // WithWorkers sets the intra-query worker count for a single call,
@@ -66,6 +69,21 @@ func WithStats(s *Stats) QueryOption {
 			return fmt.Errorf("gridrank: WithStats requires a non-nil sink")
 		}
 		cfg.stats = s
+		return nil
+	}
+}
+
+// WithTrace attaches the query to tr, an in-flight per-query trace from
+// internal/trace: the snapshot load, the grid scan (with its Case-1/2/3
+// breakdown), any parallel workers and the result merge each record a
+// span. The HTTP server and the CLI's -explain mode construct traces;
+// the trace is safe for use across the concurrent queries of a batch. A
+// nil tr is allowed and means "not traced" — the query path then does no
+// tracing work at all, so callers can pass their maybe-nil trace
+// unconditionally.
+func WithTrace(tr *trace.Trace) QueryOption {
+	return func(cfg *queryConfig) error {
+		cfg.tr = tr
 		return nil
 	}
 }
@@ -136,7 +154,10 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...Qu
 	c := cfg.counters()
 	// One snapshot load: the whole scan runs against a single epoch even
 	// if mutations land mid-query.
-	res, err := ix.snap().gir.ReverseTopKCtx(ctx, q, k, cfg.resolveWorkers(ix), c)
+	sp := cfg.tr.StartSpan("snapshot")
+	ep := ix.snap()
+	sp.SetInt("epoch", int64(ep.seq)).End()
+	res, err := ep.gir.ReverseTopKTraced(ctx, q, k, cfg.resolveWorkers(ix), c, cfg.tr)
 	cfg.finish(c)
 	return res, err
 }
@@ -156,7 +177,10 @@ func (ix *Index) ReverseKRanksCtx(ctx context.Context, q Vector, k int, opts ...
 		return nil, err
 	}
 	c := cfg.counters()
-	matches, err := ix.snap().gir.ReverseKRanksCtx(ctx, q, k, cfg.resolveWorkers(ix), c)
+	sp := cfg.tr.StartSpan("snapshot")
+	ep := ix.snap()
+	sp.SetInt("epoch", int64(ep.seq)).End()
+	matches, err := ep.gir.ReverseKRanksTraced(ctx, q, k, cfg.resolveWorkers(ix), c, cfg.tr)
 	cfg.finish(c)
 	if err != nil {
 		return nil, err

@@ -15,7 +15,11 @@
 # high-dimensional run and the intra-query parallel sweep — plus the
 # mutation-throughput suite (BenchmarkGIRMutation*) from
 # mutate_bench_test.go: single insert/delete epoch derivation, batch
-# rebuild, and mutation latency under concurrent query load. Each entry
+# rebuild, and mutation latency under concurrent query load — and the
+# tracing-overhead suite (BenchmarkGIRTraceOverhead) from
+# trace_bench_test.go, whose off/noop/sampled sub-benchmarks price the
+# span instrumentation so a regression on the untraced path is caught
+# in review. Each entry
 # records ns/op, B/op, allocs/op and any custom metrics the benchmark
 # reports (e.g. filter% for the grouped sweep).
 set -eu
