@@ -1,0 +1,135 @@
+package gridrank
+
+// The answer cache (internal/cache) wiring: enablement, the mutation
+// hooks that keep resident entries exact, and the stats surface. The
+// cache sits in front of the GIR scan in query.go — a hit returns the
+// stored admitted-preference set with zero scan work — and is kept
+// consistent by the mutation paths in mutate.go, which notify it under
+// ix.mu so sweeps are serialized with epoch installs. DESIGN.md §12
+// derives the invalidation predicate and argues its soundness.
+
+import (
+	"fmt"
+	"time"
+
+	"gridrank/internal/cache"
+)
+
+// CacheStats is a snapshot of the answer cache's configuration and
+// lifetime counters.
+type CacheStats struct {
+	// Size and TTL echo the cache's configuration (TTL 0 = no expiry).
+	Size int
+	TTL  time.Duration
+	// Entries is the current resident entry count.
+	Entries int
+
+	Hits           int64 // queries answered from the cache
+	Misses         int64 // queries that fell through to the scan
+	Stores         int64 // answers accepted into the cache
+	RejectedStores int64 // answers refused for predating a mutation
+	Invalidations  int64 // entries removed by mutation sweeps
+	Flushes        int64 // full flushes (batch mutations)
+	Evictions      int64 // entries evicted by the LRU bound
+	Expirations    int64 // entries removed past their TTL
+}
+
+// EnableCache attaches an answer cache holding up to size entries, each
+// living at most ttl (0 = no expiry). Cached answers are invalidated
+// epoch-exactly by the mutation paths, so enabling the cache never
+// changes any answer — only how fast repeated queries return. Enabling
+// replaces any existing cache (dropping its entries); it is safe while
+// queries and mutations are in flight.
+func (ix *Index) EnableCache(size int, ttl time.Duration) error {
+	if size <= 0 {
+		return fmt.Errorf("gridrank: cache size must be positive, got %d", size)
+	}
+	if ttl < 0 {
+		return fmt.Errorf("gridrank: cache TTL must be non-negative, got %v", ttl)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	c := cache.New(cache.Config{Size: size, TTL: ttl})
+	// Serialized with mutators under ix.mu: no mutation can land between
+	// reading the epoch and publishing the cache, so a scan that started
+	// against an older epoch can never seed the fresh cache.
+	c.SetHead(ix.snap().seq)
+	ix.answers.Store(c)
+	return nil
+}
+
+// DisableCache detaches the answer cache, dropping its entries. Queries
+// fall through to the scan again.
+func (ix *Index) DisableCache() {
+	ix.mu.Lock()
+	ix.answers.Store(nil)
+	ix.mu.Unlock()
+}
+
+// CacheEnabled reports whether an answer cache is attached.
+func (ix *Index) CacheEnabled() bool { return ix.answers.Load() != nil }
+
+// CacheStats returns the answer cache's counters; ok is false when no
+// cache is attached.
+func (ix *Index) CacheStats() (stats CacheStats, ok bool) {
+	c := ix.answers.Load()
+	if c == nil {
+		return CacheStats{}, false
+	}
+	cs := c.Counts()
+	return CacheStats{
+		Size:           c.Size(),
+		TTL:            c.TTL(),
+		Entries:        c.Len(),
+		Hits:           cs.Hits,
+		Misses:         cs.Misses,
+		Stores:         cs.Stores,
+		RejectedStores: cs.RejectedStores,
+		Invalidations:  cs.Invalidations,
+		Flushes:        cs.Flushes,
+		Evictions:      cs.Evictions,
+		Expirations:    cs.Expirations,
+	}, true
+}
+
+// The cache notification hooks below run under ix.mu, immediately after
+// the mutation published its epoch, so cache maintenance is serialized
+// with epoch installs and every resident entry stays valid for the
+// current epoch (the invariant Lookup relies on).
+
+// cacheOnProduct sweeps the cache after a single-product insert or
+// delete: row is the inserted point or the deleted point's former
+// attributes, the only data whose ranks changed.
+func (ix *Index) cacheOnProduct(seq uint64, row Vector) {
+	if c := ix.answers.Load(); c != nil {
+		c.OnProductMutation(seq, row)
+	}
+}
+
+// cacheOnPrefInsert splices the newly inserted preference (id, the
+// largest) into every resident entry, using the new epoch's GIR as the
+// rank oracle.
+func (ix *Index) cacheOnPrefInsert(ne *epoch, id int) {
+	if c := ix.answers.Load(); c != nil {
+		c.OnPreferenceInsert(ne.seq, id, func(q []float64, cutoff int) (int, bool) {
+			return ne.gir.RankOf(id, q, cutoff)
+		})
+	}
+}
+
+// cacheOnPrefDelete remaps resident entries past the deleted
+// preference id; oldCount is the preference count before the delete.
+func (ix *Index) cacheOnPrefDelete(seq uint64, id, oldCount int) {
+	if c := ix.answers.Load(); c != nil {
+		c.OnPreferenceDelete(seq, id, oldCount)
+	}
+}
+
+// cacheFlush drops every resident entry; the batch mutation paths call
+// it (they rebuild the whole epoch, and per-row sweeps would cost more
+// than recomputing the answers).
+func (ix *Index) cacheFlush(seq uint64) {
+	if c := ix.answers.Load(); c != nil {
+		c.Flush(seq)
+	}
+}

@@ -1,0 +1,283 @@
+package gridrank
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The cache-equivalence harness: the proof standard for the answer
+// cache. Random interleaved histories of mutations and queries run
+// against two indexes over identical data — one with the cache, one
+// without — and every answer must be byte-identical at every worker
+// count, with ranks cross-validated against the exact scan. Queries
+// repeat from a small pool so the cached index actually serves hits
+// (asserted at the end): the harness exercises the hit path, the miss
+// path, and every invalidation path the mutations reach.
+
+// cacheTrialMutate applies one random mutation to both indexes and
+// mirrors it into the ps/ws model slices. It returns false when the
+// sampled operation was not applicable (e.g. a delete on a tiny set).
+func cacheTrialMutate(t *testing.T, rng *rand.Rand, cached, plain *Index, ps, ws *[]Vector) bool {
+	t.Helper()
+	d := cached.Dim()
+	apply := func(f func(ix *Index) error) {
+		t.Helper()
+		if err := f(cached); err != nil {
+			t.Fatal(err)
+		}
+		if err := f(plain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	switch op := rng.Intn(7); {
+	case op == 0 && len(*ps) > 3: // delete product
+		i := rng.Intn(len(*ps))
+		apply(func(ix *Index) error { return ix.DeleteProduct(i) })
+		*ps = append((*ps)[:i:i], (*ps)[i+1:]...)
+	case op == 1 && len(*ws) > 3: // delete preference
+		i := rng.Intn(len(*ws))
+		apply(func(ix *Index) error { return ix.DeletePreference(i) })
+		*ws = append((*ws)[:i:i], (*ws)[i+1:]...)
+	case op == 2: // insert preference (sometimes skewed: rebuild path)
+		w := randPreference(rng, d)
+		apply(func(ix *Index) error { _, err := ix.InsertPreference(w); return err })
+		*ws = append(*ws, w)
+	case op == 3 && len(*ps) > 6: // batch product delete (flush path)
+		ids := []int{rng.Intn(len(*ps) / 2), len(*ps)/2 + rng.Intn(len(*ps)/2)}
+		apply(func(ix *Index) error { return ix.DeleteProducts(ids) })
+		*ps = append((*ps)[:ids[0]:ids[0]], (*ps)[ids[0]+1:]...)
+		*ps = append((*ps)[:ids[1]-1:ids[1]-1], (*ps)[ids[1]:]...)
+	case op == 4: // batch preference insert (flush path)
+		batch := []Vector{randPreference(rng, d), randPreference(rng, d)}
+		apply(func(ix *Index) error { _, err := ix.InsertPreferences(batch); return err })
+		*ws = append(*ws, batch...)
+	default: // insert product, sometimes growing rangeP (rebuild path)
+		p := randProduct(rng, d, []float64{0.9, 1.0, 1.4}[rng.Intn(3)])
+		apply(func(ix *Index) error { _, err := ix.InsertProduct(p); return err })
+		*ps = append(*ps, p)
+	}
+	return true
+}
+
+// checkCacheEquivalence compares the cached index against the plain one
+// for every pooled query: identical RTK and RKR answers at workers
+// {1, 2, 4, 8}, each query asked twice (populate, then hit), the
+// cache-bypass path identical too, and reported ranks equal to the
+// exact scan's count.
+func checkCacheEquivalence(t *testing.T, cached, plain *Index, pool []Vector, ps, ws []Vector) {
+	t.Helper()
+	ctx := context.Background()
+	const k = 4
+	for qi, q := range pool {
+		for _, workers := range []int{1, 2, 4, 8} {
+			wantRTK, err := plain.ReverseTopKCtx(ctx, q, k, WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRKR, err := plain.ReverseKRanksCtx(ctx, q, k, WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Twice per query: the first call may miss and populate, the
+			// second must hit — both must equal the scan of the plain index.
+			for pass := 0; pass < 2; pass++ {
+				gotRTK, err := cached.ReverseTopKCtx(ctx, q, k, WithWorkers(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameInts(gotRTK, wantRTK) {
+					t.Fatalf("query %d workers=%d pass=%d: cached RTK %v, plain %v", qi, workers, pass, gotRTK, wantRTK)
+				}
+				gotRKR, err := cached.ReverseKRanksCtx(ctx, q, k, WithWorkers(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameMatches(gotRKR, wantRKR) {
+					t.Fatalf("query %d workers=%d pass=%d: cached RKR %v, plain %v", qi, workers, pass, gotRKR, wantRKR)
+				}
+			}
+			// The bypass option must agree with everything above.
+			bypass, err := cached.ReverseTopKCtx(ctx, q, k, WithWorkers(workers), WithoutCache())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameInts(bypass, wantRTK) {
+				t.Fatalf("query %d workers=%d: WithoutCache RTK %v, plain %v", qi, workers, bypass, wantRTK)
+			}
+		}
+		// Brute force: every rank the cached index reports must equal the
+		// exact scan's count of strictly better products.
+		matches, err := cached.ReverseKRanksCtx(ctx, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			brute := 0
+			w := ws[m.WeightIndex]
+			var fq float64
+			for j := range q {
+				fq += w[j] * q[j]
+			}
+			for _, p := range ps {
+				var fp float64
+				for j := range p {
+					fp += w[j] * p[j]
+				}
+				if fp < fq {
+					brute++
+				}
+			}
+			if m.Rank != brute {
+				t.Fatalf("rank(w%d, q%d) = %d, brute force %d", m.WeightIndex, qi, m.Rank, brute)
+			}
+		}
+	}
+}
+
+// TestCacheEquivalence is the headline harness: 50 random mutation/query
+// histories, cache on vs off, byte-identical answers after every step at
+// workers {1, 2, 4, 8}.
+func TestCacheEquivalence(t *testing.T) {
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(41000 + trial)))
+			d := 2 + rng.Intn(3)
+			n := 8
+			dist := Uniform
+			if trial%2 == 1 {
+				dist = Clustered
+			}
+			P, err := GenerateProducts(int64(300+trial), dist, 15+rng.Intn(40), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			W, err := GeneratePreferences(int64(1300+trial), Uniform, 10+rng.Intn(25), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One small cache (eviction in play for some trials), one
+			// plain index as the oracle.
+			size := 8 + rng.Intn(64)
+			cached, err := New(P, W, &Options{GridPartitions: n, CacheSize: size})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := New(P, W, &Options{GridPartitions: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps := append([]Vector{}, P...)
+			ws := append([]Vector{}, W...)
+			// A fixed query pool, reused across steps so entries persist
+			// across mutations and the invalidation paths are what decides
+			// hit or miss.
+			pool := []Vector{ps[rng.Intn(len(ps))], ps[rng.Intn(len(ps))], randProduct(rng, d, 1.2)}
+			checkCacheEquivalence(t, cached, plain, pool, ps, ws)
+			for step := 0; step < 10; step++ {
+				cacheTrialMutate(t, rng, cached, plain, &ps, &ws)
+				checkCacheEquivalence(t, cached, plain, pool, ps, ws)
+			}
+			cs, ok := cached.CacheStats()
+			if !ok {
+				t.Fatal("CacheStats reports no cache on a cache-enabled index")
+			}
+			if cs.Hits == 0 {
+				t.Fatalf("harness never hit the cache: %+v", cs)
+			}
+		})
+	}
+}
+
+// TestCacheOptionsValidation covers the cache configuration rejection
+// paths and the enable/disable lifecycle.
+func TestCacheOptionsValidation(t *testing.T) {
+	if _, err := New(phones, users, &Options{CacheSize: -1}); err == nil {
+		t.Fatal("negative CacheSize accepted")
+	}
+	if _, err := New(phones, users, &Options{CacheSize: 8, CacheTTL: -time.Second}); err == nil {
+		t.Fatal("negative CacheTTL accepted")
+	}
+	if _, err := New(phones, users, &Options{CacheTTL: time.Second}); err == nil {
+		t.Fatal("CacheTTL without CacheSize accepted")
+	}
+	ix := mustIndex(t, nil)
+	if ix.CacheEnabled() {
+		t.Fatal("cache enabled by default")
+	}
+	if _, ok := ix.CacheStats(); ok {
+		t.Fatal("CacheStats ok without a cache")
+	}
+	if err := ix.EnableCache(0, 0); err == nil {
+		t.Fatal("EnableCache(0) accepted")
+	}
+	if err := ix.EnableCache(16, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.CacheEnabled() {
+		t.Fatal("cache not enabled")
+	}
+	cs, ok := ix.CacheStats()
+	if !ok || cs.Size != 16 || cs.TTL != time.Minute {
+		t.Fatalf("CacheStats = %+v, %v", cs, ok)
+	}
+	ix.DisableCache()
+	if ix.CacheEnabled() {
+		t.Fatal("cache still enabled after DisableCache")
+	}
+}
+
+// TestCacheServedEpoch pins the WithServedEpoch contract: misses serve
+// the snapshot epoch, hits serve the entry's epoch, and an unaffected
+// entry keeps serving its original epoch across mutations that cannot
+// change its answer.
+func TestCacheServedEpoch(t *testing.T) {
+	ix := mustIndex(t, &Options{CacheSize: 16})
+	ctx := context.Background()
+	q := Vector{0.2, 0.3}
+	var served uint64
+	if _, err := ix.ReverseTopKCtx(ctx, q, 2, WithServedEpoch(&served)); err != nil {
+		t.Fatal(err)
+	}
+	if served != 0 {
+		t.Fatalf("miss served epoch %d, want 0", served)
+	}
+	// A dominating product (componentwise above q) cannot change q's
+	// answer: the entry survives and keeps its epoch tag.
+	if _, err := ix.InsertProduct(Vector{0.9, 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.ReverseTopKCtx(ctx, q, 2, WithServedEpoch(&served))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != 0 {
+		t.Fatalf("unaffected hit served epoch %d, want 0", served)
+	}
+	want, err := ix.ReverseTopKCtx(ctx, q, 2, WithoutCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameInts(res, want) {
+		t.Fatalf("cached answer %v, scan %v", res, want)
+	}
+	// A product below q in one dimension invalidates: the next query
+	// scans and serves the current epoch.
+	if _, err := ix.InsertProduct(Vector{0.1, 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.ReverseTopKCtx(ctx, q, 2, WithServedEpoch(&served)); err != nil {
+		t.Fatal(err)
+	}
+	if served != 2 {
+		t.Fatalf("post-invalidation query served epoch %d, want 2", served)
+	}
+	cs, _ := ix.CacheStats()
+	if cs.Hits != 1 || cs.Invalidations != 1 {
+		t.Fatalf("counters = %+v", cs)
+	}
+}

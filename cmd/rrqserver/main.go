@@ -65,10 +65,16 @@ func main() {
 		sample   = flag.Float64("trace-sample", 0, "fraction of queries traced span-by-span, 0..1 (0 = off)")
 		slowQ    = flag.Duration("slow-query", 0, "capture and log every query slower than this, e.g. 250ms (0 = off)")
 		traceBuf = flag.Int("trace-buffer", 0, "completed traces kept in memory, rounded up to a power of two (0 = default)")
+		cacheSz  = flag.Int("cache", 0, "answer-cache capacity in entries (0 = cache off)")
+		cacheTTL = flag.Duration("cache-ttl", 0, "max age of served cache entries, e.g. 30s (0 = until invalidated; requires -cache)")
 	)
 	flag.Parse()
 	if *sample < 0 || *sample > 1 {
 		fmt.Fprintf(os.Stderr, "rrqserver: -trace-sample must be in [0, 1], got %g\n", *sample)
+		os.Exit(1)
+	}
+	if *cacheSz < 0 || *cacheTTL < 0 || (*cacheTTL > 0 && *cacheSz == 0) {
+		fmt.Fprintln(os.Stderr, "rrqserver: -cache must be >= 0, -cache-ttl >= 0 and only set with -cache")
 		os.Exit(1)
 	}
 	logger, err := buildLogger(*logFmt)
@@ -106,6 +112,8 @@ func main() {
 			TraceSampleRate: *sample,
 			SlowQuery:       *slowQ,
 			TraceBuffer:     *traceBuf,
+			CacheSize:       *cacheSz,
+			CacheTTL:        *cacheTTL,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

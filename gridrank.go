@@ -42,8 +42,10 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gridrank/internal/algo"
+	"gridrank/internal/cache"
 	"gridrank/internal/model"
 	"gridrank/internal/stats"
 	"gridrank/internal/topk"
@@ -130,6 +132,16 @@ type Options struct {
 	// changes. Per-call overrides are available through the
 	// ReverseTopKParallel and ReverseKRanksParallel methods.
 	Parallelism int
+
+	// CacheSize, when positive, attaches an answer cache holding up to
+	// that many query results (see EnableCache). Cached answers are
+	// invalidated epoch-exactly by mutations, so the cache never changes
+	// any answer. 0 leaves the cache off.
+	CacheSize int
+
+	// CacheTTL bounds the lifetime of cached answers when CacheSize is
+	// set; 0 means entries live until invalidated or evicted.
+	CacheTTL time.Duration
 }
 
 // ErrDimensionMismatch reports a query vector whose dimensionality does
@@ -160,6 +172,9 @@ type Index struct {
 	// and publish it with one atomic store; queries load it once and run
 	// entirely against that snapshot.
 	cur atomic.Pointer[epoch]
+	// answers is the optional answer cache (nil = off); see
+	// answercache.go for the enablement and invalidation wiring.
+	answers atomic.Pointer[cache.Cache]
 }
 
 // epoch is one immutable snapshot of the indexed data and its derived
@@ -256,6 +271,15 @@ func New(products, preferences []Vector, opts *Options) (*Index, error) {
 		if opts.Parallelism < 0 {
 			return nil, fmt.Errorf("gridrank: negative Parallelism %d", opts.Parallelism)
 		}
+		if opts.CacheSize < 0 {
+			return nil, fmt.Errorf("gridrank: negative CacheSize %d", opts.CacheSize)
+		}
+		if opts.CacheTTL < 0 {
+			return nil, fmt.Errorf("gridrank: negative CacheTTL %v", opts.CacheTTL)
+		}
+		if opts.CacheTTL > 0 && opts.CacheSize == 0 {
+			return nil, fmt.Errorf("gridrank: CacheTTL requires CacheSize > 0")
+		}
 		parallelism = opts.Parallelism
 		if opts.GridPartitions > 0 {
 			n = opts.GridPartitions
@@ -288,6 +312,11 @@ func New(products, preferences []Vector, opts *Options) (*Index, error) {
 		rangeP: rangeP,
 		gir:    algo.NewGIRFromMatrices(pm, wm, rangeP, n),
 	})
+	if opts != nil && opts.CacheSize > 0 {
+		if err := ix.EnableCache(opts.CacheSize, opts.CacheTTL); err != nil {
+			return nil, err
+		}
+	}
 	return ix, nil
 }
 

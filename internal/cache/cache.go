@@ -1,0 +1,507 @@
+// Package cache is an epoch-invalidated answer cache for reverse rank
+// queries, layered in front of the GIR scan by the root package. A hit
+// returns the stored admitted-preference set with zero scan work; a
+// miss runs the scan and stores the answer tagged with the epoch it was
+// computed against.
+//
+// # Consistency model
+//
+// The cache never serves a stale answer. Every resident entry is valid
+// for the index's current epoch, maintained by three mechanisms driven
+// from the mutation paths (which serialize on the index writer lock):
+//
+//   - Product mutations invalidate exactly the entries the mutated row
+//     can affect. A product row p changes rank(w, q) for some w only if
+//     p can score strictly below q under a non-negative weight vector,
+//     which requires p[j] < q[j] in at least one dimension j. Entries
+//     whose stored query is componentwise dominated (p[j] >= q[j] for
+//     all j) keep their answers — see DESIGN.md §12 for the soundness
+//     argument.
+//   - Preference mutations rewrite entries exactly: a delete remaps the
+//     surviving ids (preference ranks depend only on products, so the
+//     answer set is otherwise unchanged), and an insert splices the new
+//     preference in with one bounded rank evaluation per entry through
+//     the rankOf oracle. Rewritten entries are retagged with the new
+//     epoch.
+//   - Full rebuilds (batch mutations) flush everything.
+//
+// A store is rejected when its epoch predates the head epoch — the
+// epoch of the latest mutation — closing the race where a scan computed
+// against epoch e completes after a mutation to e+1 already swept the
+// cache: the sweep could not have seen the entry, so the entry must not
+// enter.
+//
+// The cache is keyed by (query kind, k, exact query vector bits); it is
+// bounded by an LRU eviction policy and an optional TTL. All methods
+// are safe for concurrent use; the mutation hooks additionally assume
+// the caller serializes mutations (the index writer lock does).
+package cache
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind distinguishes the two cached query types.
+type Kind uint8
+
+const (
+	// KindTopK marks reverse top-k entries ([]int answers).
+	KindTopK Kind = 1
+	// KindKRanks marks reverse k-ranks entries ([]Match answers).
+	KindKRanks Kind = 2
+)
+
+// Match mirrors the root package's reverse k-ranks result. The
+// duplicate type keeps the import graph acyclic (the root package
+// imports cache, not vice versa).
+type Match struct {
+	WeightIndex int
+	Rank        int
+}
+
+// DefaultSize is the entry capacity used when Config.Size is 0.
+const DefaultSize = 4096
+
+// Config configures a cache.
+type Config struct {
+	// Size bounds the number of resident entries; the least recently
+	// used entry is evicted beyond it. 0 means DefaultSize.
+	Size int
+	// TTL bounds entry lifetime; expired entries answer as misses and
+	// are removed on contact. 0 disables expiry.
+	TTL time.Duration
+	// Now overrides the clock, for tests. nil means time.Now.
+	Now func() time.Time
+}
+
+// Counters is a snapshot of the cache's lifetime counters.
+type Counters struct {
+	Hits           int64 // lookups answered from a resident entry
+	Misses         int64 // lookups finding no usable entry
+	Stores         int64 // answers accepted into the cache
+	RejectedStores int64 // stores refused for predating the head epoch
+	Invalidations  int64 // entries removed by mutation sweeps
+	Flushes        int64 // full-flush events (rebuilds, batch mutations)
+	Evictions      int64 // entries evicted by the LRU bound
+	Expirations    int64 // entries removed past their TTL
+}
+
+// entry is one cached answer. The entry owns its slices: q and the
+// answer are copied in on store and copied out on hit, so neither side
+// can alias cache-internal state.
+type entry struct {
+	key     string
+	kind    Kind
+	k       int
+	q       []float64
+	epoch   uint64    // epoch the answer was computed or last rewritten against
+	expires time.Time // zero when the cache has no TTL
+	ints    []int     // KindTopK answer, ascending
+	matches []Match   // KindKRanks answer, ascending (rank, index)
+
+	// LRU intrusive list links; the list head is most recently used.
+	prev, next *entry
+}
+
+// Cache is the answer cache. Use New; the zero value is not usable.
+type Cache struct {
+	mu      sync.Mutex
+	size    int
+	ttl     time.Duration
+	now     func() time.Time
+	entries map[string]*entry
+	// head/tail of the intrusive LRU list (head = most recently used).
+	lruHead, lruTail *entry
+	// headEpoch is the epoch of the latest mutation observed; stores
+	// computed against older epochs are rejected (see package comment).
+	headEpoch uint64
+
+	hits, misses, stores, rejected atomic.Int64
+	invalidations, flushes         atomic.Int64
+	evictions, expirations         atomic.Int64
+}
+
+// New builds an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.Size <= 0 {
+		cfg.Size = DefaultSize
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Cache{
+		size:    cfg.Size,
+		ttl:     cfg.TTL,
+		now:     cfg.Now,
+		entries: make(map[string]*entry),
+	}
+}
+
+// Size returns the configured entry capacity.
+func (c *Cache) Size() int { return c.size }
+
+// TTL returns the configured entry lifetime (0 = none).
+func (c *Cache) TTL() time.Duration { return c.ttl }
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Counts returns a snapshot of the lifetime counters.
+func (c *Cache) Counts() Counters {
+	return Counters{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Stores:         c.stores.Load(),
+		RejectedStores: c.rejected.Load(),
+		Invalidations:  c.invalidations.Load(),
+		Flushes:        c.flushes.Load(),
+		Evictions:      c.evictions.Load(),
+		Expirations:    c.expirations.Load(),
+	}
+}
+
+// SetHead raises the head epoch: stores computed against epochs before
+// head are rejected. The index calls this once when the cache is
+// attached (with the then-current epoch) so scans that predate the
+// attachment cannot populate it; afterwards the mutation hooks maintain
+// it.
+func (c *Cache) SetHead(epoch uint64) {
+	c.mu.Lock()
+	if epoch > c.headEpoch {
+		c.headEpoch = epoch
+	}
+	c.mu.Unlock()
+}
+
+// key builds the canonical entry key: kind, k, then the exact bit
+// pattern of every query component. Two queries hit the same entry only
+// when they are bitwise identical, so float equality subtleties (-0 vs
+// +0, NaN payloads) can only split entries, never alias them.
+func key(kind Kind, k int, q []float64) string {
+	b := make([]byte, 1+8+8*len(q))
+	b[0] = byte(kind)
+	binary.BigEndian.PutUint64(b[1:], uint64(k))
+	for i, x := range q {
+		binary.BigEndian.PutUint64(b[9+8*i:], math.Float64bits(x))
+	}
+	return string(b)
+}
+
+// lookup finds a usable entry under c.mu: resident, right kind, not
+// expired. Expired entries are removed on contact.
+func (c *Cache) lookup(kind Kind, k int, q []float64) *entry {
+	e := c.entries[key(kind, k, q)]
+	if e == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.remove(e)
+		c.expirations.Add(1)
+		c.misses.Add(1)
+		return nil
+	}
+	c.moveToFront(e)
+	c.hits.Add(1)
+	return e
+}
+
+// LookupTopK returns the cached reverse top-k answer for (q, k), the
+// epoch it is valid against, and whether there was a hit. The returned
+// slice is a fresh copy (nil for a cached empty answer, matching the
+// scan's nil return).
+func (c *Cache) LookupTopK(q []float64, k int) ([]int, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.lookup(KindTopK, k, q)
+	if e == nil {
+		return nil, 0, false
+	}
+	if len(e.ints) == 0 {
+		return nil, e.epoch, true
+	}
+	out := make([]int, len(e.ints))
+	copy(out, e.ints)
+	return out, e.epoch, true
+}
+
+// LookupKRanks returns the cached reverse k-ranks answer for (q, k),
+// the epoch it is valid against, and whether there was a hit.
+func (c *Cache) LookupKRanks(q []float64, k int) ([]Match, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.lookup(KindKRanks, k, q)
+	if e == nil {
+		return nil, 0, false
+	}
+	out := make([]Match, len(e.matches))
+	copy(out, e.matches)
+	return out, e.epoch, true
+}
+
+// store inserts or overwrites an entry under c.mu, enforcing the head
+// bound and the LRU capacity.
+func (c *Cache) store(kind Kind, k int, q []float64, epoch uint64, ints []int, matches []Match) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch < c.headEpoch {
+		c.rejected.Add(1)
+		return
+	}
+	ky := key(kind, k, q)
+	e := c.entries[ky]
+	if e == nil {
+		e = &entry{
+			key:  ky,
+			kind: kind,
+			k:    k,
+			q:    append([]float64(nil), q...),
+		}
+		c.entries[ky] = e
+		c.pushFront(e)
+		if len(c.entries) > c.size {
+			c.remove(c.lruTail)
+			c.evictions.Add(1)
+		}
+	} else {
+		c.moveToFront(e)
+	}
+	e.epoch = epoch
+	e.ints = append(e.ints[:0], ints...)
+	e.matches = append(e.matches[:0], matches...)
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	c.stores.Add(1)
+}
+
+// StoreTopK caches a reverse top-k answer computed against epoch.
+func (c *Cache) StoreTopK(q []float64, k int, epoch uint64, res []int) {
+	c.store(KindTopK, k, q, epoch, res, nil)
+}
+
+// StoreKRanks caches a reverse k-ranks answer computed against epoch.
+func (c *Cache) StoreKRanks(q []float64, k int, epoch uint64, res []Match) {
+	c.store(KindKRanks, k, q, epoch, nil, res)
+}
+
+// rowAffects reports whether mutating product row p can change any
+// cached answer for query q: true unless p dominates q componentwise
+// (p[j] >= q[j] for every j). The negated comparison makes NaN — and a
+// length mismatch, via the len check — land on the conservative
+// "affects" side.
+func rowAffects(p, q []float64) bool {
+	if len(p) != len(q) {
+		return true
+	}
+	for j := range p {
+		if !(p[j] >= q[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// OnProductMutation applies a single-product insert or delete that
+// produced epoch newSeq: every entry the mutated row (the inserted
+// point, or the deleted point's former attributes) can affect is
+// invalidated; dominated entries keep their answers and their epoch
+// tags.
+func (c *Cache) OnProductMutation(newSeq uint64, row []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if newSeq > c.headEpoch {
+		c.headEpoch = newSeq
+	}
+	for e := c.lruHead; e != nil; {
+		next := e.next
+		if rowAffects(row, e.q) {
+			c.remove(e)
+			c.invalidations.Add(1)
+		}
+		e = next
+	}
+}
+
+// OnPreferenceInsert applies a preference insert (new id newID, always
+// the largest) that produced epoch newSeq. rankOf must evaluate
+// rank(newID, q) against the new epoch, bounded by cutoff with
+// rankBounded semantics (ok iff the exact rank is below cutoff; cutoff
+// <= 0 means unbounded). Every entry is rewritten exactly — the new
+// preference is spliced in where it wins admission — and retagged with
+// newSeq.
+func (c *Cache) OnPreferenceInsert(newSeq uint64, newID int, rankOf func(q []float64, cutoff int) (int, bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if newSeq > c.headEpoch {
+		c.headEpoch = newSeq
+	}
+	for e := c.lruHead; e != nil; e = e.next {
+		switch e.kind {
+		case KindTopK:
+			// Admitted iff rank(newID, q) < k. The new id is the largest,
+			// so appending keeps the answer ascending.
+			if _, ok := rankOf(e.q, e.k); ok {
+				e.ints = append(e.ints, newID)
+			}
+		case KindKRanks:
+			e.matches = spliceMatch(e.matches, e.k, newID, rankOf, e.q)
+		}
+		e.epoch = newSeq
+	}
+}
+
+// spliceMatch inserts the new preference into a reverse k-ranks answer
+// where it belongs. The new id is larger than every resident id, so it
+// loses every rank tie: with a full answer it is admitted only on a
+// strictly better rank than the worst retained match, and its insertion
+// point is after all matches of equal rank — exactly the scan's
+// (rank, index) tie-break.
+func spliceMatch(matches []Match, k, newID int, rankOf func(q []float64, cutoff int) (int, bool), q []float64) []Match {
+	var rnk int
+	if len(matches) < k {
+		// Short answer: every preference is retained, so the new one is
+		// inserted unconditionally at its exact rank.
+		rnk, _ = rankOf(q, 0)
+	} else {
+		worst := matches[len(matches)-1]
+		var ok bool
+		if rnk, ok = rankOf(q, worst.Rank); !ok {
+			return matches // not admitted: rank(newID, q) >= worst rank
+		}
+	}
+	at := sort.Search(len(matches), func(i int) bool { return matches[i].Rank > rnk })
+	matches = append(matches, Match{})
+	copy(matches[at+1:], matches[at:])
+	matches[at] = Match{WeightIndex: newID, Rank: rnk}
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches
+}
+
+// OnPreferenceDelete applies a preference delete (id deleted, former
+// preference count oldCount) that produced epoch newSeq. Preference
+// ranks depend only on the product set, so a delete never changes the
+// rank of a surviving preference: reverse top-k entries drop the
+// deleted id and remap the survivors; reverse k-ranks entries do the
+// same when exact, and are invalidated only when the deleted id was
+// retained and the answer was a strict top-k cut (the successor match
+// is unknown).
+func (c *Cache) OnPreferenceDelete(newSeq uint64, deleted, oldCount int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if newSeq > c.headEpoch {
+		c.headEpoch = newSeq
+	}
+	for e := c.lruHead; e != nil; {
+		next := e.next
+		switch e.kind {
+		case KindTopK:
+			out := e.ints[:0]
+			for _, id := range e.ints {
+				switch {
+				case id == deleted:
+				case id > deleted:
+					out = append(out, id-1)
+				default:
+					out = append(out, id)
+				}
+			}
+			e.ints = out
+			e.epoch = newSeq
+		case KindKRanks:
+			contains := false
+			for _, m := range e.matches {
+				if m.WeightIndex == deleted {
+					contains = true
+					break
+				}
+			}
+			if contains && len(e.matches) != oldCount {
+				// The answer was a strict cut and lost a member: the
+				// (k)-th best among the survivors is not stored.
+				c.remove(e)
+				c.invalidations.Add(1)
+				break
+			}
+			out := e.matches[:0]
+			for _, m := range e.matches {
+				if m.WeightIndex == deleted {
+					continue
+				}
+				if m.WeightIndex > deleted {
+					m.WeightIndex--
+				}
+				out = append(out, m)
+			}
+			e.matches = out
+			e.epoch = newSeq
+		}
+		e = next
+	}
+}
+
+// Flush drops every entry; the mutation paths that rebuild the whole
+// index (batch mutations) call it with the new epoch.
+func (c *Cache) Flush(newSeq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if newSeq > c.headEpoch {
+		c.headEpoch = newSeq
+	}
+	c.entries = make(map[string]*entry)
+	c.lruHead, c.lruTail = nil, nil
+	c.flushes.Add(1)
+}
+
+// pushFront links a new entry at the LRU head. Caller holds c.mu.
+func (c *Cache) pushFront(e *entry) {
+	e.prev, e.next = nil, c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = e
+	}
+	c.lruHead = e
+	if c.lruTail == nil {
+		c.lruTail = e
+	}
+}
+
+// moveToFront marks an entry most recently used. Caller holds c.mu.
+func (c *Cache) moveToFront(e *entry) {
+	if c.lruHead == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// remove unlinks and deletes an entry. Caller holds c.mu.
+func (c *Cache) remove(e *entry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+}
+
+// unlink detaches an entry from the LRU list. Caller holds c.mu.
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

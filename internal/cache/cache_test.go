@@ -1,0 +1,282 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+var (
+	q1 = []float64{0.6, 0.7}
+	q2 = []float64{0.2, 0.3}
+	q3 = []float64{0.8, 0.2}
+)
+
+func TestLookupMissAndHit(t *testing.T) {
+	c := New(Config{})
+	if _, _, ok := c.LookupTopK(q1, 5); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.StoreTopK(q1, 5, 3, []int{1, 2})
+	res, ep, ok := c.LookupTopK(q1, 5)
+	if !ok || ep != 3 || !reflect.DeepEqual(res, []int{1, 2}) {
+		t.Fatalf("LookupTopK = %v, %d, %v", res, ep, ok)
+	}
+	// The returned slice is a copy: corrupting it must not corrupt the
+	// entry.
+	res[0] = 99
+	res2, _, _ := c.LookupTopK(q1, 5)
+	if !reflect.DeepEqual(res2, []int{1, 2}) {
+		t.Fatalf("entry aliased by returned slice: %v", res2)
+	}
+	cs := c.Counts()
+	if cs.Hits != 2 || cs.Misses != 1 || cs.Stores != 1 {
+		t.Fatalf("counters = %+v", cs)
+	}
+}
+
+func TestKeyIsolation(t *testing.T) {
+	c := New(Config{})
+	c.StoreTopK(q1, 5, 0, []int{1})
+	c.StoreKRanks(q1, 5, 0, []Match{{WeightIndex: 2, Rank: 0}})
+	if _, _, ok := c.LookupTopK(q2, 5); ok {
+		t.Fatal("hit for a different query vector")
+	}
+	if _, _, ok := c.LookupTopK(q1, 6); ok {
+		t.Fatal("hit for a different k")
+	}
+	// Kinds never alias even at the same (q, k).
+	ints, _, ok := c.LookupTopK(q1, 5)
+	if !ok || !reflect.DeepEqual(ints, []int{1}) {
+		t.Fatalf("topk entry = %v, %v", ints, ok)
+	}
+	ms, _, ok := c.LookupKRanks(q1, 5)
+	if !ok || !reflect.DeepEqual(ms, []Match{{WeightIndex: 2, Rank: 0}}) {
+		t.Fatalf("kranks entry = %v, %v", ms, ok)
+	}
+}
+
+func TestEmptyAnswerHitIsNil(t *testing.T) {
+	c := New(Config{})
+	c.StoreTopK(q1, 5, 0, nil)
+	res, _, ok := c.LookupTopK(q1, 5)
+	if !ok {
+		t.Fatal("miss for stored empty answer")
+	}
+	if res != nil {
+		t.Fatalf("empty answer hit = %v, want nil (matching the scan)", res)
+	}
+}
+
+func TestStoreRejectedBelowHead(t *testing.T) {
+	c := New(Config{})
+	c.SetHead(5)
+	c.StoreTopK(q1, 5, 4, []int{1}) // computed against a pre-head epoch
+	if _, _, ok := c.LookupTopK(q1, 5); ok {
+		t.Fatal("stale store was accepted")
+	}
+	if got := c.Counts().RejectedStores; got != 1 {
+		t.Fatalf("RejectedStores = %d, want 1", got)
+	}
+	c.StoreTopK(q1, 5, 5, []int{1}) // at-head stores are fine
+	if _, _, ok := c.LookupTopK(q1, 5); !ok {
+		t.Fatal("at-head store was rejected")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{Size: 2})
+	c.StoreTopK(q1, 5, 0, []int{1})
+	c.StoreTopK(q2, 5, 0, []int{2})
+	// Touch q1 so q2 is the LRU victim.
+	if _, _, ok := c.LookupTopK(q1, 5); !ok {
+		t.Fatal("q1 missing")
+	}
+	c.StoreTopK(q3, 5, 0, []int{3})
+	if _, _, ok := c.LookupTopK(q2, 5); ok {
+		t.Fatal("LRU entry survived past capacity")
+	}
+	if _, _, ok := c.LookupTopK(q1, 5); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, _, ok := c.LookupTopK(q3, 5); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if got := c.Counts().Evictions; got != 1 {
+		t.Fatalf("Evictions = %d, want 1", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := New(Config{TTL: time.Minute, Now: func() time.Time { return now }})
+	c.StoreTopK(q1, 5, 0, []int{1})
+	if _, _, ok := c.LookupTopK(q1, 5); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, _, ok := c.LookupTopK(q1, 5); ok {
+		t.Fatal("expired entry served")
+	}
+	if got := c.Counts().Expirations; got != 1 {
+		t.Fatalf("Expirations = %d, want 1", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry still resident: Len = %d", c.Len())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(Config{})
+	c.StoreTopK(q1, 5, 0, []int{1})
+	c.StoreKRanks(q2, 3, 0, []Match{{WeightIndex: 0, Rank: 1}})
+	c.Flush(7)
+	if c.Len() != 0 {
+		t.Fatalf("Len after flush = %d", c.Len())
+	}
+	if got := c.Counts().Flushes; got != 1 {
+		t.Fatalf("Flushes = %d, want 1", got)
+	}
+	// The flush raised the head: stores from before it are rejected.
+	c.StoreTopK(q1, 5, 6, []int{1})
+	if _, _, ok := c.LookupTopK(q1, 5); ok {
+		t.Fatal("pre-flush store accepted")
+	}
+}
+
+func TestProductMutationPredicate(t *testing.T) {
+	c := New(Config{})
+	c.StoreTopK(q1, 5, 0, []int{1})          // q1 = (0.6, 0.7)
+	c.StoreKRanks(q2, 3, 0, []Match{{1, 0}}) // q2 = (0.2, 0.3)
+
+	// A row dominating both queries componentwise affects neither.
+	c.OnProductMutation(1, []float64{0.9, 0.9})
+	if c.Len() != 2 {
+		t.Fatalf("dominating row invalidated entries: Len = %d", c.Len())
+	}
+	// A row below q1 in one dimension affects q1 but still dominates q2.
+	c.OnProductMutation(2, []float64{0.5, 0.9})
+	if _, _, ok := c.LookupTopK(q1, 5); ok {
+		t.Fatal("affected entry survived")
+	}
+	if _, _, ok := c.LookupKRanks(q2, 3); !ok {
+		t.Fatal("unaffected entry invalidated")
+	}
+	if got := c.Counts().Invalidations; got != 1 {
+		t.Fatalf("Invalidations = %d, want 1", got)
+	}
+	// The sweep raised the head to its epoch.
+	c.StoreTopK(q1, 5, 1, []int{1})
+	if _, _, ok := c.LookupTopK(q1, 5); ok {
+		t.Fatal("store predating the sweep accepted")
+	}
+}
+
+func TestProductMutationNaNConservative(t *testing.T) {
+	c := New(Config{})
+	c.StoreTopK(q1, 5, 0, []int{1})
+	c.OnProductMutation(1, []float64{nan(), 0.9})
+	if c.Len() != 0 {
+		t.Fatal("NaN row must invalidate conservatively")
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestPreferenceInsertSplice(t *testing.T) {
+	c := New(Config{})
+	c.StoreTopK(q1, 2, 0, []int{0, 2})
+	c.StoreKRanks(q1, 2, 0, []Match{{WeightIndex: 1, Rank: 1}, {WeightIndex: 0, Rank: 3}})
+	c.StoreKRanks(q2, 4, 0, []Match{{WeightIndex: 0, Rank: 2}, {WeightIndex: 1, Rank: 5}}) // short: all of W
+
+	ranks := map[string]int{
+		key(0, 0, q1): 1, // new preference ranks q1 at 1
+		key(0, 0, q2): 9, // and q2 at 9
+	}
+	rankOf := func(q []float64, cutoff int) (int, bool) {
+		r := ranks[key(0, 0, q)]
+		if cutoff <= 0 {
+			return r, true
+		}
+		if r >= cutoff {
+			return cutoff, false
+		}
+		return r, true
+	}
+	c.OnPreferenceInsert(4, 3, rankOf)
+
+	// RTK: rank 1 < k=2, so id 3 joins the answer.
+	ints, ep, ok := c.LookupTopK(q1, 2)
+	if !ok || ep != 4 || !reflect.DeepEqual(ints, []int{0, 2, 3}) {
+		t.Fatalf("topk after insert = %v, epoch %d", ints, ep)
+	}
+	// RKR full: (1, 3) ties the retained (1, 1) and loses the index
+	// tie-break, landing behind it; the old worst (3, 0) is pushed out.
+	ms, _, ok := c.LookupKRanks(q1, 2)
+	want := []Match{{WeightIndex: 1, Rank: 1}, {WeightIndex: 3, Rank: 1}}
+	if !ok || !reflect.DeepEqual(ms, want) {
+		t.Fatalf("kranks after insert = %v, want %v", ms, want)
+	}
+	// RKR short: the new preference is appended at its exact rank even
+	// though it is worse than everything retained.
+	ms, _, ok = c.LookupKRanks(q2, 4)
+	want = []Match{{WeightIndex: 0, Rank: 2}, {WeightIndex: 1, Rank: 5}, {WeightIndex: 3, Rank: 9}}
+	if !ok || !reflect.DeepEqual(ms, want) {
+		t.Fatalf("short kranks after insert = %v, want %v", ms, want)
+	}
+}
+
+func TestPreferenceDelete(t *testing.T) {
+	c := New(Config{})
+	c.StoreTopK(q1, 2, 0, []int{0, 1, 3})
+	c.StoreKRanks(q1, 2, 0, []Match{{WeightIndex: 3, Rank: 0}, {WeightIndex: 0, Rank: 2}}) // strict cut of 5
+	c.StoreKRanks(q2, 9, 0, []Match{{WeightIndex: 1, Rank: 0}, {WeightIndex: 0, Rank: 2}, {WeightIndex: 4, Rank: 7},
+		{WeightIndex: 2, Rank: 8}, {WeightIndex: 3, Rank: 8}}) // short: all 5 of W
+	c.OnPreferenceDelete(6, 1, 5)
+
+	// RTK: id 1 leaves, 3 renumbers to 2.
+	ints, ep, ok := c.LookupTopK(q1, 2)
+	if !ok || ep != 6 || !reflect.DeepEqual(ints, []int{0, 2}) {
+		t.Fatalf("topk after delete = %v, epoch %d", ints, ep)
+	}
+	// RKR not containing the id: survivors remap.
+	ms, _, ok := c.LookupKRanks(q1, 2)
+	want := []Match{{WeightIndex: 2, Rank: 0}, {WeightIndex: 0, Rank: 2}}
+	if !ok || !reflect.DeepEqual(ms, want) {
+		t.Fatalf("kranks after delete = %v, want %v", ms, want)
+	}
+	// RKR containing the id but holding all of W: exact rewrite.
+	ms, _, ok = c.LookupKRanks(q2, 9)
+	want = []Match{{WeightIndex: 0, Rank: 2}, {WeightIndex: 3, Rank: 7},
+		{WeightIndex: 1, Rank: 8}, {WeightIndex: 2, Rank: 8}}
+	if !ok || !reflect.DeepEqual(ms, want) {
+		t.Fatalf("full kranks after delete = %v, want %v", ms, want)
+	}
+
+	// RKR strict cut containing the id: the successor is unknown, so the
+	// entry must go.
+	c.StoreKRanks(q3, 2, 6, []Match{{WeightIndex: 1, Rank: 0}, {WeightIndex: 2, Rank: 1}})
+	c.OnPreferenceDelete(7, 1, 4)
+	if _, _, ok := c.LookupKRanks(q3, 2); ok {
+		t.Fatal("strict-cut entry containing the deleted id survived")
+	}
+}
+
+func TestStoreOverwrites(t *testing.T) {
+	c := New(Config{})
+	c.StoreTopK(q1, 5, 1, []int{1, 2, 3})
+	c.StoreTopK(q1, 5, 2, []int{7})
+	res, ep, ok := c.LookupTopK(q1, 5)
+	if !ok || ep != 2 || !reflect.DeepEqual(res, []int{7}) {
+		t.Fatalf("after overwrite = %v, epoch %d", res, ep)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}

@@ -53,6 +53,11 @@ type Registry struct {
 	// queries).
 	traceMu     sync.Mutex
 	traceSource func() TraceCounts
+
+	// cacheSource, when set, is polled at scrape time for the answer
+	// cache's counters and occupancy.
+	cacheMu     sync.Mutex
+	cacheSource func() CacheCounts
 }
 
 // TraceCounts is the tracing subsystem's counter snapshot, polled at
@@ -82,6 +87,40 @@ func (r *Registry) traceCounts() (TraceCounts, bool) {
 	r.traceMu.Unlock()
 	if f == nil {
 		return TraceCounts{}, false
+	}
+	return f(), true
+}
+
+// CacheCounts is the answer cache's counter snapshot, polled at scrape
+// time through SetCacheSource. The field meanings match the root
+// package's CacheStats; the duplicate type keeps the import graph
+// acyclic, as with TraceCounts.
+type CacheCounts struct {
+	Hits           int64 // lookups answered from a resident entry
+	Misses         int64 // lookups that fell through to the scan
+	Stores         int64 // answers accepted into the cache
+	RejectedStores int64 // stores refused as older than the head epoch
+	Invalidations  int64 // entries removed or rewritten by mutation sweeps
+	Flushes        int64 // whole-cache clears (batch mutations, rebuilds)
+	Evictions      int64 // entries dropped by the LRU capacity bound
+	Expirations    int64 // entries dropped as older than the TTL
+	Entries        int64 // current resident entries (gauge)
+}
+
+// SetCacheSource registers the answer-cache counter snapshot function.
+// A nil source removes the cache metric families from the scrape.
+func (r *Registry) SetCacheSource(f func() CacheCounts) {
+	r.cacheMu.Lock()
+	r.cacheSource = f
+	r.cacheMu.Unlock()
+}
+
+func (r *Registry) cacheCounts() (CacheCounts, bool) {
+	r.cacheMu.Lock()
+	f := r.cacheSource
+	r.cacheMu.Unlock()
+	if f == nil {
+		return CacheCounts{}, false
 	}
 	return f(), true
 }
@@ -335,6 +374,36 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		b.printf("# HELP gridrank_slow_queries_total Queries that exceeded the slow-query threshold.\n")
 		b.printf("# TYPE gridrank_slow_queries_total counter\n")
 		b.printf("gridrank_slow_queries_total %d\n", tc.Slow)
+	}
+
+	if cc, ok := r.cacheCounts(); ok {
+		b.printf("# HELP gridrank_cache_hits_total Reverse-rank queries answered from the epoch-invalidated answer cache.\n")
+		b.printf("# TYPE gridrank_cache_hits_total counter\n")
+		b.printf("gridrank_cache_hits_total %d\n", cc.Hits)
+		b.printf("# HELP gridrank_cache_misses_total Cache lookups that fell through to the Grid-index scan.\n")
+		b.printf("# TYPE gridrank_cache_misses_total counter\n")
+		b.printf("gridrank_cache_misses_total %d\n", cc.Misses)
+		b.printf("# HELP gridrank_cache_stores_total Scan answers accepted into the cache.\n")
+		b.printf("# TYPE gridrank_cache_stores_total counter\n")
+		b.printf("gridrank_cache_stores_total %d\n", cc.Stores)
+		b.printf("# HELP gridrank_cache_stores_rejected_total Stores refused because the answer was computed against an epoch older than the cache head.\n")
+		b.printf("# TYPE gridrank_cache_stores_rejected_total counter\n")
+		b.printf("gridrank_cache_stores_rejected_total %d\n", cc.RejectedStores)
+		b.printf("# HELP gridrank_cache_invalidated_entries_total Cached answers removed or rewritten by mutation invalidation sweeps.\n")
+		b.printf("# TYPE gridrank_cache_invalidated_entries_total counter\n")
+		b.printf("gridrank_cache_invalidated_entries_total %d\n", cc.Invalidations)
+		b.printf("# HELP gridrank_cache_flushes_total Whole-cache clears (batch mutations and index rebuilds).\n")
+		b.printf("# TYPE gridrank_cache_flushes_total counter\n")
+		b.printf("gridrank_cache_flushes_total %d\n", cc.Flushes)
+		b.printf("# HELP gridrank_cache_evictions_total Entries dropped by the LRU capacity bound.\n")
+		b.printf("# TYPE gridrank_cache_evictions_total counter\n")
+		b.printf("gridrank_cache_evictions_total %d\n", cc.Evictions)
+		b.printf("# HELP gridrank_cache_expired_total Entries dropped on contact as older than the TTL.\n")
+		b.printf("# TYPE gridrank_cache_expired_total counter\n")
+		b.printf("gridrank_cache_expired_total %d\n", cc.Expirations)
+		b.printf("# HELP gridrank_cache_entries Currently resident cached answers.\n")
+		b.printf("# TYPE gridrank_cache_entries gauge\n")
+		b.printf("gridrank_cache_entries %d\n", cc.Entries)
 	}
 
 	writeRuntimeTelemetry(b)

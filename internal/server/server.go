@@ -128,6 +128,16 @@ type Config struct {
 	// TraceBuffer bounds the completed-trace ring served at
 	// /debug/traces. 0 means DefaultTraceBuffer.
 	TraceBuffer int
+
+	// CacheSize, when positive, enables the index's answer cache with
+	// room for that many cached reverse-rank answers. 0 leaves the cache
+	// off (unless the caller enabled it on the index directly — the
+	// server reports cache metrics either way).
+	CacheSize int
+
+	// CacheTTL bounds the age of served cache entries when CacheSize is
+	// set. 0 means entries live until invalidated or evicted.
+	CacheTTL time.Duration
 }
 
 // Server wraps an index with HTTP handlers.
@@ -173,6 +183,27 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 			return metrics.TraceCounts{
 				Started: c.Started, Kept: c.Kept, Dropped: c.Dropped,
 				Slow: c.Slow, Evicted: c.Evicted,
+			}
+		})
+	}
+	if cfg.CacheSize > 0 && cfg.CacheTTL >= 0 {
+		// Size and TTL are validated here, so EnableCache cannot fail.
+		if err := ix.EnableCache(cfg.CacheSize, cfg.CacheTTL); err != nil {
+			panic("server: EnableCache rejected validated config: " + err.Error())
+		}
+	}
+	if ix.CacheEnabled() {
+		cfg.Metrics.SetCacheSource(func() metrics.CacheCounts {
+			cs, ok := ix.CacheStats()
+			if !ok {
+				return metrics.CacheCounts{}
+			}
+			return metrics.CacheCounts{
+				Hits: cs.Hits, Misses: cs.Misses,
+				Stores: cs.Stores, RejectedStores: cs.RejectedStores,
+				Invalidations: cs.Invalidations, Flushes: cs.Flushes,
+				Evictions: cs.Evictions, Expirations: cs.Expirations,
+				Entries: int64(cs.Entries),
 			}
 		})
 	}
@@ -397,7 +428,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+	meta := map[string]interface{}{
 		"dim":             s.ix.Dim(),
 		"epoch":           s.ix.Epoch(),
 		"products":        s.ix.NumProducts(),
@@ -409,7 +440,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"maxParallelism":  s.maxParallelism,
 		"maxBatch":        s.maxBatch,
 		"queryTimeoutMs":  s.queryTimeout.Milliseconds(),
-	})
+		"cacheEnabled":    s.ix.CacheEnabled(),
+	}
+	if cs, ok := s.ix.CacheStats(); ok {
+		meta["cacheSize"] = cs.Size
+		meta["cacheTTLMs"] = cs.TTL.Milliseconds()
+		meta["cacheEntries"] = cs.Entries
+	}
+	s.writeJSON(w, http.StatusOK, meta)
 }
 
 type rtkResponse struct {

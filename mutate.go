@@ -123,6 +123,7 @@ func (ix *Index) InsertProductCtx(ctx context.Context, p Vector) (int, error) {
 		ne = rebuildEpoch(e.seq+1, pm, e.wm, e.partitions())
 	}
 	ix.cur.Store(ne)
+	ix.cacheOnProduct(ne.seq, p)
 	return id, nil
 }
 
@@ -147,6 +148,10 @@ func (ix *Index) DeleteProductCtx(ctx context.Context, i int) error {
 	if e.pm.Len() == 1 {
 		return fmt.Errorf("%w: the index holds one product", ErrLastElement)
 	}
+	// The removed row's view into e's storage stays valid after the new
+	// epoch is built — epochs are immutable — so the cache sweep can use
+	// it directly.
+	removed := e.pm.Row(i)
 	pm := e.pm.WithRemoved(i)
 	var ne *epoch
 	if nr := computeRangeP(pm.Rows()); nr == e.rangeP && e.gir.PointRange() == e.rangeP {
@@ -155,6 +160,7 @@ func (ix *Index) DeleteProductCtx(ctx context.Context, i int) error {
 		ne = rebuildEpoch(e.seq+1, pm, e.wm, e.partitions())
 	}
 	ix.cur.Store(ne)
+	ix.cacheOnProduct(ne.seq, removed)
 	return nil
 }
 
@@ -192,6 +198,7 @@ func (ix *Index) InsertPreferenceCtx(ctx context.Context, w Vector) (int, error)
 		ne = rebuildEpoch(e.seq+1, e.pm, wm, e.partitions())
 	}
 	ix.cur.Store(ne)
+	ix.cacheOnPrefInsert(ne, id)
 	return id, nil
 }
 
@@ -215,11 +222,13 @@ func (ix *Index) DeletePreferenceCtx(ctx context.Context, i int) error {
 	if e.wm.Len() == 1 {
 		return fmt.Errorf("%w: the index holds one preference", ErrLastElement)
 	}
+	oldCount := e.wm.Len()
 	wm := e.wm.WithRemoved(i)
 	ix.cur.Store(&epoch{
 		seq: e.seq + 1, pm: e.pm, wm: wm, rangeP: e.rangeP,
 		gir: e.gir.WithRemovedWeight(wm, i),
 	})
+	ix.cacheOnPrefDelete(e.seq+1, i, oldCount)
 	return nil
 }
 
@@ -251,6 +260,7 @@ func (ix *Index) InsertProductsCtx(ctx context.Context, ps []Vector) (int, error
 	rows = append(rows, e.pm.Rows()...)
 	rows = append(rows, ps...)
 	ix.cur.Store(rebuildEpoch(e.seq+1, vec.NewMatrix(rows), e.wm, e.partitions()))
+	ix.cacheFlush(e.seq + 1)
 	return first, nil
 }
 
@@ -276,6 +286,7 @@ func (ix *Index) DeleteProductsCtx(ctx context.Context, ids []int) error {
 	}
 	rows := surviving(e.pm, drop)
 	ix.cur.Store(rebuildEpoch(e.seq+1, vec.NewMatrix(rows), e.wm, e.partitions()))
+	ix.cacheFlush(e.seq + 1)
 	return nil
 }
 
@@ -306,6 +317,7 @@ func (ix *Index) InsertPreferencesCtx(ctx context.Context, ws []Vector) (int, er
 	rows = append(rows, e.wm.Rows()...)
 	rows = append(rows, ws...)
 	ix.cur.Store(rebuildEpoch(e.seq+1, e.pm, vec.NewMatrix(rows), e.partitions()))
+	ix.cacheFlush(e.seq + 1)
 	return first, nil
 }
 
@@ -329,6 +341,7 @@ func (ix *Index) DeletePreferencesCtx(ctx context.Context, ids []int) error {
 	}
 	rows := surviving(e.wm, drop)
 	ix.cur.Store(rebuildEpoch(e.seq+1, e.pm, vec.NewMatrix(rows), e.partitions()))
+	ix.cacheFlush(e.seq + 1)
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"gridrank/internal/cache"
 	"gridrank/internal/stats"
 	"gridrank/internal/trace"
 )
@@ -42,6 +43,11 @@ type queryConfig struct {
 	stats *Stats
 	// tr, when non-nil, receives the query's execution spans.
 	tr *trace.Trace
+	// noCache bypasses the answer cache for this call (WithoutCache).
+	noCache bool
+	// servedEpoch, when non-nil, receives the epoch the answer is valid
+	// against (WithServedEpoch).
+	servedEpoch *uint64
 }
 
 // WithWorkers sets the intra-query worker count for a single call,
@@ -84,6 +90,32 @@ func WithStats(s *Stats) QueryOption {
 func WithTrace(tr *trace.Trace) QueryOption {
 	return func(cfg *queryConfig) error {
 		cfg.tr = tr
+		return nil
+	}
+}
+
+// WithoutCache bypasses the answer cache for a single call: the query
+// always runs the scan against the current snapshot, and its answer is
+// not stored. Useful for measurements and for the cache's own
+// correctness harness; answers are identical either way.
+func WithoutCache() QueryOption {
+	return func(cfg *queryConfig) error {
+		cfg.noCache = true
+		return nil
+	}
+}
+
+// WithServedEpoch directs the epoch the answer is valid against into e,
+// written exactly once when the query returns: the snapshot epoch when
+// the scan ran, or the cached entry's epoch on an answer-cache hit (a
+// cached answer may carry an older epoch than the current one — the
+// invalidation sweeps guarantee it is still exact; see DESIGN.md §12).
+func WithServedEpoch(e *uint64) QueryOption {
+	return func(cfg *queryConfig) error {
+		if e == nil {
+			return fmt.Errorf("gridrank: WithServedEpoch requires a non-nil sink")
+		}
+		cfg.servedEpoch = e
 		return nil
 	}
 }
@@ -134,6 +166,13 @@ func (cfg *queryConfig) finish(c *stats.Counters) {
 	}
 }
 
+// served publishes the answer's epoch into the caller's sink.
+func (cfg *queryConfig) served(seq uint64) {
+	if cfg.servedEpoch != nil {
+		*cfg.servedEpoch = seq
+	}
+}
+
 // ReverseTopKCtx returns, in ascending order, the indexes of every
 // preference vector that places q within its top-k products. An empty
 // answer means no user ranks q that highly (consider ReverseKRanksCtx).
@@ -152,6 +191,22 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...Qu
 		return nil, err
 	}
 	c := cfg.counters()
+	ac := ix.answers.Load()
+	if ac != nil && !cfg.noCache {
+		// Honour cancellation before serving from the cache, so a dead
+		// context never "succeeds" just because the answer was resident.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lsp := cfg.tr.StartSpan("cache.lookup")
+		if res, seq, ok := ac.LookupTopK(q, k); ok {
+			lsp.SetInt("hit", 1).SetInt("epoch", int64(seq)).End()
+			cfg.finish(c) // a hit performs no scan work: stats are zero
+			cfg.served(seq)
+			return res, nil
+		}
+		lsp.SetInt("hit", 0).End()
+	}
 	// One snapshot load: the whole scan runs against a single epoch even
 	// if mutations land mid-query.
 	sp := cfg.tr.StartSpan("snapshot")
@@ -159,7 +214,16 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...Qu
 	sp.SetInt("epoch", int64(ep.seq)).End()
 	res, err := ep.gir.ReverseTopKTraced(ctx, q, k, cfg.resolveWorkers(ix), c, cfg.tr)
 	cfg.finish(c)
-	return res, err
+	if err != nil {
+		return nil, err
+	}
+	cfg.served(ep.seq)
+	if ac != nil && !cfg.noCache {
+		ssp := cfg.tr.StartSpan("cache.store")
+		ac.StoreTopK(q, k, ep.seq, res)
+		ssp.End()
+	}
+	return res, nil
 }
 
 // ReverseKRanksCtx returns the k preference vectors ranking q best,
@@ -177,6 +241,24 @@ func (ix *Index) ReverseKRanksCtx(ctx context.Context, q Vector, k int, opts ...
 		return nil, err
 	}
 	c := cfg.counters()
+	ac := ix.answers.Load()
+	if ac != nil && !cfg.noCache {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lsp := cfg.tr.StartSpan("cache.lookup")
+		if cached, seq, ok := ac.LookupKRanks(q, k); ok {
+			lsp.SetInt("hit", 1).SetInt("epoch", int64(seq)).End()
+			cfg.finish(c)
+			cfg.served(seq)
+			out := make([]Match, len(cached))
+			for i, m := range cached {
+				out[i] = Match{WeightIndex: m.WeightIndex, Rank: m.Rank}
+			}
+			return out, nil
+		}
+		lsp.SetInt("hit", 0).End()
+	}
 	sp := cfg.tr.StartSpan("snapshot")
 	ep := ix.snap()
 	sp.SetInt("epoch", int64(ep.seq)).End()
@@ -185,9 +267,19 @@ func (ix *Index) ReverseKRanksCtx(ctx context.Context, q Vector, k int, opts ...
 	if err != nil {
 		return nil, err
 	}
+	cfg.served(ep.seq)
 	out := make([]Match, len(matches))
 	for i, m := range matches {
 		out[i] = Match{WeightIndex: m.WeightIndex, Rank: m.Rank}
+	}
+	if ac != nil && !cfg.noCache {
+		ssp := cfg.tr.StartSpan("cache.store")
+		stored := make([]cache.Match, len(out))
+		for i, m := range out {
+			stored[i] = cache.Match{WeightIndex: m.WeightIndex, Rank: m.Rank}
+		}
+		ac.StoreKRanks(q, k, ep.seq, stored)
+		ssp.End()
 	}
 	return out, nil
 }

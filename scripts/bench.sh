@@ -19,7 +19,10 @@
 # tracing-overhead suite (BenchmarkGIRTraceOverhead) from
 # trace_bench_test.go, whose off/noop/sampled sub-benchmarks price the
 # span instrumentation so a regression on the untraced path is caught
-# in review. Each entry
+# in review — and the answer-cache suite (BenchmarkGIRCache*,
+# BenchmarkGIRMutationUnderQueryLoadCached) from cache_bench_test.go,
+# which prices the warm-hit path against the uncached scan and reports
+# the achieved hit rate (hit_%) under concurrent mutation churn. Each entry
 # records ns/op, B/op, allocs/op and any custom metrics the benchmark
 # reports (e.g. filter% for the grouped sweep).
 set -eu
