@@ -22,7 +22,14 @@
 //     answer set is otherwise unchanged), and an insert splices the new
 //     preference in with one bounded rank evaluation per entry through
 //     the rankOf oracle. Rewritten entries are retagged with the new
-//     epoch.
+//     epoch. Entries already tagged with the sweep's epoch (or later)
+//     are skipped: mutators publish the new epoch before the hook runs,
+//     so a concurrent scan can have computed — and stored — its answer
+//     against the new epoch already, and rewriting it again would apply
+//     the mutation twice. An insert sweep additionally bounds its rank
+//     evaluations by Config.RewriteBudget, invalidating (never
+//     corrupting) entries past the budget so one insert cannot stall the
+//     query path for a full-cache scan.
 //   - Full rebuilds (batch mutations) flush everything.
 //
 // A store is rejected when its epoch predates the head epoch — the
@@ -67,6 +74,10 @@ type Match struct {
 // DefaultSize is the entry capacity used when Config.Size is 0.
 const DefaultSize = 4096
 
+// DefaultRewriteBudget is the per-sweep rank-evaluation bound used when
+// Config.RewriteBudget is 0.
+const DefaultRewriteBudget = 512
+
 // Config configures a cache.
 type Config struct {
 	// Size bounds the number of resident entries; the least recently
@@ -75,6 +86,12 @@ type Config struct {
 	// TTL bounds entry lifetime; expired entries answer as misses and
 	// are removed on contact. 0 disables expiry.
 	TTL time.Duration
+	// RewriteBudget bounds the rank evaluations one preference-insert
+	// sweep performs while holding the cache mutex; entries beyond the
+	// budget (coldest first) are invalidated instead of rewritten, which
+	// is always sound — they just become misses. 0 means
+	// DefaultRewriteBudget; negative means unbounded.
+	RewriteBudget int
 	// Now overrides the clock, for tests. nil means time.Now.
 	Now func() time.Time
 }
@@ -110,11 +127,12 @@ type entry struct {
 
 // Cache is the answer cache. Use New; the zero value is not usable.
 type Cache struct {
-	mu      sync.Mutex
-	size    int
-	ttl     time.Duration
-	now     func() time.Time
-	entries map[string]*entry
+	mu            sync.Mutex
+	size          int
+	ttl           time.Duration
+	rewriteBudget int // <0 = unbounded
+	now           func() time.Time
+	entries       map[string]*entry
 	// head/tail of the intrusive LRU list (head = most recently used).
 	lruHead, lruTail *entry
 	// headEpoch is the epoch of the latest mutation observed; stores
@@ -131,14 +149,18 @@ func New(cfg Config) *Cache {
 	if cfg.Size <= 0 {
 		cfg.Size = DefaultSize
 	}
+	if cfg.RewriteBudget == 0 {
+		cfg.RewriteBudget = DefaultRewriteBudget
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
 	return &Cache{
-		size:    cfg.Size,
-		ttl:     cfg.TTL,
-		now:     cfg.Now,
-		entries: make(map[string]*entry),
+		size:          cfg.Size,
+		ttl:           cfg.TTL,
+		rewriteBudget: cfg.RewriteBudget,
+		now:           cfg.Now,
+		entries:       make(map[string]*entry),
 	}
 }
 
@@ -336,16 +358,37 @@ func (c *Cache) OnProductMutation(newSeq uint64, row []float64) {
 // the largest) that produced epoch newSeq. rankOf must evaluate
 // rank(newID, q) against the new epoch, bounded by cutoff with
 // rankBounded semantics (ok iff the exact rank is below cutoff; cutoff
-// <= 0 means unbounded). Every entry is rewritten exactly — the new
-// preference is spliced in where it wins admission — and retagged with
-// newSeq.
+// <= 0 means unbounded). Entries computed against an older epoch are
+// rewritten exactly — the new preference is spliced in where it wins
+// admission — and retagged with newSeq; entries already tagged newSeq
+// (stored by a scan that snapshotted the published epoch before this
+// sweep ran) already contain the insert and are left alone. Rewrites
+// run hottest-first (the sweep walks the LRU list from its head) and
+// stop after the configured budget of rank evaluations; stale entries
+// past the budget are invalidated instead, so one insert never holds
+// the cache mutex for a full-cache rank sweep.
 func (c *Cache) OnPreferenceInsert(newSeq uint64, newID int, rankOf func(q []float64, cutoff int) (int, bool)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if newSeq > c.headEpoch {
 		c.headEpoch = newSeq
 	}
-	for e := c.lruHead; e != nil; e = e.next {
+	budget := c.rewriteBudget
+	for e := c.lruHead; e != nil; {
+		next := e.next
+		if e.epoch >= newSeq {
+			e = next
+			continue
+		}
+		if budget == 0 {
+			c.remove(e)
+			c.invalidations.Add(1)
+			e = next
+			continue
+		}
+		if budget > 0 {
+			budget--
+		}
 		switch e.kind {
 		case KindTopK:
 			// Admitted iff rank(newID, q) < k. The new id is the largest,
@@ -357,6 +400,7 @@ func (c *Cache) OnPreferenceInsert(newSeq uint64, newID int, rankOf func(q []flo
 			e.matches = spliceMatch(e.matches, e.k, newID, rankOf, e.q)
 		}
 		e.epoch = newSeq
+		e = next
 	}
 }
 
@@ -396,7 +440,9 @@ func spliceMatch(matches []Match, k, newID int, rankOf func(q []float64, cutoff 
 // deleted id and remap the survivors; reverse k-ranks entries do the
 // same when exact, and are invalidated only when the deleted id was
 // retained and the answer was a strict top-k cut (the successor match
-// is unknown).
+// is unknown). Entries already tagged newSeq were computed against the
+// published post-delete epoch — their ids are already remapped — and
+// are skipped; remapping them again would corrupt them.
 func (c *Cache) OnPreferenceDelete(newSeq uint64, deleted, oldCount int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -405,6 +451,10 @@ func (c *Cache) OnPreferenceDelete(newSeq uint64, deleted, oldCount int) {
 	}
 	for e := c.lruHead; e != nil; {
 		next := e.next
+		if e.epoch >= newSeq {
+			e = next
+			continue
+		}
 		switch e.kind {
 		case KindTopK:
 			out := e.ints[:0]

@@ -268,6 +268,86 @@ func TestPreferenceDelete(t *testing.T) {
 	}
 }
 
+// TestPreferenceSweepSkipsFreshEntries pins the publish-before-sweep
+// window: mutators install the new epoch before the cache hook runs, so
+// a concurrent scan can store an answer already computed against newSeq
+// before the sweep starts. Such entries already reflect the mutation
+// and must not be rewritten a second time.
+func TestPreferenceSweepSkipsFreshEntries(t *testing.T) {
+	c := New(Config{})
+	// Stored by a scan that snapshotted epoch 4 (the post-insert epoch):
+	// the answer already contains the new id 3.
+	c.StoreTopK(q1, 2, 4, []int{0, 3})
+	c.StoreKRanks(q2, 2, 4, []Match{{WeightIndex: 3, Rank: 0}, {WeightIndex: 1, Rank: 2}})
+	rankOf := func(q []float64, cutoff int) (int, bool) { return 0, true }
+	c.OnPreferenceInsert(4, 3, rankOf)
+	ints, ep, ok := c.LookupTopK(q1, 2)
+	if !ok || ep != 4 || !reflect.DeepEqual(ints, []int{0, 3}) {
+		t.Fatalf("fresh topk entry rewritten: %v, epoch %d", ints, ep)
+	}
+	ms, _, ok := c.LookupKRanks(q2, 2)
+	want := []Match{{WeightIndex: 3, Rank: 0}, {WeightIndex: 1, Rank: 2}}
+	if !ok || !reflect.DeepEqual(ms, want) {
+		t.Fatalf("fresh kranks entry rewritten: %v, want %v", ms, want)
+	}
+
+	// Same window for a delete: an answer computed against the
+	// post-delete epoch 5 has its ids remapped already.
+	c.StoreTopK(q3, 2, 5, []int{0, 1})
+	c.OnPreferenceDelete(5, 1, 4)
+	ints, ep, ok = c.LookupTopK(q3, 2)
+	if !ok || ep != 5 || !reflect.DeepEqual(ints, []int{0, 1}) {
+		t.Fatalf("fresh topk entry remapped twice: %v, epoch %d", ints, ep)
+	}
+}
+
+// TestPreferenceInsertRewriteBudget: an insert sweep rewrites at most
+// RewriteBudget entries (hottest first) and invalidates the stale rest,
+// so a big cache never turns one insert into a full-cache rank sweep.
+func TestPreferenceInsertRewriteBudget(t *testing.T) {
+	c := New(Config{RewriteBudget: 1})
+	c.StoreTopK(q1, 2, 0, []int{0})
+	c.StoreTopK(q2, 2, 0, []int{1})
+	c.StoreTopK(q3, 2, 0, []int{2}) // most recently used: gets the rewrite
+	evals := 0
+	rankOf := func(q []float64, cutoff int) (int, bool) { evals++; return 0, true }
+	c.OnPreferenceInsert(1, 5, rankOf)
+	if evals != 1 {
+		t.Fatalf("rank evaluations = %d, want 1", evals)
+	}
+	ints, ep, ok := c.LookupTopK(q3, 2)
+	if !ok || ep != 1 || !reflect.DeepEqual(ints, []int{2, 5}) {
+		t.Fatalf("hottest entry not rewritten: %v, epoch %d", ints, ep)
+	}
+	if _, _, ok := c.LookupTopK(q1, 2); ok {
+		t.Fatal("stale entry past the budget survived")
+	}
+	if _, _, ok := c.LookupTopK(q2, 2); ok {
+		t.Fatal("stale entry past the budget survived")
+	}
+	if got := c.Counts().Invalidations; got != 2 {
+		t.Fatalf("Invalidations = %d, want 2", got)
+	}
+}
+
+// A fresh entry is neither rewritten nor charged against the budget nor
+// invalidated when the budget runs out.
+func TestRewriteBudgetIgnoresFreshEntries(t *testing.T) {
+	c := New(Config{RewriteBudget: 1})
+	c.StoreTopK(q1, 2, 0, []int{0})
+	c.StoreTopK(q2, 2, 7, []int{1, 5}) // computed against the new epoch
+	rankOf := func(q []float64, cutoff int) (int, bool) { return 0, true }
+	c.OnPreferenceInsert(7, 5, rankOf)
+	ints, _, ok := c.LookupTopK(q2, 2)
+	if !ok || !reflect.DeepEqual(ints, []int{1, 5}) {
+		t.Fatalf("fresh entry disturbed: %v, %v", ints, ok)
+	}
+	ints, ep, ok := c.LookupTopK(q1, 2)
+	if !ok || ep != 7 || !reflect.DeepEqual(ints, []int{0, 5}) {
+		t.Fatalf("stale entry not rewritten within budget: %v, epoch %d", ints, ep)
+	}
+}
+
 func TestStoreOverwrites(t *testing.T) {
 	c := New(Config{})
 	c.StoreTopK(q1, 5, 1, []int{1, 2, 3})

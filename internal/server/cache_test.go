@@ -155,3 +155,14 @@ func TestCacheDisabledMetricsAbsent(t *testing.T) {
 		t.Fatal("/v1/index reports cacheEnabled on a cache-less server")
 	}
 }
+
+// TestNegativeCacheTTLFailsLoudly pins that NewWithConfig rejects an
+// invalid cache config instead of silently leaving the cache off.
+func TestNegativeCacheTTLFailsLoudly(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWithConfig accepted CacheTTL < 0 without complaint")
+		}
+	}()
+	tracedServer(t, Config{CacheSize: 8, CacheTTL: -time.Second})
+}

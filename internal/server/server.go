@@ -136,7 +136,8 @@ type Config struct {
 	CacheSize int
 
 	// CacheTTL bounds the age of served cache entries when CacheSize is
-	// set. 0 means entries live until invalidated or evicted.
+	// set. 0 means entries live until invalidated or evicted; a negative
+	// value is invalid and makes NewWithConfig panic.
 	CacheTTL time.Duration
 }
 
@@ -186,10 +187,12 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 			}
 		})
 	}
-	if cfg.CacheSize > 0 && cfg.CacheTTL >= 0 {
-		// Size and TTL are validated here, so EnableCache cannot fail.
+	if cfg.CacheSize > 0 {
+		// EnableCache validates the config; an invalid value (e.g. a
+		// negative TTL) is a programming error and fails loudly rather
+		// than silently leaving the cache off.
 		if err := ix.EnableCache(cfg.CacheSize, cfg.CacheTTL); err != nil {
-			panic("server: EnableCache rejected validated config: " + err.Error())
+			panic("server: invalid cache config: " + err.Error())
 		}
 	}
 	if ix.CacheEnabled() {
