@@ -54,7 +54,37 @@ func FuzzReadIndex(f *testing.F) {
 	f.Add(b)
 	// Body corruption: truncated mid-dataset and flipped length prefix.
 	f.Add(valid.Bytes()[:valid.Len()-7])
-	f.Add(corrupt(16, ^uint32(0)))
+	f.Add(corrupt(20, ^uint32(0)))
+	// Layout corruption: packedBits outside {0} ∪ [4, 8], and a width the
+	// grid cannot fit (8 partitions need at least 3 bits, but 4 is the
+	// floor — use a too-small grid encoding instead).
+	f.Add(corrupt(8, 3))
+	f.Add(corrupt(8, 9))
+	f.Add(corrupt(8, 1<<20))
+	// A packed index stream plus corruptions of its packed section: the
+	// header and data sets parse, so rejection must come from the packed
+	// rows' framing or the byte-for-byte comparison with rebuilt cells.
+	pix, err := New(P, W, &Options{GridPartitions: 8, PackedBits: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var packed bytes.Buffer
+	if _, err := pix.WriteTo(&packed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(packed.Bytes())
+	f.Add(packed.Bytes()[:valid.Len()]) // section truncated away
+	f.Add(packed.Bytes()[:packed.Len()-3])
+	for _, off := range []int{0, 8, 16, 40} {
+		b := append([]byte(nil), packed.Bytes()...)
+		b[valid.Len()+off] ^= 0x11
+		f.Add(b)
+	}
+	// Header claims packed but the section is missing / claims unpacked
+	// with a trailing section.
+	b = append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint32(b[8:], 4)
+	f.Add(b)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadIndex(bytes.NewReader(data))
 		if err != nil {

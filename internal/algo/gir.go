@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"gridrank/internal/bits"
 	"gridrank/internal/grid"
 	"gridrank/internal/stats"
 	"gridrank/internal/topk"
@@ -57,6 +58,14 @@ type GIR struct {
 	pg *grid.GroupedIndex // distinct P^(A) rows with member lists
 	wg *grid.GroupedIndex // distinct W^(A) rows; MemberOrder is the scan order
 
+	// packedBits > 0 stores the distinct P^(A) rows bit-packed at that
+	// many bits per cell (Section 3.2's b·d-bit strings) and routes
+	// classification through the widened kernels of gir_packed.go; 0
+	// keeps the unpacked uint8 rows. pk caches the grouping's packed
+	// store so the hot loop reaches it in one load.
+	packedBits int
+	pk         *bits.PackedRows
+
 	// pool recycles per-query state (Domin buffer, bound scratch, result
 	// heap and buffers) so steady-state queries allocate only their result
 	// slice. Shared by the sequential and parallel paths.
@@ -66,6 +75,25 @@ type GIR struct {
 // DefaultPartitions is the paper's default grid resolution n = 32
 // (sufficient for >99% filtering up to d ≈ 20 by Theorem 1).
 const DefaultPartitions = 32
+
+// Packed-width limits: below 4 bits a grid would have at most 8
+// partitions (too coarse to be worth a dedicated layout), above 8 a
+// cell no longer fits the uint8 unpacked rows the rest of the pipeline
+// shares.
+const (
+	MinPackedBits = 4
+	MaxPackedBits = 8
+)
+
+// Layout selects the physical representation of the scan structures.
+// The zero value is the default unpacked layout.
+type Layout struct {
+	// PackedBits of 0 keeps unpacked uint8 cell rows; a value in
+	// [MinPackedBits, MaxPackedBits] stores the distinct point rows
+	// bit-packed at that width and classifies them with the widened
+	// multi-row kernels. 1<<PackedBits must cover the grid partitions.
+	PackedBits int
+}
 
 // NewGIR builds the Grid-index for point attributes in [0, rangeP) with n
 // partitions per axis and pre-computes both approximate vector sets.
@@ -108,23 +136,38 @@ func maxComponent(vs []vec.Vector) float64 {
 // pre-computing both approximate vector sets and their cell groupings.
 func NewGIRWithBounder(P, W []vec.Vector, g grid.Bounder) *GIR {
 	validateSets(P, W)
-	return newGIR(vec.NewMatrix(P), vec.NewMatrix(W), g)
+	return newGIR(vec.NewMatrix(P), vec.NewMatrix(W), g, Layout{})
+}
+
+// NewGIRLayout is NewGIR with an explicit storage layout.
+func NewGIRLayout(P, W []vec.Vector, rangeP float64, n int, lay Layout) *GIR {
+	validateSets(P, W)
+	if n < 1 {
+		panic(fmt.Sprintf("algo: grid partitions %d < 1", n))
+	}
+	return newGIR(vec.NewMatrix(P), vec.NewMatrix(W), grid.New(n, rangeP, maxComponent(W)), lay)
 }
 
 // NewGIRFromMatrices is NewGIR over pre-flattened data sets, adopting the
 // matrices without copying. The root package uses it so the index and the
 // algorithm share one backing array per set.
 func NewGIRFromMatrices(pm, wm *vec.Matrix, rangeP float64, n int) *GIR {
+	return NewGIRFromMatricesLayout(pm, wm, rangeP, n, Layout{})
+}
+
+// NewGIRFromMatricesLayout is NewGIRFromMatrices with an explicit storage
+// layout.
+func NewGIRFromMatricesLayout(pm, wm *vec.Matrix, rangeP float64, n int, lay Layout) *GIR {
 	if n < 1 {
 		panic(fmt.Sprintf("algo: grid partitions %d < 1", n))
 	}
-	return newGIR(pm, wm, grid.New(n, rangeP, maxComponent(wm.Rows())))
+	return newGIR(pm, wm, grid.New(n, rangeP, maxComponent(wm.Rows())), lay)
 }
 
-func newGIR(pm, wm *vec.Matrix, g grid.Bounder) *GIR {
+func newGIR(pm, wm *vec.Matrix, g grid.Bounder, lay Layout) *GIR {
 	pa := grid.NewPointIndex(g, pm.Rows())
 	wa := grid.NewWeightIndex(g, wm.Rows())
-	return &GIR{
+	gr := &GIR{
 		P:  pm.Rows(),
 		W:  wm.Rows(),
 		g:  g,
@@ -133,7 +176,30 @@ func newGIR(pm, wm *vec.Matrix, g grid.Bounder) *GIR {
 		pg: grid.NewGrouped(pa),
 		wg: grid.NewGrouped(wa),
 	}
+	if lay.PackedBits != 0 {
+		gr.enablePacked(lay.PackedBits)
+	}
+	return gr
 }
+
+// enablePacked validates b against the grid and materializes the packed
+// point-row store. Construction-time only: the field is read-only
+// configuration once queries are in flight.
+func (gr *GIR) enablePacked(b int) {
+	if b < MinPackedBits || b > MaxPackedBits {
+		panic(fmt.Sprintf("algo: packed bits %d outside [%d, %d]", b, MinPackedBits, MaxPackedBits))
+	}
+	if 1<<b < gr.g.N() {
+		panic(fmt.Sprintf("algo: packed bits %d cannot encode %d grid partitions", b, gr.g.N()))
+	}
+	gr.pg.Pack(b)
+	gr.packedBits = b
+	gr.pk = gr.pg.Packed()
+}
+
+// PackedBits returns the configured packed row width, 0 when the index
+// stores unpacked uint8 rows.
+func (gr *GIR) PackedBits() int { return gr.packedBits }
 
 // Name implements RTKAlgorithm and RKRAlgorithm.
 func (gr *GIR) Name() string { return "GIR" }
@@ -141,6 +207,13 @@ func (gr *GIR) Name() string { return "GIR" }
 // Grid exposes the underlying Grid-index (for diagnostics and the
 // experiment harness).
 func (gr *GIR) Grid() grid.Bounder { return gr.g }
+
+// PointCells exposes the element-wise approximate point vectors P^(A).
+// The persistence layer packs them in element order — unlike the
+// grouped store, whose group numbering depends on mutation history —
+// so saved packed sections are byte-identical for a mutated index and
+// a fresh build over the same data.
+func (gr *GIR) PointCells() *grid.Index { return gr.pa }
 
 // PointGroups returns the number of distinct P^(A) rows (diagnostics).
 func (gr *GIR) PointGroups() int { return gr.pg.Groups() }
@@ -176,9 +249,16 @@ func (gr *GIR) rankBounded(wi int, q vec.Vector, cutoff int, dom *domin, scratch
 		return cutoff, false
 	}
 	gr.loadWeightGroup(scratch, int(gr.wg.GroupOf(wi)))
+	if gr.pk != nil && !scratch.ref {
+		return gr.rankBoundedPacked(w, q, fq, rnk, cutoff, dom, scratch, c)
+	}
 	bnd := scratch.bounds
 	d := gr.pa.Dim()
 	n2 := 2 * gr.g.N()
+	// A packed index reaches this loop only through WithLayoutReference;
+	// its gathered table uses the packed split layout, so route
+	// classification through the matching scalar classifier.
+	split := gr.pk != nil
 	rows := gr.pg.Rows()
 	single := gr.pg.Single()
 	groupLive := dom.groupLive
@@ -202,7 +282,12 @@ func (gr *GIR) rankBounded(wi int, q vec.Vector, cutoff int, dom *domin, scratch
 			c.BoundSums++
 			c.ApproxVisited++
 		}
-		cs := classifyRow(rows[base:base+d], bnd, n2, fq)
+		var cs int32
+		if split {
+			cs = classifyRowSplit(rows[base:base+d], bnd, fq)
+		} else {
+			cs = classifyRow(rows[base:base+d], bnd, n2, fq)
+		}
 		if cs == caseBefore { // Case 1: the whole group precedes q
 			rnk += live
 			if c != nil {
@@ -349,22 +434,57 @@ func (gr *GIR) refineGroup(g int, w, q vec.Vector, fq float64, rnk, cutoff int, 
 type girScratch struct {
 	bounds []float64
 	wgid   int32
+	// ref forces the unpacked float64 classification path for this query
+	// even when the index stores packed rows (the WithLayoutReference
+	// debugging aid). Reset on every getState.
+	ref bool
 }
 
-// loadWeightGroup interleaves the grid columns selected by the weight
-// group's approximate vector into the flat per-query scratch:
-// bnd[i·2n + 2·pc] is the lower addend and bnd[i·2n + 2·pc + 1] the upper
-// addend for dimension i, point cell pc (Equations 3 and 4, column-wise).
-// The two addends of a cell share a cache line and the whole block is
-// d·2n floats — L1-resident for the paper's configurations. Weights are
-// visited in cell-sorted order, so consecutive rankBounded calls usually
-// hit the tag and skip the gather entirely.
+// boundStride is the per-dimension stride, in float64s, of the gathered
+// bound table. Unpacked indexes use the tight 2n (interleaved addend
+// pairs for the n point cells, nothing else). Packed indexes pad every
+// dimension to the constant packedBoundStride and split it into
+// lower/upper halves so the packed kernels can prove their table loads
+// in bounds and address them without per-row index arithmetic (see
+// gir_packed.go); only 2n entries per dimension are ever written or
+// read — cell codes are < n — and each row sum adds the same addend
+// values in the same dimension order in both layouts.
+func (gr *GIR) boundStride() int {
+	if gr.pk != nil {
+		return packedBoundStride
+	}
+	return 2 * gr.g.N()
+}
+
+// loadWeightGroup gathers the grid columns selected by the weight
+// group's approximate vector into the flat per-query scratch
+// (Equations 3 and 4, column-wise). The unpacked layout interleaves:
+// bnd[i·2n + 2·pc] is the lower addend and bnd[i·2n + 2·pc + 1] the
+// upper addend for dimension i, point cell pc, so the two addends of a
+// cell share a cache line. The packed layout splits each dimension's
+// stride into halves: bnd[i·s + pc] lower, bnd[i·s + packedBoundHalf +
+// pc] upper, the shape the packed kernels address with zero index
+// arithmetic. Touched entries are d·2n floats either way —
+// L1-resident for the paper's configurations. Weights are visited in
+// cell-sorted order, so consecutive rankBounded calls usually hit the
+// tag and skip the gather entirely.
 func (gr *GIR) loadWeightGroup(scratch *girScratch, wgid int) {
 	if scratch.wgid == int32(wgid) {
 		return
 	}
-	n2 := 2 * gr.g.N()
 	bnd := scratch.bounds
+	if gr.pk != nil {
+		for i, wc := range gr.wg.Row(wgid) {
+			loCol := gr.g.LowerColumn(wc)
+			upCol := gr.g.UpperColumn(wc)
+			row := bnd[i*packedBoundStride : i*packedBoundStride+packedBoundStride]
+			copy(row, loCol)
+			copy(row[packedBoundHalf:], upCol)
+		}
+		scratch.wgid = int32(wgid)
+		return
+	}
+	n2 := 2 * gr.g.N()
 	for i, wc := range gr.wg.Row(wgid) {
 		loCol := gr.g.LowerColumn(wc)
 		upCol := gr.g.UpperColumn(wc)
@@ -379,7 +499,7 @@ func (gr *GIR) loadWeightGroup(scratch *girScratch, wgid int) {
 
 func (gr *GIR) newScratch() *girScratch {
 	return &girScratch{
-		bounds: make([]float64, gr.pa.Dim()*2*gr.g.N()),
+		bounds: make([]float64, gr.pa.Dim()*gr.boundStride()),
 		wgid:   -1,
 	}
 }
@@ -417,6 +537,7 @@ type queryState struct {
 func (gr *GIR) getState() *queryState {
 	if st, ok := gr.pool.Get().(*queryState); ok {
 		st.dom.reset()
+		st.scratch.ref = false
 		st.res = st.res[:0]
 		return st
 	}
@@ -471,6 +592,27 @@ func (gr *GIR) ReverseTopKCtx(ctx context.Context, q vec.Vector, k, workers int,
 	return gr.ReverseTopKTraced(ctx, q, k, workers, c, nil)
 }
 
+// QueryOpts bundles the per-query execution knobs of the Opts
+// entrypoints — the coherent replacement for the positional
+// (workers, counters, trace) parameter lists of the older variants.
+// The zero value runs a sequential, untraced, uncounted query on the
+// index's native layout.
+type QueryOpts struct {
+	// Workers shards W across that many goroutines; 0 or 1 keeps the
+	// sequential scan, negative means GOMAXPROCS. Answers are identical
+	// at every worker count.
+	Workers int
+	// Counters, when non-nil, accumulates the per-case scan breakdown.
+	Counters *stats.Counters
+	// Trace, when recording, receives scan/merge spans.
+	Trace *trace.Trace
+	// Reference forces the unpacked float64 classification path for this
+	// query even on a packed-layout index — a debugging/bisection aid;
+	// answers are byte-identical either way (the equivalence tests are
+	// the proof).
+	Reference bool
+}
+
 // ReverseTopKTraced is ReverseTopKCtx with per-query tracing: when tr is
 // a recording trace, the scan and result merge emit spans carrying the
 // per-case breakdown of Section 3.1 (Case-1 adds, Case-2 skips, Case-3
@@ -478,6 +620,18 @@ func (gr *GIR) ReverseTopKCtx(ctx context.Context, q vec.Vector, k, workers int,
 // common case and adds no work to the query path — every span call on a
 // nil trace is a free no-op.
 func (gr *GIR) ReverseTopKTraced(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace) ([]int, error) {
+	if workers == 0 {
+		workers = -1 // positional 0 meant GOMAXPROCS; QueryOpts 0 means sequential
+	}
+	return gr.ReverseTopKOpts(ctx, q, k, QueryOpts{Workers: workers, Counters: c, Trace: tr})
+}
+
+// ReverseTopKOpts is GIRTop-k (Algorithm 2) under a context with the
+// execution knobs gathered in QueryOpts; every other ReverseTopK variant
+// is a wrapper over it. See ReverseTopKCtx for the cancellation contract
+// and ReverseTopKTraced for the span contract.
+func (gr *GIR) ReverseTopKOpts(ctx context.Context, q vec.Vector, k int, opts QueryOpts) ([]int, error) {
+	c, tr := opts.Counters, opts.Trace
 	if tr != nil && c == nil {
 		// A traced query needs the per-case counters for its span
 		// attributes even when the caller did not ask for stats.
@@ -492,12 +646,17 @@ func (gr *GIR) ReverseTopKTraced(ctx context.Context, q vec.Vector, k, workers i
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 1
+	}
 	if workers = normalizeWorkers(workers, len(gr.W)); workers > 1 {
-		return gr.reverseTopKParallel(ctx, q, k, workers, c, tr)
+		return gr.reverseTopKParallel(ctx, q, k, workers, c, tr, opts.Reference)
 	}
 	done := ctx.Done()
 	st := gr.getState()
 	defer gr.putState(st)
+	st.scratch.ref = opts.Reference
 	sp := tr.StartSpan("scan")
 	base := counterBaseline(sp, c)
 	var scanErr error
@@ -581,6 +740,17 @@ func (gr *GIR) ReverseKRanksCtx(ctx context.Context, q vec.Vector, k, workers in
 // records the heap's admission count and final cutoff, which together
 // show how quickly the Algorithm 3 bound tightened.
 func (gr *GIR) ReverseKRanksTraced(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace) ([]topk.Match, error) {
+	if workers == 0 {
+		workers = -1 // positional 0 meant GOMAXPROCS; QueryOpts 0 means sequential
+	}
+	return gr.ReverseKRanksOpts(ctx, q, k, QueryOpts{Workers: workers, Counters: c, Trace: tr})
+}
+
+// ReverseKRanksOpts is GIRk-Rank (Algorithm 3) under a context with the
+// execution knobs gathered in QueryOpts; every other ReverseKRanks
+// variant is a wrapper over it.
+func (gr *GIR) ReverseKRanksOpts(ctx context.Context, q vec.Vector, k int, opts QueryOpts) ([]topk.Match, error) {
+	c, tr := opts.Counters, opts.Trace
 	if tr != nil && c == nil {
 		c = new(stats.Counters)
 	}
@@ -593,12 +763,17 @@ func (gr *GIR) ReverseKRanksTraced(ctx context.Context, q vec.Vector, k, workers
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 1
+	}
 	if workers = normalizeWorkers(workers, len(gr.W)); workers > 1 {
-		return gr.reverseKRanksParallel(ctx, q, k, workers, c, tr)
+		return gr.reverseKRanksParallel(ctx, q, k, workers, c, tr, opts.Reference)
 	}
 	done := ctx.Done()
 	st := gr.getState()
 	defer gr.putState(st)
+	st.scratch.ref = opts.Reference
 	h := st.heap
 	h.Reset(k)
 	sp := tr.StartSpan("scan")

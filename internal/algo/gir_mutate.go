@@ -44,10 +44,12 @@ func (gr *GIR) WeightRange() float64 {
 // PointRange()).
 func (gr *GIR) WithAppendedPoint(pm *vec.Matrix) *GIR {
 	pa := gr.pa.WithAppendedPoint(pm.Row(pm.Len() - 1))
+	pg := gr.pg.WithAppended(pa)
 	return &GIR{
 		P: pm.Rows(), W: gr.W,
 		DisableDomin: gr.DisableDomin, Parallelism: gr.Parallelism,
-		g: gr.g, pa: pa, wa: gr.wa, pg: gr.pg.WithAppended(pa), wg: gr.wg,
+		g: gr.g, pa: pa, wa: gr.wa, pg: pg, wg: gr.wg,
+		packedBits: gr.packedBits, pk: pg.Packed(),
 	}
 }
 
@@ -55,10 +57,12 @@ func (gr *GIR) WithAppendedPoint(pm *vec.Matrix) *GIR {
 // without row i.
 func (gr *GIR) WithRemovedPoint(pm *vec.Matrix, i int) *GIR {
 	pa := gr.pa.WithRemoved(i)
+	pg := gr.pg.WithRemoved(pa, i)
 	return &GIR{
 		P: pm.Rows(), W: gr.W,
 		DisableDomin: gr.DisableDomin, Parallelism: gr.Parallelism,
-		g: gr.g, pa: pa, wa: gr.wa, pg: gr.pg.WithRemoved(pa, i), wg: gr.wg,
+		g: gr.g, pa: pa, wa: gr.wa, pg: pg, wg: gr.wg,
+		packedBits: gr.packedBits, pk: pg.Packed(),
 	}
 }
 
@@ -70,6 +74,7 @@ func (gr *GIR) WithAppendedWeight(wm *vec.Matrix) *GIR {
 		P: gr.P, W: wm.Rows(),
 		DisableDomin: gr.DisableDomin, Parallelism: gr.Parallelism,
 		g: gr.g, pa: gr.pa, wa: wa, pg: gr.pg, wg: gr.wg.WithAppended(wa),
+		packedBits: gr.packedBits, pk: gr.pk,
 	}
 }
 
@@ -81,5 +86,6 @@ func (gr *GIR) WithRemovedWeight(wm *vec.Matrix, i int) *GIR {
 		P: gr.P, W: wm.Rows(),
 		DisableDomin: gr.DisableDomin, Parallelism: gr.Parallelism,
 		g: gr.g, pa: gr.pa, wa: wa, pg: gr.pg, wg: gr.wg.WithRemoved(wa, i),
+		packedBits: gr.packedBits, pk: gr.pk,
 	}
 }

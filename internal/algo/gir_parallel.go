@@ -154,7 +154,7 @@ func (wm *rankWatermark) cutoff(local int) int {
 // cancelChunk weights), so cancellation stops every worker within one
 // chunk; the coordinator then joins them all and returns ctx.Err() —
 // cancellation never leaks a goroutine.
-func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace) ([]int, error) {
+func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace, ref bool) ([]int, error) {
 	shared := newSharedDomin(len(gr.P))
 	var cursor atomic.Int64
 	chunk := parallelChunk(len(gr.W), workers)
@@ -178,6 +178,7 @@ func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers
 			st := gr.getState()
 			defer gr.putState(st)
 			st.dom.shared = shared
+			st.scratch.ref = ref
 			order := gr.wg.MemberOrder()
 			for {
 				if shared.count.Load() >= int64(k) {
@@ -255,7 +256,7 @@ func endWorkerSpan(wsp *trace.Span, c *stats.Counters, scanned int) {
 // reverseKRanksParallel is GIRk-Rank (Algorithm 3) sharded over workers
 // goroutines. Callers guarantee workers >= 2, k >= 1 and a live ctx on
 // entry; the cancellation contract matches reverseTopKParallel.
-func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace) ([]topk.Match, error) {
+func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace, ref bool) ([]topk.Match, error) {
 	wm := newRankWatermark()
 	var cursor atomic.Int64
 	chunk := parallelChunk(len(gr.W), workers)
@@ -278,6 +279,7 @@ func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, worke
 			defer func() { endWorkerSpan(wsp, &out.c, scanned) }()
 			st := gr.getState()
 			defer gr.putState(st)
+			st.scratch.ref = ref
 			h := st.heap
 			h.Reset(k)
 			order := gr.wg.MemberOrder()

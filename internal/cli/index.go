@@ -49,6 +49,7 @@ func runIndexBuild(w io.Writer, args []string) error {
 	products := fs.String("products", "", "product data set file")
 	prefs := fs.String("prefs", "", "preference data set file")
 	grid := fs.Int("grid", 0, "grid partitions per axis (0 = auto)")
+	packedBits := fs.Int("packed-bits", 0, "bit-packed cell rows at this width, 4-8 bits per dimension (0 = float64 layout)")
 	out := fs.String("out", "index.gri", "output index file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,16 +66,25 @@ func runIndexBuild(w io.Writer, args []string) error {
 		return err
 	}
 	ix, err := gridrank.New(toVectors(P.Points), toVectors(W.Points),
-		&gridrank.Options{GridPartitions: *grid})
+		&gridrank.Options{GridPartitions: *grid, PackedBits: *packedBits})
 	if err != nil {
 		return err
 	}
 	if err := ix.Save(*out); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "built %s: %d products, %d preferences, dim %d, grid %d\n",
-		*out, ix.NumProducts(), ix.NumPreferences(), ix.Dim(), ix.GridPartitions())
+	fmt.Fprintf(w, "built %s: %d products, %d preferences, dim %d, grid %d, layout %s\n",
+		*out, ix.NumProducts(), ix.NumPreferences(), ix.Dim(), ix.GridPartitions(),
+		layoutString(ix.Layout()))
 	return nil
+}
+
+// layoutString renders an index layout for the build and info verbs.
+func layoutString(lay gridrank.Layout) string {
+	if !lay.Packed {
+		return "float64"
+	}
+	return fmt.Sprintf("packed %d-bit (x%d kernel)", lay.BitsPerDim, lay.RowBlock)
 }
 
 func runIndexInfo(w io.Writer, args []string) error {
@@ -88,9 +98,9 @@ func runIndexInfo(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%s: %d products, %d preferences, dim %d, grid %d, %d point groups, %d weight groups, %d bytes grid memory\n",
+	fmt.Fprintf(w, "%s: %d products, %d preferences, dim %d, grid %d, %d point groups, %d weight groups, %d bytes grid memory, layout %s\n",
 		*path, ix.NumProducts(), ix.NumPreferences(), ix.Dim(), ix.GridPartitions(),
-		ix.PointGroups(), ix.WeightGroups(), ix.GridMemoryBytes())
+		ix.PointGroups(), ix.WeightGroups(), ix.GridMemoryBytes(), layoutString(ix.Layout()))
 	return nil
 }
 

@@ -387,6 +387,30 @@ func (ix *Index) Pack() *bits.Packed {
 	return p
 }
 
+// PackRows compresses the approximate vectors element-wise into the
+// fixed-stride PackedRows layout at b bits per cell (1<<b must cover the
+// grid's partition count). Unlike Pack, which packs contiguously for
+// minimal size, PackRows keeps each element's row word-aligned — the
+// layout the persist format stores so an mmap-ed file can serve rows
+// in place.
+func (ix *Index) PackRows(b int) *bits.PackedRows {
+	p := bits.NewPackedRows(ix.Count(), ix.dim, b)
+	for i := 0; i < ix.Count(); i++ {
+		p.EncodeRow(i, ix.Row(i))
+	}
+	return p
+}
+
+// UnpackRowsIndex reconstructs an Index from a fixed-stride packed store
+// and its Grid.
+func UnpackRowsIndex(g Bounder, p *bits.PackedRows) *Index {
+	ix := &Index{grid: g, dim: p.Dim(), approx: make([]uint8, p.Count()*p.Dim())}
+	for i := 0; i < p.Count(); i++ {
+		p.DecodeRow(i, ix.approx[i*ix.dim:(i+1)*ix.dim])
+	}
+	return ix
+}
+
 // UnpackIndex reconstructs an Index from a packed store and its Grid.
 func UnpackIndex(g Bounder, p *bits.Packed) *Index {
 	ix := &Index{grid: g, dim: p.Dim(), approx: make([]uint8, p.Count()*p.Dim())}

@@ -10,6 +10,8 @@ package grid
 // element→group map. It is built once per Index and reused by every
 // query.
 
+import "gridrank/internal/bits"
+
 // GroupedIndex partitions the elements of an Index into groups of
 // identical approximate vectors. Groups are numbered by first occurrence
 // (the group of the smallest member index comes first) and each group's
@@ -31,6 +33,12 @@ type GroupedIndex struct {
 	// produces almost exclusively singletons, and the one-load fast path
 	// keeps the grouped scan from paying member-list indirection there.
 	single []int32
+	// packed, when non-nil, holds the unique rows bit-packed at
+	// packed.BitsPerDim() bits per cell in the fixed-stride layout of
+	// bits.PackedRows, one packed row per group in group order. It is a
+	// derived view of rows: Pack populates it, and the copy-on-write
+	// derivations keep it byte-identical to re-encoding the derived rows.
+	packed *bits.PackedRows
 }
 
 // NewGrouped groups the elements of ix by identical approximate vector.
@@ -129,3 +137,22 @@ func (g *GroupedIndex) Single() []int32 { return g.single }
 func (g *GroupedIndex) Size(gid int) int {
 	return int(g.offsets[gid+1] - g.offsets[gid])
 }
+
+// Pack materializes the unique rows bit-packed at b bits per cell. Every
+// cell value must fit in b bits (callers validate 1<<b ≥ grid partitions
+// before enabling packing). Idempotent for a given b.
+func (g *GroupedIndex) Pack(b int) {
+	if g.packed != nil && g.packed.BitsPerDim() == b {
+		return
+	}
+	d := g.Dim()
+	p := bits.NewPackedRows(g.Groups(), d, b)
+	for gid := 0; gid < g.Groups(); gid++ {
+		p.EncodeRow(gid, g.rows[gid*d:(gid+1)*d])
+	}
+	g.packed = p
+}
+
+// Packed returns the bit-packed unique rows, or nil when Pack has not
+// been called on this grouping (or its ancestor, for derived groupings).
+func (g *GroupedIndex) Packed() *bits.PackedRows { return g.packed }

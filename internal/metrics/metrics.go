@@ -58,6 +58,36 @@ type Registry struct {
 	// cache's counters and occupancy.
 	cacheMu     sync.Mutex
 	cacheSource func() CacheCounts
+
+	// layout, when set, labels gridrank_build_info with the index's
+	// physical scan layout (packed row width, kernel row block).
+	layoutMu sync.Mutex
+	layout   *Layout
+}
+
+// Layout describes the index's physical scan representation for the
+// gridrank_build_info labels. The field meanings match the root
+// package's Layout; the duplicate type keeps the import graph acyclic,
+// as with TraceCounts.
+type Layout struct {
+	Packed     bool // rows stored bit-packed rather than as float64 cells
+	BitsPerDim int  // bits per dimension when packed, 0 otherwise
+	RowBlock   int  // rows classified per kernel call (1 when unpacked)
+}
+
+// SetLayout records the index's scan layout, surfaced as labels on
+// gridrank_build_info. Layout is fixed at build time, so this is set
+// once at server start.
+func (r *Registry) SetLayout(l Layout) {
+	r.layoutMu.Lock()
+	r.layout = &l
+	r.layoutMu.Unlock()
+}
+
+func (r *Registry) layoutLabels() *Layout {
+	r.layoutMu.Lock()
+	defer r.layoutMu.Unlock()
+	return r.layout
 }
 
 // TraceCounts is the tracing subsystem's counter snapshot, polled at
@@ -406,7 +436,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		b.printf("gridrank_cache_entries %d\n", cc.Entries)
 	}
 
-	writeRuntimeTelemetry(b)
+	writeRuntimeTelemetry(b, r.layoutLabels())
 	return b.err
 }
 
@@ -429,11 +459,20 @@ var buildInfoOnce = sync.OnceValues(func() (goVersion, modVersion string) {
 // scrape time. runtime.ReadMemStats is a brief stop-the-world, which at
 // scrape cadence (seconds to minutes) is noise; in exchange there is no
 // background goroutine and no staleness.
-func writeRuntimeTelemetry(b *errWriter) {
+func writeRuntimeTelemetry(b *errWriter, lay *Layout) {
 	goVersion, modVersion := buildInfoOnce()
 	b.printf("# HELP gridrank_build_info Build metadata; the value is always 1.\n")
 	b.printf("# TYPE gridrank_build_info gauge\n")
-	b.printf("gridrank_build_info{go_version=%q,module_version=%q} 1\n", goVersion, modVersion)
+	if lay != nil {
+		layout := "float64"
+		if lay.Packed {
+			layout = "packed"
+		}
+		b.printf("gridrank_build_info{go_version=%q,module_version=%q,layout=%q,packed_bits=\"%d\",row_block=\"%d\"} 1\n",
+			goVersion, modVersion, layout, lay.BitsPerDim, lay.RowBlock)
+	} else {
+		b.printf("gridrank_build_info{go_version=%q,module_version=%q} 1\n", goVersion, modVersion)
+	}
 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

@@ -210,6 +210,11 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 			}
 		})
 	}
+	// Layout is fixed at build time, so the labels are set once here.
+	lay := ix.Layout()
+	cfg.Metrics.SetLayout(metrics.Layout{
+		Packed: lay.Packed, BitsPerDim: lay.BitsPerDim, RowBlock: lay.RowBlock,
+	})
 	s := &Server{
 		ix:             ix,
 		mux:            http.NewServeMux(),
@@ -444,6 +449,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"maxBatch":        s.maxBatch,
 		"queryTimeoutMs":  s.queryTimeout.Milliseconds(),
 		"cacheEnabled":    s.ix.CacheEnabled(),
+	}
+	lay := s.ix.Layout()
+	meta["layout"] = map[string]interface{}{
+		"packed":     lay.Packed,
+		"bitsPerDim": lay.BitsPerDim,
+		"rowBlock":   lay.RowBlock,
 	}
 	if cs, ok := s.ix.CacheStats(); ok {
 		meta["cacheSize"] = cs.Size

@@ -30,10 +30,12 @@ func TopK(P []vec.Vector, w vec.Vector, k int, c *stats.Counters) []Result {
 	if k > len(P) {
 		k = len(P)
 	}
-	// Bounded max-heap of the k best (smallest) scores seen so far.
+	// Bounded max-heap of the k best (smallest) scores seen so far. The
+	// full scan visits every point unconditionally, so consecutive points
+	// pair through the widened vec.Dot2 kernel (scores stay bit-identical
+	// to per-point Dot calls); offers happen in index order either way.
 	h := make(maxHeap, 0, k)
-	for i, p := range P {
-		s := vec.Dot(w, p)
+	offer := func(i int, s float64) {
 		if c != nil {
 			c.PairwiseMults++
 			c.PointsVisited++
@@ -44,6 +46,15 @@ func TopK(P []vec.Vector, w vec.Vector, k int, c *stats.Counters) []Result {
 			h[0] = Result{i, s}
 			heap.Fix(&h, 0)
 		}
+	}
+	i := 0
+	for ; i+2 <= len(P); i += 2 {
+		s0, s1 := vec.Dot2(w, P[i], P[i+1])
+		offer(i, s0)
+		offer(i+1, s1)
+	}
+	if i < len(P) {
+		offer(i, vec.Dot(w, P[i]))
 	}
 	out := make([]Result, len(h))
 	copy(out, h)
@@ -82,13 +93,31 @@ func Rank(P []vec.Vector, w, q vec.Vector, c *stats.Counters) int {
 	if c != nil {
 		c.PairwiseMults++
 	}
+	// Full scan with no early exit: pair consecutive points through
+	// vec.Dot2 (bit-identical scores, same counters). RankBounded below
+	// deliberately stays per-point — its cutoff exit must not pay for a
+	// speculative second score.
 	rank := 0
-	for _, p := range P {
+	i := 0
+	for ; i+2 <= len(P); i += 2 {
+		if c != nil {
+			c.PairwiseMults += 2
+			c.PointsVisited += 2
+		}
+		s0, s1 := vec.Dot2(w, P[i], P[i+1])
+		if s0 < fq {
+			rank++
+		}
+		if s1 < fq {
+			rank++
+		}
+	}
+	if i < len(P) {
 		if c != nil {
 			c.PairwiseMults++
 			c.PointsVisited++
 		}
-		if vec.Dot(w, p) < fq {
+		if vec.Dot(w, P[i]) < fq {
 			rank++
 		}
 	}

@@ -50,6 +50,43 @@ func Dot(a, b Vector) float64 {
 	return s
 }
 
+// Dot2 returns (Σ w[i]·a[i], Σ w[i]·b[i]), the two-row widening of Dot:
+// full-scan callers scoring consecutive points under one weight share the
+// w loads across both rows and give the CPU two independent multiply-add
+// chains to overlap. Each output uses its own accumulator updated in
+// index order with the same 4-wide unroll as Dot, so both results are
+// bit-identical to calling Dot twice — rank comparisons must not move
+// when a caller switches to the paired kernel.
+//
+// Only safe for callers that evaluate every row unconditionally (TopK,
+// Rank): early-exit scans like RankBounded would compute the second row
+// speculatively and distort visit counters.
+func Dot2(w, a, b Vector) (float64, float64) {
+	if len(w) != len(a) || len(w) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d, %d != %d", len(a), len(b), len(w)))
+	}
+	var s, t float64
+	i := 0
+	for ; i+4 <= len(w); i += 4 {
+		ww := w[i : i+4 : i+4]
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		s += ww[0] * aa[0]
+		t += ww[0] * bb[0]
+		s += ww[1] * aa[1]
+		t += ww[1] * bb[1]
+		s += ww[2] * aa[2]
+		t += ww[2] * bb[2]
+		s += ww[3] * aa[3]
+		t += ww[3] * bb[3]
+	}
+	for ; i < len(w); i++ {
+		s += w[i] * a[i]
+		t += w[i] * b[i]
+	}
+	return s, t
+}
+
 // Dominates reports whether p strictly dominates q under the
 // minimum-is-preferable convention: p[i] < q[i] on every dimension.
 //

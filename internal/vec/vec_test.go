@@ -25,6 +25,35 @@ func TestDot(t *testing.T) {
 	}
 }
 
+// Dot2's two results must be bit-identical to separate Dot calls — the
+// pairing is only legal in full-scan callers because scores cannot move.
+func TestDot2BitIdenticalToDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, d := range []int{0, 1, 2, 3, 4, 5, 7, 8, 13, 16, 33} {
+		for trial := 0; trial < 20; trial++ {
+			w, a, b := make(Vector, d), make(Vector, d), make(Vector, d)
+			for i := 0; i < d; i++ {
+				w[i] = rng.Float64()
+				a[i] = rng.Float64() * 100
+				b[i] = rng.Float64() * 100
+			}
+			s, u := Dot2(w, a, b)
+			if s != Dot(w, a) || u != Dot(w, b) {
+				t.Fatalf("d=%d: Dot2 = (%v, %v), Dot = (%v, %v)", d, s, u, Dot(w, a), Dot(w, b))
+			}
+		}
+	}
+}
+
+func TestDot2PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot2 with mismatched dims should panic")
+		}
+	}()
+	Dot2(Vector{1, 2}, Vector{1, 2}, Vector{1})
+}
+
 func TestDotPanicsOnMismatch(t *testing.T) {
 	defer func() {
 		if recover() == nil {

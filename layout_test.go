@@ -1,0 +1,316 @@
+package gridrank
+
+// Coverage for the layout-aware build surface: Options.PackedBits
+// validation, the Layout accessor, public-level packed-vs-unpacked
+// answer equivalence (the algo-level sweep lives in
+// internal/algo/gir_reference_test.go), WithLayoutReference, layout
+// preservation across mutations, and the version-2 persistence format
+// (packed sections, v1 back-compat, corruption rejection).
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestPackedBitsValidation(t *testing.T) {
+	P, err := GenerateProducts(61, Uniform, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := GeneratePreferences(62, Uniform, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, 1, 3, 9, 64} {
+		if _, err := New(P, W, &Options{PackedBits: bad}); !errors.Is(err, ErrBadPackedBits) {
+			t.Errorf("PackedBits=%d: err = %v, want ErrBadPackedBits", bad, err)
+		}
+	}
+	// 4 bits cover only 16 cells; the default grid has 32 partitions.
+	if _, err := New(P, W, &Options{PackedBits: 4}); !errors.Is(err, ErrBadPackedBits) {
+		t.Errorf("PackedBits=4 on default 32-cell grid: err = %v, want ErrBadPackedBits", err)
+	}
+	if _, err := New(P, W, &Options{PackedBits: 4, GridPartitions: 16}); err != nil {
+		t.Errorf("PackedBits=4 on a 16-cell grid rejected: %v", err)
+	}
+
+	ix, err := New(P, W, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay := ix.Layout(); lay.Packed || lay.BitsPerDim != 0 || lay.RowBlock != 1 {
+		t.Errorf("default layout = %+v, want unpacked", lay)
+	}
+	pix, err := New(P, W, &Options{PackedBits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay := pix.Layout(); !lay.Packed || lay.BitsPerDim != 5 || lay.RowBlock < 2 {
+		t.Errorf("packed layout = %+v, want {Packed:true BitsPerDim:5 RowBlock>=2}", lay)
+	}
+}
+
+// TestPackedIndexMatchesUnpacked is the public-API face of the packed
+// equivalence gate: a packed index, the same index queried through
+// WithLayoutReference, and an unpacked index over the same data must
+// serialize identical answers at every worker count.
+func TestPackedIndexMatchesUnpacked(t *testing.T) {
+	ref, P := testIndexWithOpts(t, nil)
+	packed, _ := testIndexWithOpts(t, &Options{PackedBits: 6})
+	bg := context.Background()
+	for _, q := range []Vector{P[0], P[211], {1, 1, 1, 1, 1}} {
+		for _, k := range []int{1, 10, 120} {
+			wantRTK, err := ref.ReverseTopKCtx(bg, q, k, WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRKR, err := ref.ReverseKRanksCtx(bg, q, k, WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantR, wantK := fmt.Sprintf("%v", wantRTK), fmt.Sprintf("%+v", wantRKR)
+			for _, workers := range []int{1, 3, 8} {
+				gotRTK, err := packed.ReverseTopKCtx(bg, q, k, WithWorkers(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotRKR, err := packed.ReverseKRanksCtx(bg, q, k, WithWorkers(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprintf("%v", gotRTK) != wantR || fmt.Sprintf("%+v", gotRKR) != wantK {
+					t.Fatalf("packed workers=%d k=%d: answers differ from unpacked", workers, k)
+				}
+				refRTK, err := packed.ReverseTopKCtx(bg, q, k, WithWorkers(workers), WithLayoutReference())
+				if err != nil {
+					t.Fatal(err)
+				}
+				refRKR, err := packed.ReverseKRanksCtx(bg, q, k, WithWorkers(workers), WithLayoutReference())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprintf("%v", refRTK) != wantR || fmt.Sprintf("%+v", refRKR) != wantK {
+					t.Fatalf("WithLayoutReference workers=%d k=%d: answers differ", workers, k)
+				}
+			}
+		}
+	}
+	// The option is a no-op on an unpacked index.
+	plain, err := ref.ReverseTopKCtx(bg, P[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ref.ReverseTopKCtx(bg, P[0], 5, WithLayoutReference())
+	if err != nil || fmt.Sprintf("%v", got) != fmt.Sprintf("%v", plain) {
+		t.Fatalf("WithLayoutReference on unpacked index: %v (want %v), err %v", got, plain, err)
+	}
+}
+
+// TestMutationsPreserveLayout pins the rebuild policy: every mutation
+// path — incremental derivation, single-element rebuild, batch rebuild
+// — carries the packed layout into the next epoch, and the mutated
+// index keeps answering identically to a fresh packed build.
+func TestMutationsPreserveLayout(t *testing.T) {
+	ix, P := testIndexWithOpts(t, &Options{PackedBits: 5})
+	if _, err := ix.InsertProduct(Vector{0.5, 0.4, 0.3, 0.2, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.DeleteProduct(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.InsertPreference(Vector{0.2, 0.2, 0.2, 0.2, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.InsertProducts([]Vector{{1, 2, 3, 4, 5}, {5, 4, 3, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.DeletePreferences([]int{3, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if lay := ix.Layout(); !lay.Packed || lay.BitsPerDim != 5 {
+		t.Fatalf("layout after mutations = %+v, want packed 5-bit", lay)
+	}
+	fresh, err := New(ix.Products(), ix.Preferences(), &Options{PackedBits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := P[50]
+	want, err := fresh.ReverseKRanksCtx(context.Background(), q, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.ReverseKRanksCtx(context.Background(), q, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("mutated packed index answers %+v, fresh build %+v", got, want)
+	}
+}
+
+// TestMutationWrappersMatchCtxAPI mirrors the deprecated-query
+// equivalence harness for the mutation surface: every context-free
+// mutator is a thin wrapper over its Ctx form, so driving two copies of
+// the same index through both forms must leave byte-identical indexes.
+func TestMutationWrappersMatchCtxAPI(t *testing.T) {
+	a, _ := testIndexWithOpts(t, &Options{PackedBits: 5})
+	b, _ := testIndexWithOpts(t, &Options{PackedBits: 5})
+	bg := context.Background()
+
+	step := func(name string, plain, ctx error) {
+		t.Helper()
+		if plain != nil || ctx != nil {
+			t.Fatalf("%s: plain err %v, ctx err %v", name, plain, ctx)
+		}
+	}
+	p := Vector{0.9, 0.8, 0.7, 0.6, 0.5}
+	w := Vector{0.1, 0.2, 0.3, 0.2, 0.2}
+	_, errA := a.InsertProduct(p)
+	_, errB := b.InsertProductCtx(bg, p)
+	step("InsertProduct", errA, errB)
+	step("DeleteProduct", a.DeleteProduct(2), b.DeleteProductCtx(bg, 2))
+	_, errA = a.InsertPreference(w)
+	_, errB = b.InsertPreferenceCtx(bg, w)
+	step("InsertPreference", errA, errB)
+	step("DeletePreference", a.DeletePreference(5), b.DeletePreferenceCtx(bg, 5))
+	_, errA = a.InsertProducts([]Vector{p, p})
+	_, errB = b.InsertProductsCtx(bg, []Vector{p, p})
+	step("InsertProducts", errA, errB)
+	step("DeleteProducts", a.DeleteProducts([]int{1, 3}), b.DeleteProductsCtx(bg, []int{1, 3}))
+	_, errA = a.InsertPreferences([]Vector{w})
+	_, errB = b.InsertPreferencesCtx(bg, []Vector{w})
+	step("InsertPreferences", errA, errB)
+	step("DeletePreferences", a.DeletePreferences([]int{0}), b.DeletePreferencesCtx(bg, []int{0}))
+
+	var bufA, bufB bytes.Buffer
+	if _, err := a.WriteTo(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteTo(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("plain and Ctx mutation sequences serialized different indexes")
+	}
+	// A cancelled context aborts before any epoch is built.
+	cancelled, cancel := context.WithCancel(bg)
+	cancel()
+	epoch := b.Epoch()
+	if _, err := b.InsertProductCtx(cancelled, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled InsertProductCtx: %v", err)
+	}
+	if b.Epoch() != epoch {
+		t.Fatal("cancelled mutation advanced the epoch")
+	}
+}
+
+// TestIndexPackedRoundTrip proves the version-2 format persists the
+// layout: a packed index survives WriteTo/ReadIndex with its layout and
+// answers intact, and the stored packed section is verified on load.
+func TestIndexPackedRoundTrip(t *testing.T) {
+	ix, P := testIndexWithOpts(t, &Options{PackedBits: 6})
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay := got.Layout(); !lay.Packed || lay.BitsPerDim != 6 {
+		t.Fatalf("loaded layout = %+v, want packed 6-bit", lay)
+	}
+	q := P[7]
+	want, err := ix.ReverseKRanksCtx(context.Background(), q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.ReverseKRanksCtx(context.Background(), q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", have) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("loaded packed index answers differ: %+v vs %+v", have, want)
+	}
+
+	// Corrupting any single byte of the packed section must be caught:
+	// either the section's own framing rejects it, or the byte-for-byte
+	// comparison against the rebuilt cells does.
+	unpackedLen := func() int {
+		u, _ := testIndexWithOpts(t, nil)
+		var ub bytes.Buffer
+		if _, err := u.WriteTo(&ub); err != nil {
+			t.Fatal(err)
+		}
+		return ub.Len()
+	}()
+	if len(raw) <= unpackedLen {
+		t.Fatalf("packed stream (%d bytes) not longer than unpacked (%d): no section written?", len(raw), unpackedLen)
+	}
+	for _, off := range []int{unpackedLen, unpackedLen + 9, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if _, err := ReadIndex(bytes.NewReader(bad)); !errors.Is(err, ErrBadIndexFile) {
+			t.Errorf("flipped packed byte at %d: err = %v, want ErrBadIndexFile", off, err)
+		}
+	}
+	// Truncating the packed section away is equally fatal.
+	if _, err := ReadIndex(bytes.NewReader(raw[:unpackedLen])); !errors.Is(err, ErrBadIndexFile) {
+		t.Errorf("missing packed section: err = %v, want ErrBadIndexFile", err)
+	}
+}
+
+// TestIndexLoadsV1Format pins backward compatibility: a version-1 file
+// (no layout field, no packed section) still loads — as an unpacked
+// index — and re-saves in the version-2 format.
+func TestIndexLoadsV1Format(t *testing.T) {
+	ix, P := testIndexWithOpts(t, nil)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	// A v1 stream is the v2 stream minus the packedBits field, under the
+	// old magic: magic+n, then rangeP and the data sets.
+	v1 := make([]byte, 0, len(v2)-4)
+	v1 = append(v1, v2[:8]...)
+	v1 = append(v1, v2[12:]...)
+	binary.LittleEndian.PutUint32(v1[0:], indexMagicV1)
+
+	got, err := ReadIndex(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if lay := got.Layout(); lay.Packed {
+		t.Fatalf("v1 file loaded packed: %+v", lay)
+	}
+	if got.NumProducts() != ix.NumProducts() || got.GridPartitions() != ix.GridPartitions() {
+		t.Fatal("v1 load lost metadata")
+	}
+	q := P[3]
+	want, err := ix.ReverseKRanksCtx(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.ReverseKRanksCtx(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", have) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("v1-loaded index answers differ: %+v vs %+v", have, want)
+	}
+	// Re-saving writes the current format, byte-identical to the fresh
+	// index's own serialization.
+	var resaved bytes.Buffer
+	if _, err := got.WriteTo(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resaved.Bytes(), v2) {
+		t.Fatal("re-saved v1 index is not byte-identical to the v2 stream")
+	}
+}

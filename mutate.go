@@ -78,21 +78,45 @@ func (ix *Index) checkNewPreference(w Vector) error {
 
 // rebuildEpoch constructs epoch seq from scratch over (pm, wm), exactly
 // as New would over the same data: fresh ranges, approximate vectors,
-// groupings and grid.
-func rebuildEpoch(seq uint64, pm, wm *vec.Matrix, n int) *epoch {
+// groupings and grid. The physical layout (packed row width) carries
+// over so a rebuild never silently changes how the index scans.
+func rebuildEpoch(seq uint64, pm, wm *vec.Matrix, n int, lay algo.Layout) *epoch {
 	rangeP := computeRangeP(pm.Rows())
 	return &epoch{
 		seq:    seq,
 		pm:     pm,
 		wm:     wm,
 		rangeP: rangeP,
-		gir:    algo.NewGIRFromMatrices(pm, wm, rangeP, n),
+		gir:    algo.NewGIRFromMatricesLayout(pm, wm, rangeP, n, lay),
 	}
 }
 
 // partitions returns the grid resolution of an epoch, preserved across
 // rebuilds.
 func (e *epoch) partitions() int { return e.gir.Grid().N() }
+
+// layout returns the physical scan layout of an epoch, preserved across
+// rebuilds.
+func (e *epoch) layout() algo.Layout { return algo.Layout{PackedBits: e.gir.PackedBits()} }
+
+// nextPointEpoch derives the epoch after a single-product mutation:
+// incremental when the persisted point range is unchanged (and the
+// current grid actually uses it), a full rebuild otherwise. Both the
+// insert and delete paths previously spelled this policy out inline;
+// the range rule they share is documented at the top of this file.
+func nextPointEpoch(e *epoch, pm *vec.Matrix, derive func() *algo.GIR) *epoch {
+	if nr := computeRangeP(pm.Rows()); nr == e.rangeP && e.gir.PointRange() == e.rangeP {
+		return &epoch{seq: e.seq + 1, pm: pm, wm: e.wm, rangeP: e.rangeP, gir: derive()}
+	}
+	return rebuildEpoch(e.seq+1, pm, e.wm, e.partitions(), e.layout())
+}
+
+// storeRebuilt publishes a from-scratch epoch over (pm, wm) and flushes
+// the answer cache — the shared tail of every batch mutation.
+func (ix *Index) storeRebuilt(e *epoch, pm, wm *vec.Matrix) {
+	ix.cur.Store(rebuildEpoch(e.seq+1, pm, wm, e.partitions(), e.layout()))
+	ix.cacheFlush(e.seq + 1)
+}
 
 // InsertProduct appends product p to the index and returns its id
 // (equal to NumProducts() before the call; existing ids are unchanged).
@@ -116,12 +140,7 @@ func (ix *Index) InsertProductCtx(ctx context.Context, p Vector) (int, error) {
 	e := ix.snap()
 	id := e.pm.Len()
 	pm := e.pm.WithAppended(p)
-	var ne *epoch
-	if nr := computeRangeP(pm.Rows()); nr == e.rangeP && e.gir.PointRange() == e.rangeP {
-		ne = &epoch{seq: e.seq + 1, pm: pm, wm: e.wm, rangeP: e.rangeP, gir: e.gir.WithAppendedPoint(pm)}
-	} else {
-		ne = rebuildEpoch(e.seq+1, pm, e.wm, e.partitions())
-	}
+	ne := nextPointEpoch(e, pm, func() *algo.GIR { return e.gir.WithAppendedPoint(pm) })
 	ix.cur.Store(ne)
 	ix.cacheOnProduct(ne.seq, p)
 	return id, nil
@@ -153,12 +172,7 @@ func (ix *Index) DeleteProductCtx(ctx context.Context, i int) error {
 	// it directly.
 	removed := e.pm.Row(i)
 	pm := e.pm.WithRemoved(i)
-	var ne *epoch
-	if nr := computeRangeP(pm.Rows()); nr == e.rangeP && e.gir.PointRange() == e.rangeP {
-		ne = &epoch{seq: e.seq + 1, pm: pm, wm: e.wm, rangeP: e.rangeP, gir: e.gir.WithRemovedPoint(pm, i)}
-	} else {
-		ne = rebuildEpoch(e.seq+1, pm, e.wm, e.partitions())
-	}
+	ne := nextPointEpoch(e, pm, func() *algo.GIR { return e.gir.WithRemovedPoint(pm, i) })
 	ix.cur.Store(ne)
 	ix.cacheOnProduct(ne.seq, removed)
 	return nil
@@ -195,7 +209,7 @@ func (ix *Index) InsertPreferenceCtx(ctx context.Context, w Vector) (int, error)
 	} else {
 		// A component at or beyond the weight axis would clamp into the
 		// last cell and break the upper bound: rebuild with a grown axis.
-		ne = rebuildEpoch(e.seq+1, e.pm, wm, e.partitions())
+		ne = rebuildEpoch(e.seq+1, e.pm, wm, e.partitions(), e.layout())
 	}
 	ix.cur.Store(ne)
 	ix.cacheOnPrefInsert(ne, id)
@@ -259,8 +273,7 @@ func (ix *Index) InsertProductsCtx(ctx context.Context, ps []Vector) (int, error
 	rows := make([]Vector, 0, first+len(ps))
 	rows = append(rows, e.pm.Rows()...)
 	rows = append(rows, ps...)
-	ix.cur.Store(rebuildEpoch(e.seq+1, vec.NewMatrix(rows), e.wm, e.partitions()))
-	ix.cacheFlush(e.seq + 1)
+	ix.storeRebuilt(e, vec.NewMatrix(rows), e.wm)
 	return first, nil
 }
 
@@ -285,8 +298,7 @@ func (ix *Index) DeleteProductsCtx(ctx context.Context, ids []int) error {
 		return err
 	}
 	rows := surviving(e.pm, drop)
-	ix.cur.Store(rebuildEpoch(e.seq+1, vec.NewMatrix(rows), e.wm, e.partitions()))
-	ix.cacheFlush(e.seq + 1)
+	ix.storeRebuilt(e, vec.NewMatrix(rows), e.wm)
 	return nil
 }
 
@@ -316,8 +328,7 @@ func (ix *Index) InsertPreferencesCtx(ctx context.Context, ws []Vector) (int, er
 	rows := make([]Vector, 0, first+len(ws))
 	rows = append(rows, e.wm.Rows()...)
 	rows = append(rows, ws...)
-	ix.cur.Store(rebuildEpoch(e.seq+1, e.pm, vec.NewMatrix(rows), e.partitions()))
-	ix.cacheFlush(e.seq + 1)
+	ix.storeRebuilt(e, e.pm, vec.NewMatrix(rows))
 	return first, nil
 }
 
@@ -340,8 +351,7 @@ func (ix *Index) DeletePreferencesCtx(ctx context.Context, ids []int) error {
 		return err
 	}
 	rows := surviving(e.wm, drop)
-	ix.cur.Store(rebuildEpoch(e.seq+1, e.pm, vec.NewMatrix(rows), e.partitions()))
-	ix.cacheFlush(e.seq + 1)
+	ix.storeRebuilt(e, e.pm, vec.NewMatrix(rows))
 	return nil
 }
 

@@ -11,29 +11,45 @@ import (
 	"path/filepath"
 
 	"gridrank/internal/algo"
+	"gridrank/internal/bits"
 	"gridrank/internal/dataset"
 	"gridrank/internal/vec"
 )
 
-// Index file layout (little endian):
+// Index file layout, version 2 (little endian):
 //
-//	magic    uint32  'G''R''I''1'
-//	n        uint32  grid partitions
-//	rangeP   float64
+//	magic       uint32  'G''R''I''2'
+//	n           uint32  grid partitions
+//	packedBits  uint32  scan layout: 0 = float64 rows, 4..8 = packed width
+//	rangeP      float64
 //	products     dataset binary block
 //	preferences  dataset binary block
+//	packed P^(A) rows (bits.PackedRows block)   — only when packedBits > 0
 //
 // The approximate vectors and boundary tables are cheap to rebuild
 // (O(|P|·d) cell assignments plus an (n+1)² table), so the file stores the
 // authoritative data and reconstruction happens on load; this keeps the
-// format immune to grid layout changes.
+// format immune to grid layout changes. A packed index additionally
+// stores its element-wise packed cell rows: on load they are verified
+// byte-for-byte against the rebuilt cells, turning any corruption of
+// the data sections that survives their own framing checks into a
+// loud ErrBadIndexFile instead of silently wrong answers. The section
+// is element-wise, not group-wise, because group numbering depends on
+// mutation history while element order does not (see below).
+//
+// Version 1 files (magic 'G''R''I''1') lack the packedBits field and
+// the packed section; they load as unpacked indexes and re-save in the
+// version-2 format.
 //
 // A mutated index persists exactly like a fresh build over the same data:
 // the mutation paths maintain rangeP with New's derivation (see
 // computeRangeP), so Save after any insert/delete sequence produces a
-// file byte-identical to Save of New(current data).
+// file byte-identical to Save of New(current data) with the same layout.
 
-const indexMagic = 0x31495247 // "GRI1"
+const (
+	indexMagicV1 = 0x31495247 // "GRI1"
+	indexMagic   = 0x32495247 // "GRI2"
+)
 
 // ErrBadIndexFile reports a corrupt or foreign index file.
 var ErrBadIndexFile = errors.New("gridrank: bad index file")
@@ -58,12 +74,14 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // to w, per the io.WriterTo contract.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	e := ix.snap()
+	packedBits := e.gir.PackedBits()
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
-	hdr := make([]byte, 4+4+8)
+	hdr := make([]byte, 4+4+4+8)
 	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(e.gir.Grid().N()))
-	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(e.rangeP))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(packedBits))
+	binary.LittleEndian.PutUint64(hdr[12:], math.Float64bits(e.rangeP))
 	if _, err := bw.Write(hdr); err != nil {
 		return cw.n, err
 	}
@@ -75,6 +93,11 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := dataset.WriteBinary(bw, wset); err != nil {
 		return cw.n, err
 	}
+	if packedBits > 0 {
+		if err := e.gir.PointCells().PackRows(packedBits).Write(bw); err != nil {
+			return cw.n, err
+		}
+	}
 	err := bw.Flush()
 	return cw.n, err
 }
@@ -83,17 +106,41 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 // Grid-index and approximate vectors.
 func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
-	hdr := make([]byte, 4+4+8)
+	hdr := make([]byte, 4+4)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != indexMagic {
+	magic := binary.LittleEndian.Uint32(hdr[0:])
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	packedBits := 0
+	var rangeP float64
+	switch magic {
+	case indexMagicV1:
+		// Version 1: no layout field, no packed section. Loads unpacked;
+		// the next Save writes version 2.
+		var raw [8]byte
+		if _, err := io.ReadFull(br, raw[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+		}
+		rangeP = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+	case indexMagic:
+		var raw [12]byte
+		if _, err := io.ReadFull(br, raw[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+		}
+		packedBits = int(binary.LittleEndian.Uint32(raw[0:]))
+		rangeP = math.Float64frombits(binary.LittleEndian.Uint64(raw[4:]))
+		if packedBits != 0 && (packedBits < algo.MinPackedBits || packedBits > algo.MaxPackedBits) {
+			return nil, fmt.Errorf("%w: implausible packed width %d", ErrBadIndexFile, packedBits)
+		}
+	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrBadIndexFile)
 	}
-	n := int(binary.LittleEndian.Uint32(hdr[4:]))
-	rangeP := math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:]))
 	if n < 1 || n > 256 {
 		return nil, fmt.Errorf("%w: implausible partition count %d", ErrBadIndexFile, n)
+	}
+	if packedBits != 0 && 1<<packedBits < n {
+		return nil, fmt.Errorf("%w: packed width %d cannot encode %d partitions", ErrBadIndexFile, packedBits, n)
 	}
 	if rangeP <= 0 || math.IsNaN(rangeP) || math.IsInf(rangeP, 0) {
 		return nil, fmt.Errorf("%w: implausible range %v", ErrBadIndexFile, rangeP)
@@ -122,15 +169,32 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
 	}
 	// Same contiguous layout as New: one backing array per set, shared by
-	// the index views and the algorithm. The on-disk format is unchanged.
+	// the index views and the algorithm.
 	pm := vec.NewMatrix(pset.Points)
 	wm := vec.NewMatrix(wset.Points)
+	gir := algo.NewGIRFromMatricesLayout(pm, wm, rangeP, n, algo.Layout{PackedBits: packedBits})
+	if packedBits > 0 {
+		// The stored packed section must match the cells rebuilt from the
+		// data sections exactly: a mismatch means some section was
+		// corrupted in a way its own framing checks missed.
+		stored, err := bits.ReadRows(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: packed rows: %v", ErrBadIndexFile, err)
+		}
+		if stored.BitsPerDim() != packedBits {
+			return nil, fmt.Errorf("%w: packed section width %d, header says %d",
+				ErrBadIndexFile, stored.BitsPerDim(), packedBits)
+		}
+		if !stored.Equal(gir.PointCells().PackRows(packedBits)) {
+			return nil, fmt.Errorf("%w: packed rows disagree with rebuilt cells", ErrBadIndexFile)
+		}
+	}
 	ix := &Index{dim: pset.Dim}
 	ix.cur.Store(&epoch{
 		pm:     pm,
 		wm:     wm,
 		rangeP: rangeP,
-		gir:    algo.NewGIRFromMatrices(pm, wm, rangeP, n),
+		gir:    gir,
 	})
 	return ix, nil
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"gridrank/internal/algo"
 	"gridrank/internal/cache"
 	"gridrank/internal/stats"
 	"gridrank/internal/trace"
@@ -48,6 +49,9 @@ type queryConfig struct {
 	// servedEpoch, when non-nil, receives the epoch the answer is valid
 	// against (WithServedEpoch).
 	servedEpoch *uint64
+	// reference forces the float64 reference scan layout for this call
+	// (WithLayoutReference), even on an index built with PackedBits.
+	reference bool
 }
 
 // WithWorkers sets the intra-query worker count for a single call,
@@ -101,6 +105,20 @@ func WithTrace(tr *trace.Trace) QueryOption {
 func WithoutCache() QueryOption {
 	return func(cfg *queryConfig) error {
 		cfg.noCache = true
+		return nil
+	}
+}
+
+// WithLayoutReference forces this call to classify cells through the
+// float64 reference layout, even when the index was built with
+// Options.PackedBits and normally scans bit-packed rows. Answers are
+// byte-identical either way — the packed kernel adds the same bound
+// addends in the same order — so the only observable difference is
+// speed. Intended for A/B measurements and for layout-equivalence
+// harnesses; on an unpacked index the option is a no-op.
+func WithLayoutReference() QueryOption {
+	return func(cfg *queryConfig) error {
+		cfg.reference = true
 		return nil
 	}
 }
@@ -212,7 +230,12 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...Qu
 	sp := cfg.tr.StartSpan("snapshot")
 	ep := ix.snap()
 	sp.SetInt("epoch", int64(ep.seq)).End()
-	res, err := ep.gir.ReverseTopKTraced(ctx, q, k, cfg.resolveWorkers(ix), c, cfg.tr)
+	res, err := ep.gir.ReverseTopKOpts(ctx, q, k, algo.QueryOpts{
+		Workers:   cfg.resolveWorkers(ix),
+		Counters:  c,
+		Trace:     cfg.tr,
+		Reference: cfg.reference,
+	})
 	cfg.finish(c)
 	if err != nil {
 		return nil, err
@@ -262,7 +285,12 @@ func (ix *Index) ReverseKRanksCtx(ctx context.Context, q Vector, k int, opts ...
 	sp := cfg.tr.StartSpan("snapshot")
 	ep := ix.snap()
 	sp.SetInt("epoch", int64(ep.seq)).End()
-	matches, err := ep.gir.ReverseKRanksTraced(ctx, q, k, cfg.resolveWorkers(ix), c, cfg.tr)
+	matches, err := ep.gir.ReverseKRanksOpts(ctx, q, k, algo.QueryOpts{
+		Workers:   cfg.resolveWorkers(ix),
+		Counters:  c,
+		Trace:     cfg.tr,
+		Reference: cfg.reference,
+	})
 	cfg.finish(c)
 	if err != nil {
 		return nil, err

@@ -1,7 +1,10 @@
 #!/bin/sh
 # check_deprecated.sh fails when repo code calls the deprecated Index
 # query matrix (ReverseTopK / ReverseKRanks and their Stats / Parallel /
-# ParallelStats variants) instead of the context-first API.
+# ParallelStats variants) instead of the context-first API, or the algo
+# layer's positional Traced form instead of the QueryOpts one (the
+# positional workers argument has the old 0-means-GOMAXPROCS
+# convention; new call sites take ReverseTopKOpts/ReverseKRanksOpts).
 #
 # Scope: the public-facing layers — the root package, examples/, cmd/
 # and internal/server. Exempt:
@@ -13,7 +16,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-pattern='\.Reverse(TopK|KRanks)(Stats|Parallel|ParallelStats)?\([^)]*\)'
+pattern='\.Reverse(TopK|KRanks)(Stats|Parallel|ParallelStats|Traced)?\([^)]*\)'
 files=$(ls ./*.go; find examples cmd internal/server -name '*.go')
 
 bad=0
