@@ -49,6 +49,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		index    = flag.String("index", "", "index file saved with gridrank (see rrqgen + library Save)")
+		mmap     = flag.Bool("mmap", false, "memory-map the -index file (GRI3) instead of reading it onto the heap")
 		demo     = flag.Bool("demo", false, "serve a synthetic index instead of a file")
 		dist     = flag.String("dist", "UN", "demo distribution (UN, CL, AC, DIANPING, ...)")
 		np       = flag.Int("np", 10000, "demo products")
@@ -83,7 +84,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rrqserver:", err)
 		os.Exit(1)
 	}
-	ix, err := buildIndex(*index, *demo, *dist, *np, *nw, *d, *seed, *packed)
+	ix, err := buildIndex(*index, *mmap, *demo, *dist, *np, *nw, *d, *seed, *packed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrqserver:", err)
 		os.Exit(1)
@@ -98,6 +99,8 @@ func main() {
 		"dim", ix.Dim(),
 		"gridPartitions", ix.GridPartitions(),
 		"packed", ix.Layout().Packed,
+		"format", ix.Format(),
+		"resident", ix.Resident(),
 		"addr", *addr,
 		"queryTimeout", qTimeout.String(),
 	)
@@ -187,7 +190,7 @@ func buildLogger(format string) (*slog.Logger, error) {
 	}
 }
 
-func buildIndex(path string, demo bool, dist string, np, nw, d int, seed int64, packedBits int) (*gridrank.Index, error) {
+func buildIndex(path string, mmap, demo bool, dist string, np, nw, d int, seed int64, packedBits int) (*gridrank.Index, error) {
 	switch {
 	case path != "" && demo:
 		return nil, fmt.Errorf("-index and -demo are mutually exclusive")
@@ -195,7 +198,12 @@ func buildIndex(path string, demo bool, dist string, np, nw, d int, seed int64, 
 		if packedBits != 0 {
 			return nil, fmt.Errorf("-packed-bits applies only to -demo; a loaded index keeps its saved layout")
 		}
+		if mmap {
+			return gridrank.LoadMmap(path)
+		}
 		return gridrank.Load(path)
+	case mmap:
+		return nil, fmt.Errorf("-mmap requires -index")
 	case demo:
 		P, err := gridrank.GenerateProducts(seed, gridrank.Distribution(dist), np, d)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"hash/crc64"
 	"testing"
 )
 
@@ -37,8 +38,9 @@ func FuzzReadIndex(f *testing.F) {
 	for cut := 1; cut < 16; cut++ {
 		f.Add(valid.Bytes()[:cut])
 	}
-	// Corrupt header fields on an otherwise valid stream: magic, grid
-	// partitions (0 and absurd), rangeP (zero, negative, NaN bits).
+	// Corrupt GRI3 header fields on an otherwise valid stream: magic,
+	// grid partitions (0 and absurd), packedBits (below the floor, above
+	// the ceiling, absurd), a count field blown up.
 	corrupt := func(off int, val uint32) []byte {
 		b := append([]byte(nil), valid.Bytes()...)
 		binary.LittleEndian.PutUint32(b[off:], val)
@@ -48,22 +50,49 @@ func FuzzReadIndex(f *testing.F) {
 	f.Add(corrupt(0, 0x31495248))
 	f.Add(corrupt(4, 0))
 	f.Add(corrupt(4, 1<<30))
-	f.Add(corrupt(8, 0))
-	b := append([]byte(nil), valid.Bytes()...)
-	binary.LittleEndian.PutUint64(b[8:], ^uint64(0)) // NaN rangeP
-	f.Add(b)
-	// Body corruption: truncated mid-dataset and flipped length prefix.
-	f.Add(valid.Bytes()[:valid.Len()-7])
-	f.Add(corrupt(20, ^uint32(0)))
-	// Layout corruption: packedBits outside {0} ∪ [4, 8], and a width the
-	// grid cannot fit (8 partitions need at least 3 bits, but 4 is the
-	// floor — use a too-small grid encoding instead).
 	f.Add(corrupt(8, 3))
 	f.Add(corrupt(8, 9))
 	f.Add(corrupt(8, 1<<20))
-	// A packed index stream plus corruptions of its packed section: the
-	// header and data sets parse, so rejection must come from the packed
-	// rows' framing or the byte-for-byte comparison with rebuilt cells.
+	f.Add(corrupt(24, ^uint32(0)))
+	b := append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint64(b[56:], ^uint64(0)) // NaN rangeP
+	f.Add(b)
+	// Structure-aware GRI3 seeds: truncated at the section table, a
+	// tampered table entry (header CRC mismatch), a misaligned section
+	// offset and a stretched fileSize with the header CRC re-signed so
+	// rejection must come from the canonical-layout equality, a section
+	// payload flip (section CRC mismatch), nonzero inter-section padding,
+	// and a truncated final section.
+	resign := func(b []byte) []byte {
+		sc := int(binary.LittleEndian.Uint32(b[16:]))
+		crc := crc64.New(gri3CRC)
+		crc.Write(b[:80])
+		crc.Write(b[gri3HeaderLen : gri3HeaderLen+gri3EntryLen*sc])
+		binary.LittleEndian.PutUint64(b[80:], crc.Sum64())
+		return b
+	}
+	f.Add(valid.Bytes()[:gri3HeaderLen])
+	f.Add(valid.Bytes()[:gri3HeaderLen+gri3EntryLen*5])
+	b = append([]byte(nil), valid.Bytes()...)
+	b[gri3HeaderLen+8] ^= 0x44 // first section's offset, CRC not re-signed
+	f.Add(b)
+	b = append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint64(b[gri3HeaderLen+8:], gri3Align*3)
+	f.Add(resign(b))
+	b = append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint64(b[72:], binary.LittleEndian.Uint64(b[72:])+gri3Align)
+	f.Add(resign(b))
+	b = append([]byte(nil), valid.Bytes()...)
+	b[gri3Align+5] ^= 0x01 // inside the first payload
+	f.Add(b)
+	b = append([]byte(nil), valid.Bytes()...)
+	b[gri3Align-1] = 0xAA // padding byte before the first section
+	f.Add(b)
+	f.Add(valid.Bytes()[:valid.Len()-7])
+	// A packed index stream plus blind flips landing in its later
+	// sections (the offsets, relative to the unpacked stream's length,
+	// fall inside the packed stream's payload region): rejection must
+	// come from a section CRC or the padding rule.
 	pix, err := New(P, W, &Options{GridPartitions: 8, PackedBits: 4})
 	if err != nil {
 		f.Fatal(err)
@@ -80,8 +109,8 @@ func FuzzReadIndex(f *testing.F) {
 		b[valid.Len()+off] ^= 0x11
 		f.Add(b)
 	}
-	// Header claims packed but the section is missing / claims unpacked
-	// with a trailing section.
+	// Header claims packed over an unpacked image: the canonical layout
+	// then expects one more section than the file holds.
 	b = append([]byte(nil), valid.Bytes()...)
 	binary.LittleEndian.PutUint32(b[8:], 4)
 	f.Add(b)

@@ -201,6 +201,12 @@ type Index struct {
 	// answers is the optional answer cache (nil = off); see
 	// answercache.go for the enablement and invalidation wiring.
 	answers atomic.Pointer[cache.Cache]
+	// format is the on-disk format version the index came from, "" for a
+	// fresh build (see Format). Immutable after construction.
+	format string
+	// mapped holds the memory mappings backing this index's epochs
+	// (LoadMmap, Checkpoint); guarded by mu, released by Close.
+	mapped [][]byte
 }
 
 // epoch is one immutable snapshot of the indexed data and its derived

@@ -59,7 +59,7 @@ func (gr *GIR) AggregateReverseRank(Q []vec.Vector, k int, c *stats.Counters) []
 	}
 	scratch := gr.newScratch()
 	h := topk.NewKRankHeap(k)
-	for wi := range gr.W {
+	for wi, nW := 0, gr.wm.Len(); wi < nW; wi++ {
 		budget := h.Threshold()
 		total := 0
 		rejected := false

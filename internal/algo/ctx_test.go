@@ -93,7 +93,7 @@ func TestSequentialCancellationIsChunkBounded(t *testing.T) {
 			if processed == 0 {
 				t.Fatal("counters empty: cancelled work must still be accounted")
 			}
-			if bound := int64(cancelChunk) * int64(len(gir.P)); processed > bound {
+			if bound := int64(cancelChunk) * int64(gir.NumPoints()); processed > bound {
 				t.Fatalf("%d point decisions after cancellation, one-chunk bound is %d", processed, bound)
 			}
 		})
@@ -128,10 +128,10 @@ func TestParallelCancellationIsChunkBounded(t *testing.T) {
 				t.Fatalf("err = %v, want context.Canceled", err)
 			}
 			processed := c.Filtered + c.Refinements
-			if bound := 2 * int64(cancelChunk) * int64(len(gir.P)); processed > bound {
+			if bound := 2 * int64(cancelChunk) * int64(gir.NumPoints()); processed > bound {
 				t.Fatalf("%d point decisions after cancellation, two-chunk bound is %d", processed, bound)
 			}
-			if full := int64(nW) * int64(len(gir.P)) / 2; processed >= full {
+			if full := int64(nW) * int64(gir.NumPoints()) / 2; processed >= full {
 				t.Fatalf("cancelled parallel scan did %d decisions — not meaningfully early", processed)
 			}
 		})

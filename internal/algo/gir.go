@@ -33,12 +33,14 @@ import (
 //     so the scan visits W in cell-sorted order and re-gathers the
 //     interleaved bound scratch only when the weight group changes.
 //
-// P and W are stored as contiguous row-major matrices; the exported P/W
-// fields are stride-d views into that storage, so the Case-3 refinement
-// dots stream sequential memory.
+// P and W are stored as contiguous row-major matrices (Point/Weight
+// return stride-d views into that storage), so the Case-3 refinement
+// dots stream sequential memory. The matrices may alias memory the
+// caller owns — including an mmap-ed index file — which is why nothing
+// here ever builds per-row headers eagerly or writes into them.
 type GIR struct {
-	P []vec.Vector
-	W []vec.Vector
+	pm *vec.Matrix
+	wm *vec.Matrix
 
 	// DisableDomin turns off the Domin buffer (Algorithm 1's dominating-
 	// point memoization). Queries stay correct; the flag exists for the
@@ -130,6 +132,25 @@ func maxComponent(vs []vec.Vector) float64 {
 	return math.Nextafter(m, math.Inf(1))
 }
 
+// CanonicalWeightRange is maxComponent over a weight matrix's flat
+// backing — the weight-axis range a fresh build over wm would use. The
+// persist layer compares it against a stored grid's RangeW to decide
+// whether the weight-side artifacts are still canonical at save time.
+// The scan order differs from maxComponent's row order but a maximum is
+// order-independent, so the value is bit-identical.
+func CanonicalWeightRange(wm *vec.Matrix) float64 {
+	m := 0.0
+	for _, x := range wm.Data() {
+		if x > m {
+			m = x
+		}
+	}
+	if m <= 0 {
+		return 1
+	}
+	return math.Nextafter(m, math.Inf(1))
+}
+
 // NewGIRWithBounder builds GIR over any grid implementation — the paper's
 // equal-width Grid or the adaptive quantile grid of its future work
 // (grid.NewAdaptive) — copying the data into contiguous storage and
@@ -161,15 +182,15 @@ func NewGIRFromMatricesLayout(pm, wm *vec.Matrix, rangeP float64, n int, lay Lay
 	if n < 1 {
 		panic(fmt.Sprintf("algo: grid partitions %d < 1", n))
 	}
-	return newGIR(pm, wm, grid.New(n, rangeP, maxComponent(wm.Rows())), lay)
+	return newGIR(pm, wm, grid.New(n, rangeP, CanonicalWeightRange(wm)), lay)
 }
 
 func newGIR(pm, wm *vec.Matrix, g grid.Bounder, lay Layout) *GIR {
 	pa := grid.NewPointIndex(g, pm.Rows())
 	wa := grid.NewWeightIndex(g, wm.Rows())
 	gr := &GIR{
-		P:  pm.Rows(),
-		W:  wm.Rows(),
+		pm: pm,
+		wm: wm,
 		g:  g,
 		pa: pa,
 		wa: wa,
@@ -178,6 +199,50 @@ func newGIR(pm, wm *vec.Matrix, g grid.Bounder, lay Layout) *GIR {
 	}
 	if lay.PackedBits != 0 {
 		gr.enablePacked(lay.PackedBits)
+	}
+	return gr
+}
+
+// GIRParts are the precomputed artifacts NewGIRFromParts assembles a
+// GIR from — everything newGIR would otherwise derive, as loaded from a
+// GRI3 file. All references are adopted without copying; they may alias
+// mapped memory.
+type GIRParts struct {
+	PM, WM *vec.Matrix
+	Grid   grid.Bounder
+	PA, WA *grid.Index        // P^(A), W^(A) element cells
+	PG, WG *grid.GroupedIndex // their groupings
+	// PackedBits > 0 routes classification through the packed kernels;
+	// PG.Packed() must then hold the matching-width store.
+	PackedBits int
+}
+
+// NewGIRFromParts assembles a GIR from precomputed artifacts without
+// deriving anything: no approximate vectors are recomputed, no rows are
+// regrouped, no row headers are materialized — the O(1) constructor the
+// mmap load path needs. The caller (the persist layer) is responsible
+// for the parts being mutually consistent; shape checks that cost more
+// than O(groups) belong there, not here.
+func NewGIRFromParts(parts GIRParts) *GIR {
+	gr := &GIR{
+		pm: parts.PM,
+		wm: parts.WM,
+		g:  parts.Grid,
+		pa: parts.PA,
+		wa: parts.WA,
+		pg: parts.PG,
+		wg: parts.WG,
+	}
+	if b := parts.PackedBits; b != 0 {
+		if b < MinPackedBits || b > MaxPackedBits {
+			panic(fmt.Sprintf("algo: packed bits %d outside [%d, %d]", b, MinPackedBits, MaxPackedBits))
+		}
+		pk := gr.pg.Packed()
+		if pk == nil || pk.BitsPerDim() != b {
+			panic(fmt.Sprintf("algo: parts promise %d-bit packed rows but the grouping does not carry them", b))
+		}
+		gr.packedBits = b
+		gr.pk = pk
 	}
 	return gr
 }
@@ -215,6 +280,32 @@ func (gr *GIR) Grid() grid.Bounder { return gr.g }
 // a fresh build over the same data.
 func (gr *GIR) PointCells() *grid.Index { return gr.pa }
 
+// WeightCells exposes the element-wise approximate weight vectors
+// W^(A), for the persistence layer.
+func (gr *GIR) WeightCells() *grid.Index { return gr.wa }
+
+// PointGrouping exposes the distinct-P^(A)-row grouping, for the
+// persistence layer.
+func (gr *GIR) PointGrouping() *grid.GroupedIndex { return gr.pg }
+
+// WeightGrouping exposes the distinct-W^(A)-row grouping, for the
+// persistence layer.
+func (gr *GIR) WeightGrouping() *grid.GroupedIndex { return gr.wg }
+
+// Point returns point j as a view into the contiguous backing; callers
+// must not modify it.
+func (gr *GIR) Point(j int) vec.Vector { return gr.pm.Row(j) }
+
+// Weight returns weight i as a view into the contiguous backing;
+// callers must not modify it.
+func (gr *GIR) Weight(i int) vec.Vector { return gr.wm.Row(i) }
+
+// NumPoints returns |P|.
+func (gr *GIR) NumPoints() int { return gr.pm.Len() }
+
+// NumWeights returns |W|.
+func (gr *GIR) NumWeights() int { return gr.wm.Len() }
+
 // PointGroups returns the number of distinct P^(A) rows (diagnostics).
 func (gr *GIR) PointGroups() int { return gr.pg.Groups() }
 
@@ -239,7 +330,7 @@ func (gr *GIR) WeightGroups() int { return gr.wg.Groups() }
 // cutoff test is rnk ≥ cutoff, matching the prose ("whenever rnk reaches
 // k") rather than the printed "rnk > k".
 func (gr *GIR) rankBounded(wi int, q vec.Vector, cutoff int, dom *domin, scratch *girScratch, c *stats.Counters) (int, bool) {
-	w := gr.W[wi]
+	w := gr.wm.Row(wi)
 	fq := vec.Dot(w, q)
 	if c != nil {
 		c.PairwiseMults++
@@ -317,10 +408,11 @@ func (gr *GIR) rankBounded(wi int, q vec.Vector, cutoff int, dom *domin, scratch
 					c.Refinements++
 					c.PointsVisited++
 				}
-				if vec.Dot(w, gr.P[pj]) < fq {
+				p := gr.pm.Row(pj)
+				if vec.Dot(w, p) < fq {
 					rnk++
 					if !gr.DisableDomin {
-						dom.observe(pj, gr.P[pj], q)
+						dom.observe(pj, p, q)
 					}
 					if rnk >= cutoff {
 						return cutoff, false
@@ -391,7 +483,7 @@ func classifyRow(row []uint8, bnd []float64, n2 int, fq float64) int32 {
 func (gr *GIR) observeGroup(g int, dom *domin, q vec.Vector) {
 	for _, m := range gr.pg.Members(g) {
 		pj := int(m)
-		dom.observe(pj, gr.P[pj], q)
+		dom.observe(pj, gr.pm.Row(pj), q)
 	}
 }
 
@@ -413,10 +505,11 @@ func (gr *GIR) refineGroup(g int, w, q vec.Vector, fq float64, rnk, cutoff int, 
 			c.Refinements++
 			c.PointsVisited++
 		}
-		if vec.Dot(w, gr.P[pj]) < fq {
+		p := gr.pm.Row(pj)
+		if vec.Dot(w, p) < fq {
 			rnk++
 			if !gr.DisableDomin {
-				dom.observe(pj, gr.P[pj], q)
+				dom.observe(pj, p, q)
 			}
 			if rnk >= cutoff {
 				return cutoff, false
@@ -508,7 +601,7 @@ func (gr *GIR) newScratch() *girScratch {
 // grouped Case-1 counting can add whole groups of live (non-dominator)
 // members in one step.
 func (gr *GIR) newGroupedDomin() *domin {
-	d := newDomin(len(gr.P))
+	d := newDomin(gr.pm.Len())
 	d.groupOf = gr.pg.GroupMap()
 	nG := gr.pg.Groups()
 	d.groupSizes = make([]int32, nG)
@@ -650,7 +743,7 @@ func (gr *GIR) ReverseTopKOpts(ctx context.Context, q vec.Vector, k int, opts Qu
 	if workers == 0 {
 		workers = 1
 	}
-	if workers = normalizeWorkers(workers, len(gr.W)); workers > 1 {
+	if workers = normalizeWorkers(workers, gr.wm.Len()); workers > 1 {
 		return gr.reverseTopKParallel(ctx, q, k, workers, c, tr, opts.Reference)
 	}
 	done := ctx.Done()
@@ -681,7 +774,7 @@ func (gr *GIR) ReverseTopKOpts(ctx context.Context, q vec.Vector, k int, opts Qu
 			break
 		}
 	}
-	endScanSpan(sp, c, base, st.dom.count, k, len(gr.W))
+	endScanSpan(sp, c, base, st.dom.count, k, gr.wm.Len())
 	if scanErr != nil {
 		return nil, scanErr
 	}
@@ -767,7 +860,7 @@ func (gr *GIR) ReverseKRanksOpts(ctx context.Context, q vec.Vector, k int, opts 
 	if workers == 0 {
 		workers = 1
 	}
-	if workers = normalizeWorkers(workers, len(gr.W)); workers > 1 {
+	if workers = normalizeWorkers(workers, gr.wm.Len()); workers > 1 {
 		return gr.reverseKRanksParallel(ctx, q, k, workers, c, tr, opts.Reference)
 	}
 	done := ctx.Done()
@@ -797,7 +890,7 @@ func (gr *GIR) ReverseKRanksOpts(ctx context.Context, q vec.Vector, k int, opts 
 		sp.SetInt("heap_admits", int64(admits))
 		sp.SetInt("cutoff_final", cutoffAttr(admitCutoff(h)))
 	}
-	endScanSpan(sp, c, base, st.dom.count, -1, len(gr.W))
+	endScanSpan(sp, c, base, st.dom.count, -1, gr.wm.Len())
 	if scanErr != nil {
 		return nil, scanErr
 	}

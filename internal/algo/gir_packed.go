@@ -22,7 +22,7 @@ package algo
 //     to a quarter.
 //
 // Case 3 still unpacks nothing: refinement needs the exact float64
-// point, not the cells, so it reads gr.P exactly as before. Blocks are
+// point, not the cells, so it reads the point matrix exactly as before. Blocks are
 // gathered from *live* groups only, in scan order, so fully-dominated
 // rows are never classified — the same skip the unpacked loop gets per
 // group — and counters are incremented only for groups still live at
@@ -160,10 +160,10 @@ func (gr *GIR) rankBoundedPacked(w, q vec.Vector, fq float64, rnk, cutoff int, d
 						c.Refinements++
 						c.PointsVisited++
 					}
-					if vec.Dot(w, gr.P[pj]) < fq {
+					if vec.Dot(w, gr.pm.Row(pj)) < fq {
 						rnk++
 						if !gr.DisableDomin {
-							dom.observe(pj, gr.P[pj], q)
+							dom.observe(pj, gr.pm.Row(pj), q)
 						}
 						if rnk >= cutoff {
 							return cutoff, false

@@ -155,9 +155,9 @@ func (wm *rankWatermark) cutoff(local int) int {
 // chunk; the coordinator then joins them all and returns ctx.Err() —
 // cancellation never leaks a goroutine.
 func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace, ref bool) ([]int, error) {
-	shared := newSharedDomin(len(gr.P))
+	shared := newSharedDomin(gr.pm.Len())
 	var cursor atomic.Int64
-	chunk := parallelChunk(len(gr.W), workers)
+	chunk := parallelChunk(gr.wm.Len(), workers)
 	done := ctx.Done()
 	sp := tr.StartSpan("scan")
 	sp.SetInt("workers", int64(workers))
@@ -222,7 +222,7 @@ func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers
 		}
 	}
 	dominators := int(shared.count.Load())
-	endScanSpan(sp, c, base, dominators, k, len(gr.W))
+	endScanSpan(sp, c, base, dominators, k, gr.wm.Len())
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -259,7 +259,7 @@ func endWorkerSpan(wsp *trace.Span, c *stats.Counters, scanned int) {
 func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace, ref bool) ([]topk.Match, error) {
 	wm := newRankWatermark()
 	var cursor atomic.Int64
-	chunk := parallelChunk(len(gr.W), workers)
+	chunk := parallelChunk(gr.wm.Len(), workers)
 	done := ctx.Done()
 	sp := tr.StartSpan("scan")
 	sp.SetInt("workers", int64(workers))
@@ -328,7 +328,7 @@ func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, worke
 	if sp != nil {
 		sp.SetInt("cutoff_final", cutoffAttr(int(wm.v.Load())))
 	}
-	endScanSpan(sp, c, base, -1, -1, len(gr.W))
+	endScanSpan(sp, c, base, -1, -1, gr.wm.Len())
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

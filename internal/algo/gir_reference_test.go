@@ -23,7 +23,7 @@ import (
 // P^(A) with the same Case 1/2/3 classification, Domin buffer and cutoff
 // semantics the grouped scan re-derives per group.
 func refRankBounded(gr *GIR, wi int, q vec.Vector, cutoff int, dom *domin, bnd []float64) (int, bool) {
-	w := gr.W[wi]
+	w := gr.Weight(wi)
 	fq := vec.Dot(w, q)
 	rnk := dom.count
 	if rnk >= cutoff {
@@ -42,7 +42,7 @@ func refRankBounded(gr *GIR, wi int, q vec.Vector, cutoff int, dom *domin, bnd [
 		}
 	}
 	approx := gr.pa.Cells()
-	for pj := range gr.P {
+	for pj, nP := 0, gr.NumPoints(); pj < nP; pj++ {
 		if dom.has(pj) {
 			continue
 		}
@@ -58,7 +58,7 @@ func refRankBounded(gr *GIR, wi int, q vec.Vector, cutoff int, dom *domin, bnd [
 		if u < fq { // Case 1
 			rnk++
 			if !gr.DisableDomin {
-				dom.observe(pj, gr.P[pj], q)
+				dom.observe(pj, gr.Point(pj), q)
 			}
 			if rnk >= cutoff {
 				return cutoff, false
@@ -66,10 +66,10 @@ func refRankBounded(gr *GIR, wi int, q vec.Vector, cutoff int, dom *domin, bnd [
 			continue
 		}
 		if l <= fq { // Case 3
-			if vec.Dot(w, gr.P[pj]) < fq {
+			if vec.Dot(w, gr.Point(pj)) < fq {
 				rnk++
 				if !gr.DisableDomin {
-					dom.observe(pj, gr.P[pj], q)
+					dom.observe(pj, gr.Point(pj), q)
 				}
 				if rnk >= cutoff {
 					return cutoff, false
@@ -86,10 +86,10 @@ func refReverseTopK(gr *GIR, q vec.Vector, k int) []int {
 	if k <= 0 {
 		return nil
 	}
-	dom := newDomin(len(gr.P))
+	dom := newDomin(gr.NumPoints())
 	bnd := make([]float64, gr.pa.Dim()*2*gr.g.N())
 	var res []int
-	for wi := range gr.W {
+	for wi, nW := 0, gr.NumWeights(); wi < nW; wi++ {
 		if _, ok := refRankBounded(gr, wi, q, k, dom, bnd); ok {
 			res = append(res, wi)
 		}
@@ -107,10 +107,10 @@ func refReverseKRanks(gr *GIR, q vec.Vector, k int) []topk.Match {
 	if k <= 0 {
 		return nil
 	}
-	dom := newDomin(len(gr.P))
+	dom := newDomin(gr.NumPoints())
 	bnd := make([]float64, gr.pa.Dim()*2*gr.g.N())
 	h := topk.NewKRankHeap(k)
-	for wi := range gr.W {
+	for wi, nW := 0, gr.NumWeights(); wi < nW; wi++ {
 		if rnk, ok := refRankBounded(gr, wi, q, h.Threshold(), dom, bnd); ok {
 			h.Offer(topk.Match{WeightIndex: wi, Rank: rnk})
 		}
@@ -281,8 +281,8 @@ func TestGroupedCountersSane(t *testing.T) {
 	var c stats.Counters
 	gir.ReverseKRanks(q, 10, &c)
 	checkStatsInvariants(t, &c)
-	if c.ApproxVisited > int64(gir.PointGroups())*int64(len(gir.W)) {
+	if c.ApproxVisited > int64(gir.PointGroups())*int64(gir.NumWeights()) {
 		t.Fatalf("ApproxVisited %d exceeds groups×weights %d — counting per point, not per group?",
-			c.ApproxVisited, gir.PointGroups()*len(gir.W))
+			c.ApproxVisited, gir.PointGroups()*gir.NumWeights())
 	}
 }

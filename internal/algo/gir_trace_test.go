@@ -65,7 +65,7 @@ func requireCaseBreakdown(t *testing.T, sp trace.SpanData, c *stats.Counters) {
 
 func TestSequentialScanSpans(t *testing.T) {
 	gir := traceTestGIR(t)
-	q := gir.P[10]
+	q := gir.Point(10)
 	ctx := context.Background()
 
 	var c stats.Counters
@@ -116,7 +116,7 @@ func TestSequentialScanSpans(t *testing.T) {
 // scan span.
 func TestTracedCountersWithoutStats(t *testing.T) {
 	gir := traceTestGIR(t)
-	q := gir.P[3]
+	q := gir.Point(3)
 	ctx := context.Background()
 	for _, workers := range []int{1, 3} {
 		_, spans := traceSpans(t, func(tr *trace.Trace) {
@@ -134,7 +134,7 @@ func TestTracedCountersWithoutStats(t *testing.T) {
 
 func TestParallelScanSpans(t *testing.T) {
 	gir := traceTestGIR(t)
-	q := gir.P[10]
+	q := gir.Point(10)
 	ctx := context.Background()
 	const workers = 3
 
@@ -171,8 +171,8 @@ func TestParallelScanSpans(t *testing.T) {
 		t.Fatalf("got %d worker spans, want %d", workerSpans, workers)
 	}
 	// RKR never exits early, so the workers jointly claim every weight.
-	if totalScanned != int64(len(gir.W)) {
-		t.Errorf("workers scanned %d weights jointly, want %d", totalScanned, len(gir.W))
+	if totalScanned != int64(gir.NumWeights()) {
+		t.Errorf("workers scanned %d weights jointly, want %d", totalScanned, gir.NumWeights())
 	}
 	if _, ok := spans["merge"]; !ok {
 		t.Error("no parallel merge span")
@@ -202,7 +202,7 @@ func TestTracedMatchesUntraced(t *testing.T) {
 	ctx := context.Background()
 	for _, workers := range []int{1, 4} {
 		for qi := 0; qi < 10; qi++ {
-			q := gir.P[qi*7]
+			q := gir.Point(qi * 7)
 			tr := tc.Start("q", trace.Parent{})
 			traced, err := gir.ReverseKRanksTraced(ctx, q, 5, workers, nil, tr)
 			tr.Finish()

@@ -447,6 +447,35 @@ func ReadRows(r io.Reader) (*PackedRows, error) {
 	return p, nil
 }
 
+// RowsFromWords builds a PackedRows view over an existing word store —
+// the persist layer's constructor: words may alias a mapped GRI3
+// section and is adopted without copying, so it must not be modified
+// afterward. Unlike NewPackedRows this returns an error, because the
+// parameters come from a file, not program configuration.
+//
+// With checked set the padding bits are verified zero exactly as
+// ReadRows verifies a stream (nonzero padding would break EqualRow on
+// otherwise-equal rows). The mmap load path passes false: the scan
+// touches every word and the file is trusted — see grid.GroupedFromParts
+// for the same trade.
+func RowsFromWords(count, dim, b int, words []uint64, checked bool) (*PackedRows, error) {
+	if b <= 0 || b > MaxBitsPerDim || dim <= 0 || dim > 1<<16 || count < 0 || uint64(count) > 1<<33 {
+		return nil, fmt.Errorf("%w: implausible shape b=%d dim=%d count=%d", ErrBadFormat, b, dim, count)
+	}
+	cpw := 64 / b
+	wpr := (dim + cpw - 1) / cpw
+	if len(words) != count*wpr {
+		return nil, fmt.Errorf("%w: word store has %d words, want %d", ErrBadFormat, len(words), count*wpr)
+	}
+	p := &PackedRows{bitsPerDim: b, dim: dim, count: count, codesPerWd: cpw, wordsPerRow: wpr, words: words}
+	if pad := uint(cpw * b); checked && (pad < 64 || dim%cpw != 0) {
+		if err := p.checkPadding(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
 // checkPadding verifies every padding bit in the store is zero.
 func (p *PackedRows) checkPadding() error {
 	b, cpw, wpr := p.bitsPerDim, p.codesPerWd, p.wordsPerRow

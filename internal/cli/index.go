@@ -91,15 +91,21 @@ func runIndexInfo(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
 	fs.SetOutput(w)
 	path := fs.String("index", "index.gri", "index file")
+	mmap := fs.Bool("mmap", false, "memory-map the file (GRI3) instead of reading it onto the heap")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ix, err := gridrank.Load(*path)
+	open := gridrank.Load
+	if *mmap {
+		open = gridrank.LoadMmap
+	}
+	ix, err := open(*path)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%s: %d products, %d preferences, dim %d, grid %d, %d point groups, %d weight groups, %d bytes grid memory, layout %s\n",
-		*path, ix.NumProducts(), ix.NumPreferences(), ix.Dim(), ix.GridPartitions(),
+	defer ix.Close()
+	fmt.Fprintf(w, "%s: format %s (%s), %d products, %d preferences, dim %d, grid %d, %d point groups, %d weight groups, %d bytes grid memory, layout %s\n",
+		*path, ix.Format(), ix.Resident(), ix.NumProducts(), ix.NumPreferences(), ix.Dim(), ix.GridPartitions(),
 		ix.PointGroups(), ix.WeightGroups(), ix.GridMemoryBytes(), layoutString(ix.Layout()))
 	return nil
 }

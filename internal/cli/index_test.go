@@ -32,9 +32,21 @@ func TestIndexBuildAndInfo(t *testing.T) {
 	if err := RunIndex(&buf, []string{"info", "-index", out}); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"500 products", "200 preferences", "dim 4", "grid 16"} {
+	for _, want := range []string{"format GRI3 (heap)", "500 products", "200 preferences", "dim 4", "grid 16"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("info output missing %q: %q", want, buf.String())
+		}
+	}
+	buf.Reset()
+	if err := RunIndex(&buf, []string{"info", "-index", out, "-mmap"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "format GRI3 (") {
+		t.Errorf("mmap info output missing format: %q", buf.String())
+	}
+	for _, want := range []string{"500 products", "200 preferences"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("mmap info output missing %q: %q", want, buf.String())
 		}
 	}
 }

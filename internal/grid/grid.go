@@ -113,6 +113,52 @@ func New(n int, rangeP, rangeW float64) *Grid {
 	return g
 }
 
+// Table returns the flattened (n+1)×(n+1) boundary-product table — the
+// persist layer stores it verbatim so a load never recomputes it. The
+// slice is the grid's own storage; callers must not modify it.
+func (g *Grid) Table() []float64 { return g.table }
+
+// FromTable rebuilds a Grid around a stored boundary-product table,
+// which may alias mapped memory and is adopted without copying. Every
+// entry is verified against the recomputation α_p[i]·α_w[j] — the same
+// IEEE expressions New evaluates, so a table written by Table() always
+// passes and a corrupted one never does. Only the column views (a few
+// KiB) are rebuilt on the heap. Returns an error rather than panicking:
+// the table comes from a file, not program configuration.
+func FromTable(n int, rangeP, rangeW float64, table []float64) (*Grid, error) {
+	if n < 1 || n > MaxPartitions {
+		return nil, fmt.Errorf("grid: partitions %d outside [1, %d]", n, MaxPartitions)
+	}
+	if !(rangeP > 0) || !(rangeW > 0) {
+		return nil, fmt.Errorf("grid: non-positive range (%v, %v)", rangeP, rangeW)
+	}
+	if len(table) != (n+1)*(n+1) {
+		return nil, fmt.Errorf("grid: table has %d entries, want %d", len(table), (n+1)*(n+1))
+	}
+	g := &Grid{
+		n:      n,
+		rangeP: rangeP,
+		rangeW: rangeW,
+		table:  table,
+		alphaP: make([]float64, n+1),
+		alphaW: make([]float64, n+1),
+	}
+	for i := 0; i <= n; i++ {
+		g.alphaP[i] = float64(i) * rangeP / float64(n)
+		g.alphaW[i] = float64(i) * rangeW / float64(n)
+	}
+	for i := 0; i <= n; i++ {
+		row := table[i*(n+1):]
+		for j := 0; j <= n; j++ {
+			if want := g.alphaP[i] * g.alphaW[j]; row[j] != want {
+				return nil, fmt.Errorf("grid: table[%d][%d] = %v, want %v", i, j, row[j], want)
+			}
+		}
+	}
+	g.loCols, g.upCols = buildColumns(g.table, n)
+	return g, nil
+}
+
 // buildColumns transposes the boundary table into the per-weight-cell
 // column slices served by LowerColumn and UpperColumn.
 func buildColumns(table []float64, n int) (lo, up [][]float64) {
@@ -350,6 +396,17 @@ func (ix *Index) fillRows(data []vec.Vector, isPoint bool, start, end int) {
 			ix.grid.ApproxWeight(data[i], row)
 		}
 	}
+}
+
+// IndexFromCells builds an Index view over a stored cell array, which
+// may alias mapped memory and is adopted without copying (so it must
+// not be modified afterward). Shape errors are returned, not panicked:
+// the cells come from a file.
+func IndexFromCells(g Bounder, dim int, cells []uint8) (*Index, error) {
+	if dim <= 0 || len(cells) == 0 || len(cells)%dim != 0 {
+		return nil, fmt.Errorf("grid: cell store length %d not a positive multiple of dim %d", len(cells), dim)
+	}
+	return &Index{grid: g, dim: dim, approx: cells}, nil
 }
 
 // Grid returns the underlying Grid.

@@ -39,15 +39,24 @@ type GroupedIndex struct {
 	// derived view of rows: Pack populates it, and the copy-on-write
 	// derivations keep it byte-identical to re-encoding the derived rows.
 	packed *bits.PackedRows
+	// canonical records that group numbering still matches what
+	// NewGrouped would produce over the same elements (first-occurrence
+	// order). Fresh builds are canonical and appends preserve it; removals
+	// may renumber (see mutate.go) and clear it. The persist layer uses
+	// the flag to decide whether a grouping can be written as-is: GRI3
+	// stores groupings verbatim, and byte-identical saves of mutated vs
+	// freshly-built indexes require canonical numbering on disk.
+	canonical bool
 }
 
 // NewGrouped groups the elements of ix by identical approximate vector.
 func NewGrouped(ix *Index) *GroupedIndex {
 	count := ix.Count()
 	g := &GroupedIndex{
-		ix:      ix,
-		members: make([]int32, count),
-		groupOf: make([]int32, count),
+		ix:        ix,
+		members:   make([]int32, count),
+		groupOf:   make([]int32, count),
+		canonical: true,
 	}
 	seen := make(map[string]int32, count)
 	sizes := make([]int32, 0, 64)
@@ -156,3 +165,7 @@ func (g *GroupedIndex) Pack(b int) {
 // Packed returns the bit-packed unique rows, or nil when Pack has not
 // been called on this grouping (or its ancestor, for derived groupings).
 func (g *GroupedIndex) Packed() *bits.PackedRows { return g.packed }
+
+// Canonical reports whether group numbering matches a fresh NewGrouped
+// build over the same elements.
+func (g *GroupedIndex) Canonical() bool { return g.canonical }

@@ -95,7 +95,10 @@ func (g *GroupedIndex) WithAppended(nix *Index) *GroupedIndex {
 	d := g.Dim()
 	id := int32(count - 1)
 	row := nix.Row(count - 1)
-	ng := &GroupedIndex{ix: nix}
+	// An append cannot disturb first-occurrence numbering (a new distinct
+	// row is numbered last, exactly where a fresh build would put it), so
+	// canonicality is inherited.
+	ng := &GroupedIndex{ix: nix, canonical: g.canonical}
 	gid := g.findGroup(row)
 	if gid < 0 {
 		// New distinct row: a fresh singleton group numbered last.
@@ -145,7 +148,11 @@ func (g *GroupedIndex) WithRemoved(nix *Index, i int) *GroupedIndex {
 	d := g.Dim()
 	gid := int(g.groupOf[i])
 	emptied := g.Size(gid) == 1
-	ng := &GroupedIndex{ix: nix}
+	// Removals may change which element of a group occurs first, so the
+	// derived numbering can drift from a fresh build's (see the package
+	// comment); the grouping is conservatively marked non-canonical and
+	// the persist layer renumbers at save time.
+	ng := &GroupedIndex{ix: nix} // canonical: false
 	// Member permutation: drop i, shift larger ids down. Group blocks
 	// keep their order and stay ascending (the id map is monotone).
 	ng.members = make([]int32, count)

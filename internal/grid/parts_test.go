@@ -1,0 +1,206 @@
+package grid
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gridrank/internal/bits"
+)
+
+// partsFixture builds a grouped index with real duplicate structure
+// (quantized attributes force multi-member groups) and packs it, so the
+// reassembly tests exercise every stored array.
+func partsFixture(t *testing.T) (*Index, *GroupedIndex) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	g := New(8, 100, 1)
+	ix := NewPointIndex(g, randomPoints(rng, 120, 3, 100, 4))
+	grp := NewGrouped(ix)
+	grp.Pack(4)
+	return ix, grp
+}
+
+// clone32 copies an int32 array so a test can corrupt one field without
+// disturbing the fixture.
+func clone32(s []int32) []int32 { return append([]int32(nil), s...) }
+
+// TestGroupedFromPartsRoundTrip reassembles a grouped index from its
+// own stored arrays, strict and non-strict, and checks the result is
+// observably the same index.
+func TestGroupedFromPartsRoundTrip(t *testing.T) {
+	ix, want := partsFixture(t)
+	for _, strict := range []bool{true, false} {
+		got, err := GroupedFromParts(ix, want.Rows(), want.MemberOrder(), want.Offsets(),
+			want.GroupMap(), want.Single(), want.Packed(), strict)
+		if err != nil {
+			t.Fatalf("strict=%v: %v", strict, err)
+		}
+		if got.Groups() != want.Groups() || got.Count() != want.Count() || got.Dim() != want.Dim() {
+			t.Fatalf("strict=%v: shape %d/%d/%d, want %d/%d/%d", strict,
+				got.Groups(), got.Count(), got.Dim(), want.Groups(), want.Count(), want.Dim())
+		}
+		if !got.Canonical() {
+			t.Errorf("strict=%v: reassembled index not canonical", strict)
+		}
+		for gid := 0; gid < got.Groups(); gid++ {
+			if !got.Packed().EqualRow(gid, got.Row(gid)) {
+				t.Fatalf("strict=%v: packed row %d diverges", strict, gid)
+			}
+		}
+	}
+}
+
+// TestGroupedFromPartsRejects drives every validation branch: the O(1)
+// shape checks that run at both trust levels, the strict content scans,
+// and the strict cross-array verification. Each corruption is minimal —
+// one field or one element — so a passing rejection pins that exact
+// check.
+func TestGroupedFromPartsRejects(t *testing.T) {
+	ix, g := partsFixture(t)
+	rows, members, offsets := g.Rows(), g.MemberOrder(), g.Offsets()
+	groupOf, single := g.GroupMap(), g.Single()
+	packed := g.Packed()
+	d := g.Dim()
+	// A group with at least two members (guaranteed: 120 points in at
+	// most 4³ quantized cells).
+	multi := -1
+	for gid := 0; gid < g.Groups(); gid++ {
+		if offsets[gid+1]-offsets[gid] >= 2 {
+			multi = gid
+			break
+		}
+	}
+	if multi < 0 {
+		t.Fatal("fixture has no multi-member group")
+	}
+
+	try := func(rows []uint8, members, offsets, groupOf, single []int32, p *bits.PackedRows) error {
+		_, err := GroupedFromParts(ix, rows, members, offsets, groupOf, single, p, true)
+		return err
+	}
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"nil index", func() error {
+			_, err := GroupedFromParts(nil, rows, members, offsets, groupOf, single, packed, true)
+			return err
+		}},
+		{"rows not multiple of dim", func() error {
+			return try(rows[:len(rows)-1], members, offsets, groupOf, single, packed)
+		}},
+		{"more groups than elements", func() error {
+			return try(make([]uint8, (g.Count()+1)*d), members, offsets, groupOf, single, packed)
+		}},
+		{"offsets length", func() error {
+			return try(rows, members, offsets[:len(offsets)-1], groupOf, single, packed)
+		}},
+		{"member order length", func() error {
+			return try(rows, members[:len(members)-1], offsets, groupOf, single, packed)
+		}},
+		{"singleton cache length", func() error {
+			return try(rows, members, offsets, groupOf, single[:len(single)-1], packed)
+		}},
+		{"offsets span", func() error {
+			o := clone32(offsets)
+			o[len(o)-1]++
+			return try(rows, members, o, groupOf, single, packed)
+		}},
+		{"packed shape", func() error {
+			return try(rows, members, offsets, groupOf, single, bits.NewPackedRows(g.Groups()+1, d, 4))
+		}},
+		{"offsets not increasing", func() error {
+			o := clone32(offsets)
+			o[1] = o[2] + 1 // makes group 1's member range negative
+			return try(rows, members, o, groupOf, single, packed)
+		}},
+		{"row cell out of grid", func() error {
+			r := append([]uint8(nil), rows...)
+			r[0] = uint8(ix.Grid().N())
+			return try(r, members, offsets, groupOf, single, packed)
+		}},
+		{"first-occurrence order", func() error {
+			m := clone32(members)
+			m[0], m[offsets[1]] = m[offsets[1]], m[0]
+			return try(rows, m, offsets, groupOf, single, packed)
+		}},
+		{"member out of range", func() error {
+			m := clone32(members)
+			m[len(m)-1] = int32(g.Count())
+			return try(rows, m, offsets, groupOf, single, packed)
+		}},
+		{"members not ascending", func() error {
+			m := clone32(members)
+			m[offsets[multi]+1] = m[offsets[multi]]
+			return try(rows, m, offsets, groupOf, single, packed)
+		}},
+		{"singleton cache wrong", func() error {
+			s := clone32(single)
+			if s[0] == -1 {
+				s[0] = members[0]
+			} else {
+				s[0] = -1
+			}
+			return try(rows, members, offsets, groupOf, s, packed)
+		}},
+		{"group map out of range", func() error {
+			gm := clone32(groupOf)
+			gm[0] = int32(g.Groups())
+			return try(rows, members, offsets, gm, single, packed)
+		}},
+		{"group map disagrees with blocks", func() error {
+			gm := clone32(groupOf)
+			gm[members[0]] = int32(g.Groups() - 1)
+			if g.Groups() == 1 {
+				t.Skip("needs two groups")
+			}
+			return try(rows, members, offsets, gm, single, packed)
+		}},
+		{"row differs from first member's cells", func() error {
+			r := append([]uint8(nil), rows...)
+			r[0] ^= 1
+			// Re-encode the packed side to match, so rejection must come
+			// from the row-vs-element-cells cross-check, not EqualRow.
+			p := bits.NewPackedRows(g.Groups(), d, 4)
+			for gid := 0; gid < g.Groups(); gid++ {
+				p.EncodeRow(gid, r[gid*d:(gid+1)*d])
+			}
+			return try(r, members, offsets, groupOf, single, p)
+		}},
+		{"packed rows disagree with unpacked", func() error {
+			r := append([]uint8(nil), rows...)
+			r[0] ^= 1
+			p := bits.NewPackedRows(g.Groups(), d, 4)
+			for gid := 0; gid < g.Groups(); gid++ {
+				p.EncodeRow(gid, r[gid*d:(gid+1)*d])
+			}
+			return try(rows, members, offsets, groupOf, single, p)
+		}},
+	}
+	for _, c := range cases {
+		err := c.call()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "grid: ") {
+			t.Errorf("%s: error %q not from the grid layer", c.name, err)
+		}
+	}
+}
+
+// TestGroupedFromPartsTrustedSkipsContent documents the mmap trade
+// explicitly: a content corruption the strict path rejects assembles
+// without error at the non-strict trust level (see GroupedFromParts).
+func TestGroupedFromPartsTrustedSkipsContent(t *testing.T) {
+	ix, g := partsFixture(t)
+	gm := clone32(g.GroupMap())
+	gm[0] = int32(g.Groups()) // out of range: strict rejects, trusted must not scan it
+	if _, err := GroupedFromParts(ix, g.Rows(), g.MemberOrder(), g.Offsets(), gm, g.Single(), nil, true); err == nil {
+		t.Fatal("strict path accepted an out-of-range group map")
+	}
+	if _, err := GroupedFromParts(ix, g.Rows(), g.MemberOrder(), g.Offsets(), gm, g.Single(), nil, false); err != nil {
+		t.Fatalf("non-strict path rejected a content-level corruption it documents trusting: %v", err)
+	}
+}

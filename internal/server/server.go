@@ -449,6 +449,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"maxBatch":        s.maxBatch,
 		"queryTimeoutMs":  s.queryTimeout.Milliseconds(),
 		"cacheEnabled":    s.ix.CacheEnabled(),
+		"format":          s.ix.Format(),
+		"resident":        s.ix.Resident(),
 	}
 	lay := s.ix.Layout()
 	meta["layout"] = map[string]interface{}{

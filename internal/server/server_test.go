@@ -69,6 +69,9 @@ func TestIndexMetadata(t *testing.T) {
 	if int(meta["dim"].(float64)) != 4 {
 		t.Errorf("dim = %v", meta["dim"])
 	}
+	if meta["format"] != "GRI3" || meta["resident"] != "heap" {
+		t.Errorf("format/resident = %v/%v, want GRI3/heap", meta["format"], meta["resident"])
+	}
 	// POST must be rejected.
 	rec = post(t, s, "/v1/index", map[string]int{})
 	if rec.Code != http.StatusMethodNotAllowed {

@@ -2,6 +2,7 @@ package vec
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -14,7 +15,11 @@ import (
 type Matrix struct {
 	data []float64
 	d    int
-	rows []Vector
+	// rows is built lazily on the first Rows() call: a mapped 10M-row
+	// matrix must not pay an O(rows) header build at load time, and the
+	// scan paths address rows arithmetically through Row anyway.
+	rowsOnce sync.Once
+	rows     []Vector
 	// tailExtended records that a derived matrix has already appended a
 	// row into this matrix's spare backing capacity. WithAppended claims
 	// it with a CAS: the first derivation may reuse the tail in place
@@ -54,17 +59,11 @@ func MatrixFromFlat(data []float64, d int) *Matrix {
 }
 
 func fromFlat(data []float64, d int) *Matrix {
-	m := &Matrix{data: data, d: d, rows: make([]Vector, len(data)/d)}
-	for i := range m.rows {
-		// Full-slice views: appends through a row can never bleed into the
-		// next one.
-		m.rows[i] = data[i*d : (i+1)*d : (i+1)*d]
-	}
-	return m
+	return &Matrix{data: data, d: d}
 }
 
 // Len returns the number of rows.
-func (m *Matrix) Len() int { return len(m.rows) }
+func (m *Matrix) Len() int { return len(m.data) / m.d }
 
 // Dim returns the row dimensionality.
 func (m *Matrix) Dim() int { return m.d }
@@ -73,12 +72,23 @@ func (m *Matrix) Dim() int { return m.d }
 // row-major). Callers must not modify it.
 func (m *Matrix) Data() []float64 { return m.data }
 
-// Row returns row i as a view into the backing array.
-func (m *Matrix) Row(i int) Vector { return m.rows[i] }
+// Row returns row i as a view into the backing array. Full-slice view:
+// appends through a row can never bleed into the next one.
+func (m *Matrix) Row(i int) Vector { return m.data[i*m.d : (i+1)*m.d : (i+1)*m.d] }
 
 // Rows returns all rows as stride-d views into the backing array. The
-// slice is the matrix's own storage; callers must not modify it.
-func (m *Matrix) Rows() []Vector { return m.rows }
+// header slice is built on first use and cached; callers must not
+// modify it.
+func (m *Matrix) Rows() []Vector {
+	m.rowsOnce.Do(func() {
+		rows := make([]Vector, m.Len())
+		for i := range rows {
+			rows[i] = m.Row(i)
+		}
+		m.rows = rows
+	})
+	return m.rows
+}
 
 // WithAppended derives a new matrix with v as an extra final row. The
 // receiver is unchanged and stays fully usable — derived matrices are

@@ -13,7 +13,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"testing"
+
+	"gridrank/internal/dataset"
 )
 
 func TestPackedBitsValidation(t *testing.T) {
@@ -267,27 +270,35 @@ func TestIndexPackedRoundTrip(t *testing.T) {
 
 // TestIndexLoadsV1Format pins backward compatibility: a version-1 file
 // (no layout field, no packed section) still loads — as an unpacked
-// index — and re-saves in the version-2 format.
+// index — and re-saves in the current format, byte-identical to the
+// fresh index's own serialization. The v1 stream is hand-constructed
+// the way the original writer produced it: magic+n+rangeP, then the two
+// data set blocks.
 func TestIndexLoadsV1Format(t *testing.T) {
 	ix, P := testIndexWithOpts(t, nil)
-	var buf bytes.Buffer
-	if _, err := ix.WriteTo(&buf); err != nil {
+	var v1 bytes.Buffer
+	hdr := make([]byte, 4+4+8)
+	binary.LittleEndian.PutUint32(hdr[0:], indexMagicV1)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ix.GridPartitions()))
+	rangeP := computeRangeP(ix.Products())
+	binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(rangeP))
+	v1.Write(hdr)
+	if err := dataset.WriteBinary(&v1, &dataset.Dataset{Dim: ix.Dim(), Range: rangeP, Points: ix.Products()}); err != nil {
 		t.Fatal(err)
 	}
-	v2 := buf.Bytes()
-	// A v1 stream is the v2 stream minus the packedBits field, under the
-	// old magic: magic+n, then rangeP and the data sets.
-	v1 := make([]byte, 0, len(v2)-4)
-	v1 = append(v1, v2[:8]...)
-	v1 = append(v1, v2[12:]...)
-	binary.LittleEndian.PutUint32(v1[0:], indexMagicV1)
+	if err := dataset.WriteBinary(&v1, &dataset.Dataset{Dim: ix.Dim(), Range: 1, Points: ix.Preferences()}); err != nil {
+		t.Fatal(err)
+	}
 
-	got, err := ReadIndex(bytes.NewReader(v1))
+	got, err := ReadIndex(bytes.NewReader(v1.Bytes()))
 	if err != nil {
 		t.Fatalf("v1 file rejected: %v", err)
 	}
 	if lay := got.Layout(); lay.Packed {
 		t.Fatalf("v1 file loaded packed: %+v", lay)
+	}
+	if got.Format() != "GRI1" || ix.Format() != "GRI3" {
+		t.Fatalf("formats: loaded %q (want GRI1), fresh %q (want GRI3)", got.Format(), ix.Format())
 	}
 	if got.NumProducts() != ix.NumProducts() || got.GridPartitions() != ix.GridPartitions() {
 		t.Fatal("v1 load lost metadata")
@@ -304,13 +315,16 @@ func TestIndexLoadsV1Format(t *testing.T) {
 	if fmt.Sprintf("%+v", have) != fmt.Sprintf("%+v", want) {
 		t.Fatalf("v1-loaded index answers differ: %+v vs %+v", have, want)
 	}
-	// Re-saving writes the current format, byte-identical to the fresh
-	// index's own serialization.
-	var resaved bytes.Buffer
+	// Re-saving migrates to the current format, byte-identical to the
+	// fresh index's own serialization.
+	var fresh, resaved bytes.Buffer
+	if _, err := ix.WriteTo(&fresh); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := got.WriteTo(&resaved); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(resaved.Bytes(), v2) {
-		t.Fatal("re-saved v1 index is not byte-identical to the v2 stream")
+	if !bytes.Equal(resaved.Bytes(), fresh.Bytes()) {
+		t.Fatal("re-saved v1 index is not byte-identical to the fresh GRI3 stream")
 	}
 }

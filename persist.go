@@ -16,39 +16,45 @@ import (
 	"gridrank/internal/vec"
 )
 
-// Index file layout, version 2 (little endian):
+// Three index file formats exist, all little endian. Save and WriteTo
+// emit version 3 (GRI3), the zero-copy layout documented in gri3.go:
+// every scan artifact stored page-aligned and checksummed, so Load
+// reassembles the index without rebuilding anything and LoadMmap serves
+// straight from the mapped file.
 //
-//	magic       uint32  'G''R''I''2'
+// Versions 1 and 2 store only the authoritative data sets (header, two
+// dataset binary blocks, and for version 2 an optional packed-rows
+// section) and rebuild the grid artifacts on load:
+//
+//	magic       uint32  'G''R''I''1' / 'G''R''I''2'
 //	n           uint32  grid partitions
-//	packedBits  uint32  scan layout: 0 = float64 rows, 4..8 = packed width
+//	packedBits  uint32  version 2 only: 0 = unpacked, 4..8 = packed width
 //	rangeP      float64
 //	products     dataset binary block
 //	preferences  dataset binary block
-//	packed P^(A) rows (bits.PackedRows block)   — only when packedBits > 0
+//	packed P^(A) rows (bits.PackedRows block)   — v2, when packedBits > 0
 //
-// The approximate vectors and boundary tables are cheap to rebuild
-// (O(|P|·d) cell assignments plus an (n+1)² table), so the file stores the
-// authoritative data and reconstruction happens on load; this keeps the
-// format immune to grid layout changes. A packed index additionally
-// stores its element-wise packed cell rows: on load they are verified
-// byte-for-byte against the rebuilt cells, turning any corruption of
-// the data sections that survives their own framing checks into a
-// loud ErrBadIndexFile instead of silently wrong answers. The section
-// is element-wise, not group-wise, because group numbering depends on
-// mutation history while element order does not (see below).
-//
-// Version 1 files (magic 'G''R''I''1') lack the packedBits field and
-// the packed section; they load as unpacked indexes and re-save in the
-// version-2 format.
+// Both load transparently (a version-2 packed section is verified
+// byte-for-byte against the rebuilt cells) and re-save as version 3.
 //
 // A mutated index persists exactly like a fresh build over the same data:
 // the mutation paths maintain rangeP with New's derivation (see
-// computeRangeP), so Save after any insert/delete sequence produces a
-// file byte-identical to Save of New(current data) with the same layout.
+// computeRangeP), and the GRI3 writer re-canonicalizes the weight axis
+// and group numbering when mutations let them drift (see
+// canonicalArtifacts), so Save after any insert/delete sequence produces
+// a file byte-identical to Save of New(current data) with the same layout.
 
 const (
 	indexMagicV1 = 0x31495247 // "GRI1"
 	indexMagic   = 0x32495247 // "GRI2"
+	// indexMagicV3 ("GRI3") lives in gri3.go with its format.
+)
+
+// Format names reported by Index.Format.
+const (
+	formatGRI1 = "GRI1"
+	formatGRI2 = "GRI2"
+	formatGRI3 = "GRI3"
 )
 
 // ErrBadIndexFile reports a corrupt or foreign index file.
@@ -68,43 +74,26 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// WriteTo serializes the index (data sets plus construction parameters).
-// It serializes one epoch snapshot: concurrent mutations never tear the
+// WriteTo serializes the index in the current (GRI3) format. It
+// serializes one epoch snapshot: concurrent mutations never tear the
 // written file. The returned count is the total number of bytes written
 // to w, per the io.WriterTo contract.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	e := ix.snap()
-	packedBits := e.gir.PackedBits()
-	cw := &countingWriter{w: w}
-	bw := bufio.NewWriter(cw)
-	hdr := make([]byte, 4+4+4+8)
-	binary.LittleEndian.PutUint32(hdr[0:], indexMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(e.gir.Grid().N()))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(packedBits))
-	binary.LittleEndian.PutUint64(hdr[12:], math.Float64bits(e.rangeP))
-	if _, err := bw.Write(hdr); err != nil {
-		return cw.n, err
-	}
-	pset := &dataset.Dataset{Dim: ix.dim, Range: e.rangeP, Points: e.pm.Rows()}
-	if err := dataset.WriteBinary(bw, pset); err != nil {
-		return cw.n, err
-	}
-	wset := &dataset.Dataset{Dim: ix.dim, Range: 1, Points: e.wm.Rows()}
-	if err := dataset.WriteBinary(bw, wset); err != nil {
-		return cw.n, err
-	}
-	if packedBits > 0 {
-		if err := e.gir.PointCells().PackRows(packedBits).Write(bw); err != nil {
-			return cw.n, err
-		}
-	}
-	err := bw.Flush()
-	return cw.n, err
+	return writeGRI3(w, ix.snap(), ix.dim)
 }
 
-// ReadIndex deserializes an index written by WriteTo, rebuilding the
-// Grid-index and approximate vectors.
+// ReadIndex deserializes an index written by WriteTo — any format
+// version. GRI3 streams reassemble with full validation; version 1 and
+// 2 streams rebuild the Grid-index and approximate vectors from the
+// stored data sets.
 func ReadIndex(r io.Reader) (*Index, error) {
+	return readIndexSized(r, 0)
+}
+
+// readIndexSized is ReadIndex with an optional trusted total stream
+// size (from Load's stat), which lets the GRI3 reader allocate its
+// image buffer exactly once.
+func readIndexSized(r io.Reader, sizeHint int64) (*Index, error) {
 	br := bufio.NewReader(r)
 	hdr := make([]byte, 4+4)
 	if _, err := io.ReadFull(br, hdr); err != nil {
@@ -113,17 +102,21 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	magic := binary.LittleEndian.Uint32(hdr[0:])
 	n := int(binary.LittleEndian.Uint32(hdr[4:]))
 	packedBits := 0
+	format := formatGRI1
 	var rangeP float64
 	switch magic {
+	case indexMagicV3:
+		return readIndexV3(br, hdr, sizeHint)
 	case indexMagicV1:
 		// Version 1: no layout field, no packed section. Loads unpacked;
-		// the next Save writes version 2.
+		// the next Save writes version 3.
 		var raw [8]byte
 		if _, err := io.ReadFull(br, raw[:]); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
 		}
 		rangeP = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
 	case indexMagic:
+		format = formatGRI2
 		var raw [12]byte
 		if _, err := io.ReadFull(br, raw[:]); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
@@ -145,11 +138,13 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if rangeP <= 0 || math.IsNaN(rangeP) || math.IsInf(rangeP, 0) {
 		return nil, fmt.Errorf("%w: implausible range %v", ErrBadIndexFile, rangeP)
 	}
-	pset, err := dataset.ReadBinary(br)
+	// The data sets decode straight into the matrices' flat backing
+	// arrays (one allocation per set, no per-row copies).
+	pset, err := dataset.ReadBinaryFlat(br)
 	if err != nil {
 		return nil, fmt.Errorf("%w: products: %v", ErrBadIndexFile, err)
 	}
-	wset, err := dataset.ReadBinary(br)
+	wset, err := dataset.ReadBinaryFlat(br)
 	if err != nil {
 		return nil, fmt.Errorf("%w: preferences: %v", ErrBadIndexFile, err)
 	}
@@ -159,9 +154,10 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	// An index is never built over an empty side (New rejects it, and
 	// mutations refuse to delete the last element), so an empty data set
 	// here is corruption, not a degenerate-but-valid file.
-	if pset.Len() == 0 || wset.Len() == 0 {
+	if pset.Count() == 0 || wset.Count() == 0 {
 		return nil, fmt.Errorf("%w: empty data set", ErrBadIndexFile)
 	}
+	pset.Range = rangeP
 	if err := pset.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
 	}
@@ -170,8 +166,8 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	}
 	// Same contiguous layout as New: one backing array per set, shared by
 	// the index views and the algorithm.
-	pm := vec.NewMatrix(pset.Points)
-	wm := vec.NewMatrix(wset.Points)
+	pm := vec.MatrixFromFlat(pset.Data, pset.Dim)
+	wm := vec.MatrixFromFlat(wset.Data, wset.Dim)
 	gir := algo.NewGIRFromMatricesLayout(pm, wm, rangeP, n, algo.Layout{PackedBits: packedBits})
 	if packedBits > 0 {
 		// The stored packed section must match the cells rebuilt from the
@@ -189,7 +185,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("%w: packed rows disagree with rebuilt cells", ErrBadIndexFile)
 		}
 	}
-	ix := &Index{dim: pset.Dim}
+	ix := &Index{dim: pset.Dim, format: format}
 	ix.cur.Store(&epoch{
 		pm:     pm,
 		wm:     wm,
@@ -199,11 +195,25 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	return ix, nil
 }
 
-// Save writes the index to the named file, atomically: the bytes go to a
-// temporary file in the same directory, are fsynced, and the temporary
-// file is renamed over path only once it is complete. A crash, full
-// disk, or write error part-way through never leaves path truncated or
-// torn — an existing good index stays intact.
+// fsyncDir makes the directory entries of dir durable — the second half
+// of an atomic replace-by-rename (the rename itself only becomes
+// crash-safe once the directory block holding it reaches the disk). A
+// package variable so the save tests can observe and fail it.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Save writes the index to the named file, atomically and durably: the
+// bytes go to a temporary file in the same directory, are fsynced, the
+// temporary file is renamed over path only once it is complete, and the
+// containing directory is fsynced so the rename itself survives a
+// crash. A crash, full disk, or write error part-way through never
+// leaves path truncated or torn — an existing good index stays intact.
 func (ix *Index) Save(path string) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -235,17 +245,88 @@ func (ix *Index) Save(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return fsyncDir(dir)
 }
 
-// Load reads an index from the named file.
+// Load reads an index from the named file onto the heap. Memory-mapped
+// serving is available through LoadMmap.
 func Load(path string) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadIndex(f)
+	var hint int64
+	if st, err := f.Stat(); err == nil {
+		hint = st.Size()
+	}
+	return readIndexSized(f, hint)
+}
+
+// Format returns the on-disk format version the index was loaded from
+// ("GRI1", "GRI2" or "GRI3"); a freshly built index reports "GRI3", the
+// version Save writes.
+func (ix *Index) Format() string {
+	if ix.format == "" {
+		return formatGRI3
+	}
+	return ix.format
+}
+
+// Resident reports where the index's arrays live: "mmap" when they are
+// views over a memory-mapped index file (LoadMmap, or after a
+// Checkpoint), "heap" otherwise.
+func (ix *Index) Resident() string {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.mapped) > 0 {
+		return "mmap"
+	}
+	return "heap"
+}
+
+// Close releases the memory mappings of a LoadMmap-opened (or
+// checkpointed) index. The index must not be used afterwards — epochs
+// alias the mapped file. Heap-resident indexes need no Close; on them
+// it is a no-op.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var first error
+	for _, m := range ix.mapped {
+		if err := munmap(m); err != nil && first == nil {
+			first = err
+		}
+	}
+	ix.mapped = nil
+	return first
+}
+
+// Checkpoint saves the current epoch to path (atomically and durably,
+// like Save) and republishes the index from a mapping of the newly
+// written file: subsequent queries serve from page-cache-backed memory
+// and the process's private copy of the data becomes collectable. The
+// answer cache stays valid — the published epoch holds bit-identical
+// data under the same epoch number, and answers are proven independent
+// of the group renumbering a save may perform. Mutations, queries and
+// Checkpoint may interleave freely; on platforms without memory
+// mapping the index republishes from a heap reload instead.
+func (ix *Index) Checkpoint(path string) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	seq := ix.snap().seq
+	if err := ix.Save(path); err != nil {
+		return err
+	}
+	m, err := LoadMmap(path)
+	if err != nil {
+		return err
+	}
+	ne := m.snap()
+	ne.seq = seq // same data, same epoch: cached answers stay valid
+	ix.mapped = append(ix.mapped, m.mapped...)
+	ix.cur.Store(ne)
+	return nil
 }
 
 // Products returns the indexed product vectors of the current epoch. The

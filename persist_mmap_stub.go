@@ -1,0 +1,10 @@
+//go:build !(linux || darwin)
+
+package gridrank
+
+// LoadMmap on platforms without memory-mapping support is the heap
+// loader: the same index, the same answers, just without the shared
+// page-cache residency. Resident() reports "heap".
+func LoadMmap(path string) (*Index, error) { return Load(path) }
+
+func munmap(b []byte) error { return nil }

@@ -22,9 +22,14 @@
 # in review — and the answer-cache suite (BenchmarkGIRCache*,
 # BenchmarkGIRMutationUnderQueryLoadCached) from cache_bench_test.go,
 # which prices the warm-hit path against the uncached scan and reports
-# the achieved hit rate (hit_%) under concurrent mutation churn. Each entry
-# records ns/op, B/op, allocs/op and any custom metrics the benchmark
-# reports (e.g. filter% for the grouped sweep).
+# the achieved hit rate (hit_%) under concurrent mutation churn — and
+# the index-load suite (BenchmarkGIRIndexLoad, BenchmarkGIRIndexLoadMmap)
+# from scale_test.go, which prices opening a saved GRI3 file through the
+# fully validating heap loader against the zero-copy mmap loader; B/op
+# on those is each loader's heap footprint per open index, the proxy
+# for resident memory (the mmap payload lives in the page cache). Each
+# entry records ns/op, B/op, allocs/op and any custom metrics the
+# benchmark reports (e.g. filter% for the grouped sweep).
 set -eu
 cd "$(dirname "$0")/.."
 
