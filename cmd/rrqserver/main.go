@@ -7,8 +7,10 @@
 //
 // Endpoints (JSON): GET /healthz, GET /metrics, GET /v1/index,
 // POST /v1/reverse-topk, /v1/reverse-kranks, /v1/batch, /v1/topk,
-// /v1/rank, and — when tracing is on — GET /debug/traces and
-// GET /debug/traces/{id}.
+// /v1/rank, the /v1/subscriptions continuous-monitor endpoints
+// (register with POST, stream enter/leave events as SSE from
+// /v1/subscriptions/{id}/events), and — when tracing is on —
+// GET /debug/traces and GET /debug/traces/{id}.
 //
 //	curl -s localhost:8080/v1/reverse-kranks \
 //	  -d '{"product": 42, "k": 10, "stats": true, "timeoutMs": 500}'
@@ -23,9 +25,10 @@
 //	rrqserver -demo -trace-sample 0.01 -slow-query 250ms
 //
 // The server shuts down gracefully: on SIGINT/SIGTERM it stops
-// accepting connections, lets in-flight requests drain for -drain, then
-// cancels whatever is left (running queries stop within one preference
-// chunk).
+// accepting connections, ends every live subscription stream with a
+// terminal "shutdown" SSE event, lets in-flight requests drain for
+// -drain, then cancels whatever is left (running queries stop within
+// one preference chunk).
 package main
 
 import (
@@ -69,6 +72,8 @@ func main() {
 		traceBuf = flag.Int("trace-buffer", 0, "completed traces kept in memory, rounded up to a power of two (0 = default)")
 		cacheSz  = flag.Int("cache", 0, "answer-cache capacity in entries (0 = cache off)")
 		cacheTTL = flag.Duration("cache-ttl", 0, "max age of served cache entries, e.g. 30s (0 = until invalidated; requires -cache)")
+		maxSubs  = flag.Int("max-subscribers", 0, "max live continuous subscriptions (0 = default, negative = unlimited)")
+		evBuf    = flag.Int("event-buffer", 0, "per-subscription event buffer; a subscriber that lets it fill is cancelled as lagged (0 = default)")
 	)
 	flag.Parse()
 	if *sample < 0 || *sample > 1 {
@@ -107,22 +112,25 @@ func main() {
 	if *pprofA != "" {
 		go servePprof(*pprofA)
 	}
+	handler := server.NewWithConfig(ix, server.Config{
+		MaxParallelism:  *maxP,
+		QueryTimeout:    *qTimeout,
+		MaxBatch:        *maxBatch,
+		Logger:          logger,
+		TraceSampleRate: *sample,
+		SlowQuery:       *slowQ,
+		TraceBuffer:     *traceBuf,
+		CacheSize:       *cacheSz,
+		CacheTTL:        *cacheTTL,
+		MaxSubscribers:  *maxSubs,
+		EventBuffer:     *evBuf,
+	})
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.NewWithConfig(ix, server.Config{
-			MaxParallelism:  *maxP,
-			QueryTimeout:    *qTimeout,
-			MaxBatch:        *maxBatch,
-			Logger:          logger,
-			TraceSampleRate: *sample,
-			SlowQuery:       *slowQ,
-			TraceBuffer:     *traceBuf,
-			CacheSize:       *cacheSz,
-			CacheTTL:        *cacheTTL,
-		}),
+		Addr:              *addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if err := run(srv, *drain); err != nil {
+	if err := run(srv, handler, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "rrqserver:", err)
 		os.Exit(1)
 	}
@@ -147,8 +155,10 @@ func servePprof(addr string) {
 }
 
 // run serves until SIGINT/SIGTERM, then drains in-flight requests for up
-// to drain before forcing the remaining connections closed.
-func run(srv *http.Server, drain time.Duration) error {
+// to drain before forcing the remaining connections closed. Live SSE
+// subscription streams are ended first (handler.Drain), so graceful
+// shutdown never stalls the full drain window behind an idle stream.
+func run(srv *http.Server, handler *server.Server, drain time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -162,6 +172,7 @@ func run(srv *http.Server, drain time.Duration) error {
 	}
 	stop() // a second signal kills immediately
 	slog.Info("shutting down", "drain", drain.String())
+	handler.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -48,7 +48,9 @@ import (
 	"gridrank/internal/cache"
 	"gridrank/internal/model"
 	"gridrank/internal/stats"
+	"gridrank/internal/sub"
 	"gridrank/internal/topk"
+	"gridrank/internal/trace"
 	"gridrank/internal/vec"
 )
 
@@ -201,6 +203,12 @@ type Index struct {
 	// answers is the optional answer cache (nil = off); see
 	// answercache.go for the enablement and invalidation wiring.
 	answers atomic.Pointer[cache.Cache]
+	// subs is the subscription registry, created on first Subscribe
+	// (nil until then); see subscriptions.go for the publish hooks.
+	subs atomic.Pointer[sub.Registry]
+	// subTracer, when set, records diff-pass traces; guarded by mu
+	// (the hooks and SetSubscriptionTracer both hold it).
+	subTracer *trace.Tracer
 	// format is the on-disk format version the index came from, "" for a
 	// fresh build (see Format). Immutable after construction.
 	format string

@@ -59,6 +59,11 @@ type Registry struct {
 	cacheMu     sync.Mutex
 	cacheSource func() CacheCounts
 
+	// subSource, when set, is polled at scrape time for the continuous
+	// subscription registry's counters.
+	subMu     sync.Mutex
+	subSource func() SubCounts
+
 	// layout, when set, labels gridrank_build_info with the index's
 	// physical scan layout (packed row width, kernel row block).
 	layoutMu sync.Mutex
@@ -151,6 +156,43 @@ func (r *Registry) cacheCounts() (CacheCounts, bool) {
 	r.cacheMu.Unlock()
 	if f == nil {
 		return CacheCounts{}, false
+	}
+	return f(), true
+}
+
+// SubCounts is the continuous subscription registry's counter snapshot,
+// polled at scrape time through SetSubSource. The field meanings match
+// the root package's SubStats; the duplicate type keeps the import graph
+// acyclic, as with TraceCounts.
+type SubCounts struct {
+	Monitors     int64 // currently registered subscriptions (gauge)
+	Subscribed   int64 // subscriptions ever registered
+	Unsubscribed int64 // subscriptions closed by their owners
+	Events       int64 // enter/leave events delivered
+	Lagged       int64 // subscriptions cancelled for a full buffer
+
+	DiffPasses int64 // single-mutation epochs diffed incrementally
+	FullPasses int64 // rebuild epochs recomputed per monitor
+	GatedSkips int64 // monitor×epoch pairs skipped by the dominance gate
+
+	PrefsDiffEvaluated int64 // preference vectors examined by diff passes
+	PrefsDiffFullCost  int64 // what full recomputes would have examined there
+}
+
+// SetSubSource registers the subscription counter snapshot function. A
+// nil source removes the subscription metric families from the scrape.
+func (r *Registry) SetSubSource(f func() SubCounts) {
+	r.subMu.Lock()
+	r.subSource = f
+	r.subMu.Unlock()
+}
+
+func (r *Registry) subCounts() (SubCounts, bool) {
+	r.subMu.Lock()
+	f := r.subSource
+	r.subMu.Unlock()
+	if f == nil {
+		return SubCounts{}, false
 	}
 	return f(), true
 }
@@ -434,6 +476,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		b.printf("# HELP gridrank_cache_entries Currently resident cached answers.\n")
 		b.printf("# TYPE gridrank_cache_entries gauge\n")
 		b.printf("gridrank_cache_entries %d\n", cc.Entries)
+	}
+
+	if sc, ok := r.subCounts(); ok {
+		b.printf("# HELP gridrank_sub_monitors Currently registered continuous subscriptions.\n")
+		b.printf("# TYPE gridrank_sub_monitors gauge\n")
+		b.printf("gridrank_sub_monitors %d\n", sc.Monitors)
+		b.printf("# HELP gridrank_sub_subscribed_total Subscriptions ever registered.\n")
+		b.printf("# TYPE gridrank_sub_subscribed_total counter\n")
+		b.printf("gridrank_sub_subscribed_total %d\n", sc.Subscribed)
+		b.printf("# HELP gridrank_sub_unsubscribed_total Subscriptions closed by their owners.\n")
+		b.printf("# TYPE gridrank_sub_unsubscribed_total counter\n")
+		b.printf("gridrank_sub_unsubscribed_total %d\n", sc.Unsubscribed)
+		b.printf("# HELP gridrank_sub_events_total Enter/leave events delivered to subscribers.\n")
+		b.printf("# TYPE gridrank_sub_events_total counter\n")
+		b.printf("gridrank_sub_events_total %d\n", sc.Events)
+		b.printf("# HELP gridrank_sub_lagged_total Subscriptions cancelled because their event buffer overflowed.\n")
+		b.printf("# TYPE gridrank_sub_lagged_total counter\n")
+		b.printf("gridrank_sub_lagged_total %d\n", sc.Lagged)
+		b.printf("# HELP gridrank_sub_diff_passes_total Single-mutation epochs answered by the incremental diff pass.\n")
+		b.printf("# TYPE gridrank_sub_diff_passes_total counter\n")
+		b.printf("gridrank_sub_diff_passes_total %d\n", sc.DiffPasses)
+		b.printf("# HELP gridrank_sub_full_passes_total Rebuild epochs answered by full per-monitor recomputes.\n")
+		b.printf("# TYPE gridrank_sub_full_passes_total counter\n")
+		b.printf("gridrank_sub_full_passes_total %d\n", sc.FullPasses)
+		b.printf("# HELP gridrank_sub_gated_skips_total Monitor-epoch pairs skipped entirely by the dominance gate.\n")
+		b.printf("# TYPE gridrank_sub_gated_skips_total counter\n")
+		b.printf("gridrank_sub_gated_skips_total %d\n", sc.GatedSkips)
+		b.printf("# HELP gridrank_sub_prefs_diff_evaluated_total Preference vectors examined by diff passes.\n")
+		b.printf("# TYPE gridrank_sub_prefs_diff_evaluated_total counter\n")
+		b.printf("gridrank_sub_prefs_diff_evaluated_total %d\n", sc.PrefsDiffEvaluated)
+		b.printf("# HELP gridrank_sub_prefs_diff_full_cost_total Preference vectors full recomputes would have examined on diffed epochs.\n")
+		b.printf("# TYPE gridrank_sub_prefs_diff_full_cost_total counter\n")
+		b.printf("gridrank_sub_prefs_diff_full_cost_total %d\n", sc.PrefsDiffFullCost)
 	}
 
 	writeRuntimeTelemetry(b, r.layoutLabels())

@@ -23,6 +23,9 @@
 //	POST   /v1/preferences      insert one preference or a batch
 //	DELETE /v1/preferences/{id} delete one preference
 //	DELETE /v1/preferences      {"ids":[...]} batch delete
+//	POST   /v1/subscriptions             register a continuous monitor (see sub.go)
+//	GET    /v1/subscriptions/{id}/events SSE stream of enter/leave events
+//	DELETE /v1/subscriptions/{id}        end a subscription
 //
 // Request lifecycle: every query runs under the request's context, with
 // a deadline from the per-request "timeoutMs" field (falling back to
@@ -51,6 +54,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"gridrank"
@@ -85,6 +89,7 @@ const (
 	epRank        = "rank"
 	epProducts    = "products"
 	epPreferences = "preferences"
+	epSubs        = "subscriptions"
 )
 
 // Config tunes server behaviour beyond the index itself.
@@ -139,6 +144,16 @@ type Config struct {
 	// set. 0 means entries live until invalidated or evicted; a negative
 	// value is invalid and makes NewWithConfig panic.
 	CacheTTL time.Duration
+
+	// MaxSubscribers bounds live continuous subscriptions; further
+	// POST /v1/subscriptions requests get 429. 0 means
+	// DefaultMaxSubscribers; negative means unlimited.
+	MaxSubscribers int
+
+	// EventBuffer is the per-subscription event buffer. A subscriber
+	// that lets it fill is cancelled with a "lagged" terminal event. 0
+	// means DefaultEventBuffer.
+	EventBuffer int
 }
 
 // Server wraps an index with HTTP handlers.
@@ -151,6 +166,15 @@ type Server struct {
 	logger         *slog.Logger
 	metrics        *metrics.Registry
 	tracer         *trace.Tracer
+
+	// Continuous subscription state (see sub.go): the live handles by
+	// id, the per-subscription event buffer, and the drain signal SSE
+	// handlers select on so shutdown never stalls behind an open stream.
+	subMu       sync.Mutex
+	subs        map[uint64]*gridrank.Subscription
+	eventBuffer int
+	draining    chan struct{}
+	drainOnce   sync.Once
 }
 
 // New builds a Server around an index with the default configuration.
@@ -210,6 +234,32 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 			}
 		})
 	}
+	switch {
+	case cfg.MaxSubscribers == 0:
+		cfg.MaxSubscribers = DefaultMaxSubscribers
+	case cfg.MaxSubscribers < 0:
+		cfg.MaxSubscribers = 0 // unlimited at the index layer
+	}
+	if err := ix.SetSubscriberLimit(cfg.MaxSubscribers); err != nil {
+		panic("server: invalid subscriber limit: " + err.Error())
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = DefaultEventBuffer
+	}
+	cfg.Metrics.SetSubSource(func() metrics.SubCounts {
+		st := ix.SubscriptionStats()
+		return metrics.SubCounts{
+			Monitors: st.Monitors, Subscribed: st.Subscribed,
+			Unsubscribed: st.Unsubscribed, Events: st.Events, Lagged: st.Lagged,
+			DiffPasses: st.DiffPasses, FullPasses: st.FullPasses,
+			GatedSkips:         st.GatedSkips,
+			PrefsDiffEvaluated: st.PrefsDiffEvaluated,
+			PrefsDiffFullCost:  st.PrefsDiffFullCost,
+		}
+	})
+	if tracer.Enabled() {
+		ix.SetSubscriptionTracer(tracer)
+	}
 	// Layout is fixed at build time, so the labels are set once here.
 	lay := ix.Layout()
 	cfg.Metrics.SetLayout(metrics.Layout{
@@ -224,6 +274,9 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 		logger:         cfg.Logger,
 		metrics:        cfg.Metrics,
 		tracer:         tracer,
+		subs:           make(map[uint64]*gridrank.Subscription),
+		eventBuffer:    cfg.EventBuffer,
+		draining:       make(chan struct{}),
 	}
 	s.mux.HandleFunc("/healthz", s.instrument(epHealthz, s.handleHealth))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -244,6 +297,11 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/preferences", s.instrument(epPreferences, s.handleInsertPreferences))
 	s.mux.HandleFunc("DELETE /v1/preferences", s.instrument(epPreferences, s.handleDeletePreferences))
 	s.mux.HandleFunc("DELETE /v1/preferences/{id}", s.instrument(epPreferences, s.handleDeletePreference))
+	// Continuous subscription routes (see sub.go). The SSE stream is
+	// instrumented too: its latency sample is the stream's lifetime.
+	s.mux.HandleFunc("POST /v1/subscriptions", s.instrument(epSubs, s.handleSubscribe))
+	s.mux.HandleFunc("GET /v1/subscriptions/{id}/events", s.instrument(epSubs, s.handleSubscriptionEvents))
+	s.mux.HandleFunc("DELETE /v1/subscriptions/{id}", s.instrument(epSubs, s.handleUnsubscribe))
 	return s
 }
 
@@ -264,6 +322,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (the
+// SSE subscription stream) keep working through the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with the observability middleware: request

@@ -1,0 +1,270 @@
+package server
+
+// Continuous subscription endpoints: clients register a (query, k, kind)
+// monitor and receive enter/leave events over Server-Sent Events as
+// mutations install epochs.
+//
+//	POST   /v1/subscriptions             {"kind":"reverse-topk","query":[...]|"product":i,"k":10}
+//	GET    /v1/subscriptions/{id}/events SSE stream of enter/leave events
+//	DELETE /v1/subscriptions/{id}        end the subscription
+//
+// The stream carries one SSE event per membership change ("event: enter"
+// or "event: leave", data {"seq","preference"}) and always ends with a
+// terminal event naming why: "shutdown" (server draining), "lagged" (the
+// consumer let the event buffer fill and the index cancelled the
+// subscription — re-subscribe to resynchronize), or "cancelled" (DELETE,
+// or Close on the library handle). A draining server refuses new
+// subscriptions with 503 and Drain closes every live stream, so graceful
+// shutdown never stalls on an open SSE connection.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"gridrank"
+)
+
+// DefaultMaxSubscribers bounds live subscriptions when
+// Config.MaxSubscribers is 0.
+const DefaultMaxSubscribers = 64
+
+// DefaultEventBuffer is the per-subscription event buffer when
+// Config.EventBuffer is 0. A subscriber that lets it fill is cancelled
+// with a "lagged" terminal event rather than sent a gapped stream.
+const DefaultEventBuffer = 256
+
+type subscribeRequest struct {
+	// Kind is "reverse-topk" or "reverse-kranks".
+	Kind    string    `json:"kind"`
+	Query   []float64 `json:"query,omitempty"`
+	Product *int      `json:"product,omitempty"`
+	K       int       `json:"k"`
+}
+
+// subMember is one current member of the monitored answer set. Rank is
+// present only for reverse-kranks subscriptions.
+type subMember struct {
+	Preference int  `json:"preference"`
+	Rank       *int `json:"rank,omitempty"`
+}
+
+type subscribeResponse struct {
+	ID      uint64      `json:"id"`
+	Kind    string      `json:"kind"`
+	K       int         `json:"k"`
+	Members []subMember `json:"members"`
+	// Events is the path of the subscription's SSE stream.
+	Events string `json:"events"`
+}
+
+// subEventData is the data payload of one enter/leave SSE event.
+type subEventData struct {
+	Seq        uint64 `json:"seq"`
+	Preference int    `json:"preference"`
+}
+
+func subMembers(kind gridrank.SubKind, ms []gridrank.SubMember) []subMember {
+	out := make([]subMember, len(ms))
+	for i, m := range ms {
+		out[i] = subMember{Preference: m.Pref}
+		if kind == gridrank.SubReverseKRanks {
+			r := m.Rank
+			out[i].Rank = &r
+		}
+	}
+	return out
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain refuses new subscriptions and closes every live one, ending
+// their SSE streams with a "shutdown" terminal event. Call it before
+// http.Server.Shutdown so open streams do not stall the drain; it is
+// idempotent and safe from any goroutine.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		close(s.draining)
+		s.subMu.Lock()
+		subs := make([]*gridrank.Subscription, 0, len(s.subs))
+		for _, sub := range s.subs {
+			subs = append(subs, sub)
+		}
+		s.subs = make(map[uint64]*gridrank.Subscription)
+		s.subMu.Unlock()
+		for _, sub := range subs {
+			sub.Close()
+		}
+	})
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	var req subscribeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	var kind gridrank.SubKind
+	switch req.Kind {
+	case gridrank.SubReverseTopK.String():
+		kind = gridrank.SubReverseTopK
+	case gridrank.SubReverseKRanks.String():
+		kind = gridrank.SubReverseKRanks
+	default:
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown kind %q (want %q or %q)", req.Kind,
+				gridrank.SubReverseTopK, gridrank.SubReverseKRanks))
+		return
+	}
+	q, err := s.resolveQueryVector(req.Query, req.Product)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sub, err := s.ix.Subscribe(q, req.K, kind, s.eventBuffer)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, gridrank.ErrTooManySubscribers) {
+			status = http.StatusTooManyRequests
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.subMu.Lock()
+	// Drain may have run between the check above and here; a
+	// subscription registered now would never be closed by it.
+	if s.isDraining() {
+		s.subMu.Unlock()
+		sub.Close()
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	s.subs[sub.ID()] = sub
+	s.subMu.Unlock()
+	s.writeJSON(w, http.StatusCreated, subscribeResponse{
+		ID:      sub.ID(),
+		Kind:    kind.String(),
+		K:       sub.K(),
+		Members: subMembers(kind, sub.Initial()),
+		Events:  fmt.Sprintf("/v1/subscriptions/%d/events", sub.ID()),
+	})
+}
+
+func (s *Server) lookupSubscription(r *http.Request) (*gridrank.Subscription, error) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("invalid subscription id %q", r.PathValue("id"))
+	}
+	s.subMu.Lock()
+	sub := s.subs[id]
+	s.subMu.Unlock()
+	if sub == nil {
+		return nil, nil
+	}
+	return sub, nil
+}
+
+func (s *Server) dropSubscription(id uint64) {
+	s.subMu.Lock()
+	delete(s.subs, id)
+	s.subMu.Unlock()
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	sub, err := s.lookupSubscription(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if sub == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("no such subscription"))
+		return
+	}
+	sub.Close()
+	s.dropSubscription(sub.ID())
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{"id": sub.ID(), "closed": true})
+}
+
+// sseWrite emits one SSE event and flushes it to the client.
+func sseWrite(w http.ResponseWriter, f http.Flusher, name string, data interface{}) {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, b)
+	f.Flush()
+}
+
+// handleSubscriptionEvents streams a subscription's events as SSE until
+// the subscription ends, the server drains, or the client goes away.
+// The loop selects on the event channel, the drain signal and the
+// request context, so a draining server is never stalled by an idle
+// stream: the handler emits its terminal event and returns.
+func (s *Server) handleSubscriptionEvents(w http.ResponseWriter, r *http.Request) {
+	sub, err := s.lookupSubscription(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if sub == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("no such subscription"))
+		return
+	}
+	f, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	// terminal names why the stream ended. Lagged wins over everything
+	// (the stream is incomplete and the client must re-subscribe);
+	// draining beats cancelled so shutdown reads as shutdown even though
+	// Drain ends streams by closing their subscriptions.
+	terminal := func() string {
+		switch {
+		case sub.Lagged():
+			return "lagged"
+		case s.isDraining():
+			return "shutdown"
+		default:
+			return "cancelled"
+		}
+	}
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				name := terminal()
+				sseWrite(w, f, name, subEventData{})
+				if name == "lagged" {
+					// The index already cancelled the monitor; forget the
+					// dead handle so its id stops resolving.
+					s.dropSubscription(sub.ID())
+				}
+				return
+			}
+			sseWrite(w, f, ev.Type.String(), subEventData{Seq: ev.Seq, Preference: ev.Pref})
+		case <-s.draining:
+			sseWrite(w, f, "shutdown", subEventData{})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

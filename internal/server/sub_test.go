@@ -1,0 +1,259 @@
+package server
+
+// End-to-end tests of the continuous subscription endpoints: register
+// over HTTP, stream enter/leave events as SSE while mutations land, and
+// — the shutdown seam this PR pins — Drain must end every open stream
+// with a terminal "shutdown" event instead of stalling graceful
+// shutdown until the drain deadline.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gridrank"
+)
+
+// subTestServer builds a server over a deterministic two-point index:
+// W = {(0.5, 0.5)} ranks (0.1, 0.1) first, so mutations below or above
+// that point have known effects on its monitors.
+func subTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	P := []gridrank.Vector{{0.1, 0.1}, {0.9, 0.9}}
+	W := []gridrank.Vector{{0.5, 0.5}}
+	ix, err := gridrank.New(P, W, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWithConfig(ix, cfg)
+}
+
+func subscribe(t *testing.T, ts *httptest.Server, body string) subscribeResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/subscriptions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("subscribe: status %d", resp.StatusCode)
+	}
+	var sr subscribeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// sseEvent is one parsed SSE frame.
+type sseTestEvent struct {
+	name string
+	data subEventData
+}
+
+// readSSE consumes one SSE frame (event + data lines up to the blank
+// separator) from the stream.
+func readSSE(t *testing.T, sc *bufio.Scanner) sseTestEvent {
+	t.Helper()
+	var ev sseTestEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev.data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+		case line == "":
+			if ev.name != "" {
+				return ev
+			}
+		}
+	}
+	t.Fatalf("SSE stream ended mid-frame: %v", sc.Err())
+	return ev
+}
+
+func TestSubscriptionSSELifecycle(t *testing.T) {
+	s := subTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	sr := subscribe(t, ts, `{"kind":"reverse-topk","query":[0.1,0.1],"k":1}`)
+	if sr.Kind != "reverse-topk" || sr.K != 1 {
+		t.Fatalf("subscribe response = %+v", sr)
+	}
+	// (0.1, 0.1) is the best product for the only preference: member.
+	if len(sr.Members) != 1 || sr.Members[0].Preference != 0 {
+		t.Fatalf("initial members = %+v, want [pref 0]", sr.Members)
+	}
+	if sr.Events != fmt.Sprintf("/v1/subscriptions/%d/events", sr.ID) {
+		t.Fatalf("events path = %q", sr.Events)
+	}
+
+	stream, err := http.Get(ts.URL + sr.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(stream.Body)
+
+	// A product strictly below the monitored point pushes the
+	// preference's rank to 1: it must leave the top-1 set.
+	resp := post(t, s, "/v1/products", map[string]interface{}{"product": []float64{0.05, 0.05}})
+	if resp.Code != http.StatusOK && resp.Code != http.StatusCreated {
+		t.Fatalf("insert: %d %s", resp.Code, resp.Body.String())
+	}
+	ev := readSSE(t, sc)
+	if ev.name != "leave" || ev.data.Preference != 0 || ev.data.Seq != 1 {
+		t.Fatalf("event = %+v, want leave pref 0 seq 1", ev)
+	}
+
+	// Deleting the interloper restores the membership.
+	req := httptest.NewRequest(http.MethodDelete, "/v1/products/2", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d %s", rec.Code, rec.Body.String())
+	}
+	ev = readSSE(t, sc)
+	if ev.name != "enter" || ev.data.Preference != 0 || ev.data.Seq != 2 {
+		t.Fatalf("event = %+v, want enter pref 0 seq 2", ev)
+	}
+
+	// DELETE ends the subscription; the stream closes with a terminal
+	// "cancelled" frame.
+	req = httptest.NewRequest(http.MethodDelete, fmt.Sprintf("/v1/subscriptions/%d", sr.ID), nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unsubscribe: %d %s", rec.Code, rec.Body.String())
+	}
+	if ev := readSSE(t, sc); ev.name != "cancelled" {
+		t.Fatalf("terminal event = %+v, want cancelled", ev)
+	}
+}
+
+func TestSubscriptionValidation(t *testing.T) {
+	s := subTestServer(t, Config{MaxSubscribers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"kind":"nope","query":[0.1,0.1],"k":1}`, http.StatusBadRequest},
+		{`{"kind":"reverse-topk","query":[0.1,0.1],"k":0}`, http.StatusBadRequest},
+		{`{"kind":"reverse-topk","k":1}`, http.StatusBadRequest},
+		{`{"kind":"reverse-topk","query":[0.1,0.1],"product":1,"k":1}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/subscriptions", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("subscribe %s: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Unknown ids are 404 on both the stream and the delete.
+	resp, err := http.Get(ts.URL + "/v1/subscriptions/999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("events of unknown id: %d", resp.StatusCode)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/subscriptions/999", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("delete unknown id: %d", rec.Code)
+	}
+
+	// The configured limit holds: the second subscription is 429.
+	subscribe(t, ts, `{"kind":"reverse-kranks","product":0,"k":1}`)
+	resp, err = http.Post(ts.URL+"/v1/subscriptions", "application/json",
+		strings.NewReader(`{"kind":"reverse-topk","product":0,"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over-limit subscribe: %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestDrainEndsSSEStreams is the shutdown-seam regression test: an open
+// SSE stream must observe Drain, emit a terminal "shutdown" event and
+// return — leaving no handler goroutine behind to stall graceful
+// shutdown. The leak check is twofold: the terminal frame arrives, and
+// httptest.Server.Close (which blocks until every handler returns)
+// completes promptly.
+func TestDrainEndsSSEStreams(t *testing.T) {
+	s := subTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	before := runtime.NumGoroutine()
+	sr := subscribe(t, ts, `{"kind":"reverse-topk","query":[0.1,0.1],"k":1}`)
+	stream, err := http.Get(ts.URL + sr.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+
+	// Drain with the stream idle: the handler must wake on the drain
+	// signal, not on a next event that never comes.
+	done := make(chan sseTestEvent, 1)
+	go func() { done <- readSSE(t, sc) }()
+	s.Drain()
+	select {
+	case ev := <-done:
+		if ev.name != "shutdown" {
+			t.Fatalf("terminal event = %+v, want shutdown", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE handler did not observe Drain within 5s")
+	}
+	// The stream is over: the body reaches EOF rather than blocking.
+	if sc.Scan() {
+		t.Fatalf("unexpected post-shutdown frame: %q", sc.Text())
+	}
+	stream.Body.Close()
+
+	// New subscriptions are refused while draining.
+	resp, err := http.Post(ts.URL+"/v1/subscriptions", "application/json",
+		strings.NewReader(`{"kind":"reverse-topk","product":0,"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("subscribe while draining: %d, want 503", resp.StatusCode)
+	}
+	// Drain is idempotent.
+	s.Drain()
+
+	// No handler goroutine lingers once the client connection is gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines: %d before, %d after drain", before, n)
+	}
+}

@@ -1,0 +1,657 @@
+// Package sub implements continuous reverse-rank subscriptions: clients
+// register (q, k, kind) monitors and receive enter/leave events for
+// preference vectors as epochs publish. The registry is notified by the
+// index's mutation paths — under the same writer lock, immediately
+// after the epoch install, in the same position as the answer-cache
+// hooks — so every diff observes exactly one published epoch and events
+// are emitted in epoch order.
+//
+// The diff pass is incremental on single-mutation epochs. A product
+// mutation touches exactly one row p; a monitor (q, k) can only change
+// if p scores strictly below q under some preference, which requires
+// p[j] < q[j] in some dimension (the answer cache's dominance
+// predicate, DESIGN.md §12). Gated monitors are skipped outright; for
+// the rest, a per-preference score gate (one dot product: does the row
+// score strictly below q under w?) leaves only the preferences the row
+// can actually have moved, and only those are re-evaluated through the
+// bounded rank oracle. A preference splice evaluates only the spliced
+// vector. Batch rebuilds fall back to a bounded full recompute per
+// monitor (one reverse-rank query against the new epoch). The
+// PrefsDiffEvaluated / PrefsDiffFullCost counters expose the saving: on
+// single-mutation epochs the diff pass counts the preference vectors
+// whose rank it actually evaluated per monitor (an O(d) gate check is
+// not an evaluation; capped by construction at the full-recompute set),
+// against what a per-monitor recompute would have examined.
+//
+// Event delivery is non-blocking: each monitor owns a bounded buffered
+// channel, and a consumer that falls behind is cancelled (its channel
+// closed, Lagged reported) rather than lied to — a dropped enter/leave
+// would silently corrupt the client's view of its answer set forever.
+package sub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind selects which reverse rank query a monitor watches.
+type Kind uint8
+
+const (
+	// KindTopK monitors reverse top-k membership: the set of preferences
+	// placing q within their personal top-k products.
+	KindTopK Kind = iota
+	// KindKRanks monitors reverse k-ranks membership: the k preferences
+	// ranking q best (ties toward smaller ids).
+	KindKRanks
+)
+
+// String returns the wire name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTopK:
+		return "reverse-topk"
+	case KindKRanks:
+		return "reverse-kranks"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// EventType distinguishes enter from leave.
+type EventType uint8
+
+const (
+	// Enter reports a preference joining the monitor's answer set.
+	Enter EventType = iota
+	// Leave reports a preference leaving the monitor's answer set.
+	Leave
+)
+
+// String returns the wire name of the event type.
+func (t EventType) String() string {
+	if t == Enter {
+		return "enter"
+	}
+	return "leave"
+}
+
+// Event is one membership change of a monitor's answer set.
+type Event struct {
+	// Seq is the epoch whose install caused the change.
+	Seq uint64
+	// Type is Enter or Leave.
+	Type EventType
+	// Pref is the preference id in the published epoch's numbering. One
+	// exception: when a preference delete removes a monitored member,
+	// the Leave for the deleted preference carries its pre-delete id
+	// (it has no post-delete id); every other id that epoch emits is
+	// post-delete. Ids above the deleted one shift down by one, exactly
+	// as DELETE /v1/preferences documents.
+	Pref int
+}
+
+// Member is one current member of a monitor's answer set. Rank is the
+// member's exact rank for KindKRanks monitors and 0 for KindTopK (top-k
+// membership is a threshold, not an ordering).
+type Member struct {
+	Pref int
+	Rank int
+}
+
+// Snapshot is the post-publish epoch view a notification diffs against.
+// The closures wrap the new epoch's rank machinery; the registry never
+// sees the index types, keeping the import graph acyclic.
+type Snapshot struct {
+	// Seq is the published epoch's sequence number, stamped on events.
+	Seq uint64
+	// NumPrefs is |W| of the published epoch.
+	NumPrefs int
+	// RankOf returns rank(W[wi], q) bounded by cutoff: ok reports the
+	// exact rank is below cutoff; cutoff <= 0 means unbounded.
+	RankOf func(wi int, q []float64, cutoff int) (int, bool)
+	// Pref returns preference vector wi (read-only).
+	Pref func(wi int) []float64
+	// TopKSet returns the ids of every preference placing q in its
+	// top-k, ascending.
+	TopKSet func(q []float64, k int) []int
+	// KRanksSet returns the reverse k-ranks answer for q: up to k
+	// members ordered by ascending (rank, id).
+	KRanksSet func(q []float64, k int) []Member
+}
+
+// ErrLimit reports a Subscribe against a full registry.
+var ErrLimit = errors.New("sub: subscriber limit reached")
+
+// Monitor is one registered (q, k, kind) subscription.
+type Monitor struct {
+	id     uint64
+	q      []float64
+	k      int
+	kind   Kind
+	ch     chan Event
+	lagged atomic.Bool
+
+	// members is the current answer set: pref id → rank (rank 0 and
+	// meaningless for KindTopK). Mutated only under the registry lock.
+	members map[int]int
+	closed  bool
+}
+
+// ID returns the monitor's registry-unique id.
+func (m *Monitor) ID() uint64 { return m.id }
+
+// Kind returns the monitored query kind.
+func (m *Monitor) Kind() Kind { return m.kind }
+
+// K returns the monitored k.
+func (m *Monitor) K() int { return m.k }
+
+// Query returns the monitored query point (read-only).
+func (m *Monitor) Query() []float64 { return m.q }
+
+// Events is the monitor's event stream. It is closed when the monitor
+// is cancelled — by Unsubscribe, or by the registry when the consumer
+// fell behind (check Lagged to distinguish).
+func (m *Monitor) Events() <-chan Event { return m.ch }
+
+// Lagged reports that the registry cancelled this monitor because its
+// event buffer overflowed. Once the channel is closed, a false Lagged
+// means the close came from Unsubscribe.
+func (m *Monitor) Lagged() bool { return m.lagged.Load() }
+
+// Counts is the registry's counter snapshot.
+type Counts struct {
+	Monitors     int64 // currently registered monitors (gauge)
+	Subscribed   int64 // monitors ever registered
+	Unsubscribed int64 // monitors removed by Unsubscribe
+	Events       int64 // events delivered into monitor buffers
+	Lagged       int64 // monitors cancelled for a full buffer
+
+	DiffPasses int64 // single-mutation epochs processed incrementally
+	FullPasses int64 // rebuild epochs processed by full recompute
+	GatedSkips int64 // monitor×epoch pairs skipped by the dominance gate
+
+	// PrefsDiffEvaluated counts the preference vectors whose rank the
+	// diff pass actually evaluated per monitor on single-mutation
+	// epochs — a dominance or score gate check (O(d), no rank oracle)
+	// does not count; PrefsDiffFullCost is what a full per-monitor
+	// recompute would have examined on those same epochs
+	// (monitors × |W|). The first is strictly smaller whenever any gate
+	// or candidate-set restriction saved work. PrefsRebuildEvaluated is
+	// the rebuild epochs' cost, kept separate so the comparison stays a
+	// like-for-like one.
+	PrefsDiffEvaluated    int64
+	PrefsDiffFullCost     int64
+	PrefsRebuildEvaluated int64
+}
+
+// Registry holds the live monitors and runs the diff passes. All
+// methods are safe for concurrent use, but the On* notifications must
+// be serialized with each other and with Subscribe in epoch order —
+// the index guarantees this by calling every one under its writer
+// lock, immediately after the epoch install.
+type Registry struct {
+	mu       sync.Mutex
+	limit    int // max live monitors; <= 0 = unlimited
+	nextID   uint64
+	monitors map[uint64]*Monitor
+
+	subscribed   atomic.Int64
+	unsubscribed atomic.Int64
+	events       atomic.Int64
+	laggedN      atomic.Int64
+	diffPasses   atomic.Int64
+	fullPasses   atomic.Int64
+	gatedSkips   atomic.Int64
+	diffEvals    atomic.Int64
+	diffFullCost atomic.Int64
+	rebuildEvals atomic.Int64
+}
+
+// NewRegistry builds an empty registry holding at most limit live
+// monitors (<= 0 = unlimited).
+func NewRegistry(limit int) *Registry {
+	return &Registry{limit: limit, monitors: make(map[uint64]*Monitor)}
+}
+
+// Subscribe registers a monitor for (q, k, kind), computing its initial
+// answer set against s (the epoch current at registration). The caller
+// owns q — it is not copied — and must serialize Subscribe with epoch
+// publishes so the initial set and the event stream splice without a
+// gap. buffer bounds the undelivered-event queue; a consumer that lets
+// it fill is cancelled.
+func (r *Registry) Subscribe(q []float64, k int, kind Kind, buffer int, s Snapshot) (*Monitor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sub: k must be positive, got %d", k)
+	}
+	if kind != KindTopK && kind != KindKRanks {
+		return nil, fmt.Errorf("sub: unknown kind %d", kind)
+	}
+	if buffer <= 0 {
+		buffer = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.monitors) >= r.limit {
+		return nil, fmt.Errorf("%w (%d)", ErrLimit, r.limit)
+	}
+	m := &Monitor{
+		id:      r.nextID,
+		q:       q,
+		k:       k,
+		kind:    kind,
+		ch:      make(chan Event, buffer),
+		members: make(map[int]int),
+	}
+	r.nextID++
+	for _, mem := range r.compute(m, s) {
+		m.members[mem.Pref] = mem.Rank
+	}
+	r.monitors[m.id] = m
+	r.subscribed.Add(1)
+	return m, nil
+}
+
+// SetLimit changes the live-monitor bound (<= 0 = unlimited). A limit
+// below the current count keeps existing monitors and refuses new ones.
+func (r *Registry) SetLimit(n int) {
+	r.mu.Lock()
+	r.limit = n
+	r.mu.Unlock()
+}
+
+// Unsubscribe cancels monitor id, closing its event channel. It reports
+// whether the id was live.
+func (r *Registry) Unsubscribe(id uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.monitors[id]
+	if !ok {
+		return false
+	}
+	r.remove(m)
+	r.unsubscribed.Add(1)
+	return true
+}
+
+// Members returns monitor id's current answer set ordered by ascending
+// pref id, or ok=false when the id is not live.
+func (r *Registry) Members(id uint64) ([]Member, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.monitors[id]
+	if !ok {
+		return nil, false
+	}
+	return sortedMembers(m.members), true
+}
+
+// Len returns the number of live monitors.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.monitors)
+}
+
+// Counts returns the registry's counter snapshot.
+func (r *Registry) Counts() Counts {
+	r.mu.Lock()
+	n := len(r.monitors)
+	r.mu.Unlock()
+	return Counts{
+		Monitors:              int64(n),
+		Subscribed:            r.subscribed.Load(),
+		Unsubscribed:          r.unsubscribed.Load(),
+		Events:                r.events.Load(),
+		Lagged:                r.laggedN.Load(),
+		DiffPasses:            r.diffPasses.Load(),
+		FullPasses:            r.fullPasses.Load(),
+		GatedSkips:            r.gatedSkips.Load(),
+		PrefsDiffEvaluated:    r.diffEvals.Load(),
+		PrefsDiffFullCost:     r.diffFullCost.Load(),
+		PrefsRebuildEvaluated: r.rebuildEvals.Load(),
+	}
+}
+
+// remove deletes a monitor and closes its channel (registry lock held).
+func (r *Registry) remove(m *Monitor) {
+	m.closed = true
+	close(m.ch)
+	delete(r.monitors, m.id)
+}
+
+// emit delivers one event without blocking. A full buffer cancels the
+// monitor: a consumer that cannot keep up would otherwise receive a
+// gapped stream and silently diverge from the true answer set.
+func (r *Registry) emit(m *Monitor, ev Event) {
+	if m.closed {
+		return
+	}
+	select {
+	case m.ch <- ev:
+		r.events.Add(1)
+	default:
+		m.lagged.Store(true)
+		r.laggedN.Add(1)
+		r.remove(m)
+	}
+}
+
+// sorted returns the live monitors in id order, so one epoch's events
+// interleave deterministically across monitors.
+func (r *Registry) sorted() []*Monitor {
+	ms := make([]*Monitor, 0, len(r.monitors))
+	for _, m := range r.monitors {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].id < ms[j].id })
+	return ms
+}
+
+func sortedMembers(members map[int]int) []Member {
+	out := make([]Member, 0, len(members))
+	for p, rk := range members {
+		out = append(out, Member{Pref: p, Rank: rk})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pref < out[j].Pref })
+	return out
+}
+
+// compute returns a monitor's answer set from scratch against s.
+func (r *Registry) compute(m *Monitor, s Snapshot) []Member {
+	if m.kind == KindTopK {
+		ids := s.TopKSet(m.q, m.k)
+		out := make([]Member, len(ids))
+		for i, id := range ids {
+			out[i] = Member{Pref: id}
+		}
+		return out
+	}
+	return s.KRanksSet(m.q, m.k)
+}
+
+// rowAffects is the dominance predicate of DESIGN.md §12: a product row
+// p can change any rank relative to q only if p[j] < q[j] in some
+// dimension — otherwise f_w(p) >= f_w(q) for every non-negative w, so p
+// never scores strictly below q and every rank(w, q) is unchanged.
+// NaN or a length mismatch conservatively affects.
+func rowAffects(p, q []float64) bool {
+	if len(p) != len(q) {
+		return true
+	}
+	for j := range p {
+		if !(p[j] >= q[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// dot is the scoring inner product f_w(p).
+func dot(w, p []float64) float64 {
+	var s float64
+	for j := range w {
+		s += w[j] * p[j]
+	}
+	return s
+}
+
+// resetDiff replaces a monitor's answer set with fresh and emits the
+// set difference, leaves before enters, each side in ascending pref id.
+// It is the tail of every recompute path.
+func (r *Registry) resetDiff(m *Monitor, seq uint64, fresh []Member) {
+	next := make(map[int]int, len(fresh))
+	for _, mem := range fresh {
+		next[mem.Pref] = mem.Rank
+	}
+	var leaves, enters []int
+	for p := range m.members {
+		if _, ok := next[p]; !ok {
+			leaves = append(leaves, p)
+		}
+	}
+	for p := range next {
+		if _, ok := m.members[p]; !ok {
+			enters = append(enters, p)
+		}
+	}
+	sort.Ints(leaves)
+	sort.Ints(enters)
+	m.members = next
+	for _, p := range leaves {
+		r.emit(m, Event{Seq: seq, Type: Leave, Pref: p})
+	}
+	for _, p := range enters {
+		r.emit(m, Event{Seq: seq, Type: Enter, Pref: p})
+	}
+}
+
+// recomputeFanout is the point where a TopK product-delete diff stops
+// probing moved preferences one bounded rank evaluation at a time and
+// recomputes the answer with one grouped reverse query instead: the
+// grid scan amortizes its cell classification across all preferences,
+// so a large probe fan-out costs more than the single query it was
+// trying to avoid.
+const recomputeFanout = 32
+
+// OnProductMutation diffs every monitor after a single-product insert
+// or delete. row is the inserted point or the deleted point's former
+// attributes — the only data whose ranks changed. Two gates bound the
+// work before any rank is evaluated: the componentwise dominance gate
+// skips a monitor outright, and a per-preference score gate skips every
+// preference w with f_w(row) >= f_w(q) — a row that does not score
+// strictly below q never counts into rank(w, q), so adding or removing
+// it cannot move that preference. Both are exact predicates, not
+// heuristics; a gated skip is proven unchanged.
+func (r *Registry) OnProductMutation(s Snapshot, row []float64, inserted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.monitors) == 0 {
+		return
+	}
+	r.diffPasses.Add(1)
+	for _, m := range r.sorted() {
+		r.diffFullCost.Add(int64(s.NumPrefs))
+		if !rowAffects(row, m.q) {
+			r.gatedSkips.Add(1)
+			continue
+		}
+		switch {
+		case m.kind == KindTopK && inserted:
+			// Ranks only grow (by one, for preferences scoring row below
+			// q): members can leave, nobody can enter. Only moved current
+			// members need re-evaluation.
+			for _, mem := range sortedMembers(m.members) {
+				w := s.Pref(mem.Pref)
+				if !(dot(w, row) < dot(w, m.q)) {
+					continue
+				}
+				r.diffEvals.Add(1)
+				if _, ok := s.RankOf(mem.Pref, m.q, m.k); !ok {
+					delete(m.members, mem.Pref)
+					r.emit(m, Event{Seq: s.Seq, Type: Leave, Pref: mem.Pref})
+				}
+			}
+		case m.kind == KindTopK:
+			// Ranks only shrink: non-members can enter, members stay. The
+			// score gate leaves only the moved non-members; a handful get
+			// individual bounded rank probes, a crowd is cheaper as one
+			// grouped reverse query.
+			var moved []int
+			for wi := 0; wi < s.NumPrefs; wi++ {
+				if _, ok := m.members[wi]; ok {
+					continue
+				}
+				w := s.Pref(wi)
+				if dot(w, row) < dot(w, m.q) {
+					moved = append(moved, wi)
+				}
+			}
+			if len(moved) >= recomputeFanout {
+				r.diffEvals.Add(int64(s.NumPrefs))
+				r.resetDiff(m, s.Seq, r.compute(m, s))
+				continue
+			}
+			r.diffEvals.Add(int64(len(moved)))
+			for _, wi := range moved {
+				if _, ok := s.RankOf(wi, m.q, m.k); ok {
+					m.members[wi] = 0
+					r.emit(m, Event{Seq: s.Seq, Type: Enter, Pref: wi})
+				}
+			}
+		case inserted:
+			// KRanks insert: the set can only change when some member's
+			// rank grew — i.e. row scores below q under a member. Check
+			// the members (one dot product each); recompute only when one
+			// moved.
+			moved := false
+			for p := range m.members {
+				if dot(s.Pref(p), row) < dot(s.Pref(p), m.q) {
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				continue
+			}
+			r.diffEvals.Add(int64(s.NumPrefs))
+			r.resetDiff(m, s.Seq, s.KRanksSet(m.q, m.k))
+		default:
+			// KRanks delete: every moved preference's rank shrinks by
+			// exactly one. If only members moved, membership cannot change
+			// — each member's (rank, id) key stays at or below every
+			// non-member's — so the stored ranks are decremented in place
+			// with no events and no rank evaluation. A moved non-member
+			// can overtake the worst member, so that case recomputes.
+			var movedMembers []int
+			recompute := false
+			for wi := 0; wi < s.NumPrefs && !recompute; wi++ {
+				w := s.Pref(wi)
+				if !(dot(w, row) < dot(w, m.q)) {
+					continue
+				}
+				if _, ok := m.members[wi]; ok {
+					movedMembers = append(movedMembers, wi)
+				} else {
+					recompute = true
+				}
+			}
+			if recompute {
+				r.diffEvals.Add(int64(s.NumPrefs))
+				r.resetDiff(m, s.Seq, s.KRanksSet(m.q, m.k))
+				continue
+			}
+			for _, wi := range movedMembers {
+				m.members[wi]--
+			}
+		}
+	}
+}
+
+// OnPreferenceInsert diffs every monitor after a single-preference
+// insert; id is the new preference's id (the largest in the epoch).
+// Existing preferences' ranks are untouched, so only the spliced vector
+// is ever evaluated.
+func (r *Registry) OnPreferenceInsert(s Snapshot, id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.monitors) == 0 {
+		return
+	}
+	r.diffPasses.Add(1)
+	for _, m := range r.sorted() {
+		r.diffFullCost.Add(int64(s.NumPrefs))
+		r.diffEvals.Add(1)
+		if m.kind == KindTopK {
+			if _, ok := s.RankOf(id, m.q, m.k); ok {
+				m.members[id] = 0
+				r.emit(m, Event{Seq: s.Seq, Type: Enter, Pref: id})
+			}
+			continue
+		}
+		// KRanks: the newcomer wins admission when the set is short, or
+		// when it strictly beats the worst member — at equal rank the
+		// incumbent keeps the seat, because the new id is the largest
+		// and ties resolve toward smaller ids.
+		rank, _ := s.RankOf(id, m.q, 0)
+		if len(m.members) < m.k {
+			m.members[id] = rank
+			r.emit(m, Event{Seq: s.Seq, Type: Enter, Pref: id})
+			continue
+		}
+		worst, worstRank := -1, -1
+		for p, rk := range m.members {
+			if rk > worstRank || (rk == worstRank && p > worst) {
+				worst, worstRank = p, rk
+			}
+		}
+		if rank < worstRank {
+			delete(m.members, worst)
+			m.members[id] = rank
+			r.emit(m, Event{Seq: s.Seq, Type: Leave, Pref: worst})
+			r.emit(m, Event{Seq: s.Seq, Type: Enter, Pref: id})
+		}
+	}
+}
+
+// OnPreferenceDelete diffs every monitor after a single-preference
+// delete: ids above the deleted one shift down, the deleted preference
+// leaves any set it was in (its Leave carries the pre-delete id — see
+// Event.Pref), and a KRanks monitor that lost a member refills from a
+// recompute. No surviving preference's rank changes, so TopK monitors
+// never evaluate anything here.
+func (r *Registry) OnPreferenceDelete(s Snapshot, id, oldCount int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.monitors) == 0 {
+		return
+	}
+	r.diffPasses.Add(1)
+	for _, m := range r.sorted() {
+		r.diffFullCost.Add(int64(s.NumPrefs))
+		remapped := make(map[int]int, len(m.members))
+		wasMember := false
+		for p, rk := range m.members {
+			switch {
+			case p == id:
+				wasMember = true
+			case p > id:
+				remapped[p-1] = rk
+			default:
+				remapped[p] = rk
+			}
+		}
+		m.members = remapped
+		if !wasMember {
+			continue
+		}
+		r.emit(m, Event{Seq: s.Seq, Type: Leave, Pref: id})
+		if m.kind == KindKRanks {
+			// The vacated seat goes to the best surviving non-member;
+			// finding it is a recompute (survivors' ranks are unchanged,
+			// so the refreshed ranks also repair the stored ones).
+			r.diffEvals.Add(int64(s.NumPrefs))
+			r.resetDiff(m, s.Seq, s.KRanksSet(m.q, m.k))
+		}
+	}
+}
+
+// OnRebuild recomputes every monitor against a rebuilt epoch (batch
+// mutations): the whole data set may have changed, so each monitor pays
+// one bounded reverse-rank query — never more.
+func (r *Registry) OnRebuild(s Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.monitors) == 0 {
+		return
+	}
+	r.fullPasses.Add(1)
+	for _, m := range r.sorted() {
+		r.rebuildEvals.Add(int64(s.NumPrefs))
+		r.resetDiff(m, s.Seq, r.compute(m, s))
+	}
+}

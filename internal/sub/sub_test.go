@@ -1,0 +1,408 @@
+package sub
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The property harness drives a Registry against a brute-force model:
+// plain product/preference slices whose ranks are computed by exact
+// scans. After every random mutation the matching On* notification
+// fires and three properties must hold: each monitor's answer set
+// equals a from-scratch recompute, the emitted events are exactly the
+// membership delta, and the diff pass never examines more preference
+// vectors than a full per-monitor recompute would.
+
+// model is the brute-force oracle: the authoritative data the registry
+// is monitoring.
+type model struct {
+	ps [][]float64
+	ws [][]float64
+}
+
+func (mo *model) clone() *model {
+	cp := &model{ps: make([][]float64, len(mo.ps)), ws: make([][]float64, len(mo.ws))}
+	copy(cp.ps, mo.ps)
+	copy(cp.ws, mo.ws)
+	return cp
+}
+
+func (mo *model) rank(wi int, q []float64) int {
+	w := mo.ws[wi]
+	fq := dot(w, q)
+	r := 0
+	for _, p := range mo.ps {
+		if dot(w, p) < fq {
+			r++
+		}
+	}
+	return r
+}
+
+func (mo *model) topkSet(q []float64, k int) []int {
+	var out []int
+	for wi := range mo.ws {
+		if mo.rank(wi, q) < k {
+			out = append(out, wi)
+		}
+	}
+	return out
+}
+
+func (mo *model) kranksSet(q []float64, k int) []Member {
+	ms := make([]Member, len(mo.ws))
+	for wi := range mo.ws {
+		ms[wi] = Member{Pref: wi, Rank: mo.rank(wi, q)}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Rank != ms[j].Rank {
+			return ms[i].Rank < ms[j].Rank
+		}
+		return ms[i].Pref < ms[j].Pref
+	})
+	if k < len(ms) {
+		ms = ms[:k]
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Pref < ms[j].Pref })
+	return ms
+}
+
+// snapshot wraps a frozen copy of the model as the epoch view the
+// registry diffs against. The copy matters: the registry's contract is
+// an immutable published epoch.
+func (mo *model) snapshot(seq uint64) Snapshot {
+	frozen := mo.clone()
+	return Snapshot{
+		Seq:      seq,
+		NumPrefs: len(frozen.ws),
+		RankOf: func(wi int, q []float64, cutoff int) (int, bool) {
+			r := frozen.rank(wi, q)
+			if cutoff <= 0 {
+				return r, true
+			}
+			if r >= cutoff {
+				return cutoff, false
+			}
+			return r, true
+		},
+		Pref:      func(wi int) []float64 { return frozen.ws[wi] },
+		TopKSet:   frozen.topkSet,
+		KRanksSet: frozen.kranksSet,
+	}
+}
+
+func (mo *model) members(m *Monitor) []Member {
+	if m.Kind() == KindTopK {
+		ids := mo.topkSet(m.Query(), m.K())
+		out := make([]Member, len(ids))
+		for i, id := range ids {
+			out[i] = Member{Pref: id}
+		}
+		return out
+	}
+	return mo.kranksSet(m.Query(), m.K())
+}
+
+func randVec(rng *rand.Rand, d int, scale float64) []float64 {
+	v := make([]float64, d)
+	for j := range v {
+		v[j] = rng.Float64() * scale
+	}
+	return v
+}
+
+func randPref(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	sum := 0.0
+	for j := range v {
+		v[j] = 0.05 + rng.Float64()
+		sum += v[j]
+	}
+	for j := range v {
+		v[j] /= sum
+	}
+	return v
+}
+
+type evKey struct {
+	t EventType
+	p int
+}
+
+func drain(m *Monitor) map[evKey]int {
+	out := map[evKey]int{}
+	for {
+		select {
+		case ev, ok := <-m.Events():
+			if !ok {
+				return out
+			}
+			out[evKey{ev.Type, ev.Pref}]++
+		default:
+			return out
+		}
+	}
+}
+
+func memberSet(ms []Member) map[int]bool {
+	s := make(map[int]bool, len(ms))
+	for _, m := range ms {
+		s[m.Pref] = true
+	}
+	return s
+}
+
+// expectedEvents computes the membership delta between old and new,
+// with prefDelete >= 0 applying the delete renumbering: the deleted
+// pref leaves under its old id, survivors compare under new ids.
+func expectedEvents(old, fresh []Member, prefDelete int) map[evKey]int {
+	oldSet := memberSet(old)
+	newSet := memberSet(fresh)
+	out := map[evKey]int{}
+	if prefDelete >= 0 {
+		remapped := map[int]bool{}
+		for p := range oldSet {
+			switch {
+			case p == prefDelete:
+				out[evKey{Leave, p}]++
+			case p > prefDelete:
+				remapped[p-1] = true
+			default:
+				remapped[p] = true
+			}
+		}
+		oldSet = remapped
+	}
+	for p := range oldSet {
+		if !newSet[p] {
+			out[evKey{Leave, p}]++
+		}
+	}
+	for p := range newSet {
+		if !oldSet[p] {
+			out[evKey{Enter, p}]++
+		}
+	}
+	return out
+}
+
+func sameEvents(a, b map[evKey]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMembers(a, b []Member, ranks bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Pref != b[i].Pref {
+			return false
+		}
+		if ranks && a[i].Rank != b[i].Rank {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDiffMatchesFullRecompute is the property test: across random
+// mutation histories, the perturbed-region diff leaves every monitor
+// holding the identical answer set a full recompute produces, emits
+// exactly the membership delta as events, and examines no more
+// preference vectors than the full recompute would have.
+func TestDiffMatchesFullRecompute(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(52000 + trial)))
+			d := 2 + rng.Intn(3)
+			mo := &model{}
+			for i := 0; i < 10+rng.Intn(20); i++ {
+				mo.ps = append(mo.ps, randVec(rng, d, 1))
+			}
+			for i := 0; i < 8+rng.Intn(12); i++ {
+				mo.ws = append(mo.ws, randPref(rng, d))
+			}
+			r := NewRegistry(0)
+			var monitors []*Monitor
+			for i := 0; i < 3; i++ {
+				kind := KindTopK
+				if i%2 == 1 {
+					kind = KindKRanks
+				}
+				q := mo.ps[rng.Intn(len(mo.ps))]
+				m, err := r.Subscribe(q, 1+rng.Intn(4), kind, 4096, mo.snapshot(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _ := r.Members(m.ID())
+				if want := mo.members(m); !sameMembers(got, want, kind == KindKRanks) {
+					t.Fatalf("monitor %d initial members %v, want %v", m.ID(), got, want)
+				}
+				monitors = append(monitors, m)
+			}
+			for step := 0; step < 25; step++ {
+				seq := uint64(step + 1)
+				old := make([][]Member, len(monitors))
+				for i, m := range monitors {
+					old[i], _ = r.Members(m.ID())
+				}
+				prefDelete := -1
+				switch op := rng.Intn(6); {
+				case op == 0: // insert product (sometimes dominating: gate path)
+					p := randVec(rng, d, []float64{1, 3}[rng.Intn(2)])
+					mo.ps = append(mo.ps, p)
+					r.OnProductMutation(mo.snapshot(seq), p, true)
+				case op == 1 && len(mo.ps) > 2: // delete product
+					i := rng.Intn(len(mo.ps))
+					row := mo.ps[i]
+					mo.ps = append(mo.ps[:i:i], mo.ps[i+1:]...)
+					r.OnProductMutation(mo.snapshot(seq), row, false)
+				case op == 2: // insert preference
+					w := randPref(rng, d)
+					mo.ws = append(mo.ws, w)
+					r.OnPreferenceInsert(mo.snapshot(seq), len(mo.ws)-1)
+				case op == 3 && len(mo.ws) > 2: // delete preference
+					i := rng.Intn(len(mo.ws))
+					oldCount := len(mo.ws)
+					mo.ws = append(mo.ws[:i:i], mo.ws[i+1:]...)
+					r.OnPreferenceDelete(mo.snapshot(seq), i, oldCount)
+					prefDelete = i
+				default: // batch rebuild
+					mo.ps = append(mo.ps, randVec(rng, d, 1), randVec(rng, d, 1))
+					mo.ws = append(mo.ws, randPref(rng, d))
+					r.OnRebuild(mo.snapshot(seq))
+				}
+				for i, m := range monitors {
+					want := mo.members(m)
+					got, ok := r.Members(m.ID())
+					if !ok {
+						t.Fatalf("step %d: monitor %d vanished (lagged=%v)", step, m.ID(), m.Lagged())
+					}
+					if !sameMembers(got, want, m.Kind() == KindKRanks) {
+						t.Fatalf("step %d monitor %d (%v, k=%d): members %v, recompute %v",
+							step, m.ID(), m.Kind(), m.K(), got, want)
+					}
+					gotEv := drain(m)
+					wantEv := expectedEvents(old[i], want, prefDelete)
+					if !sameEvents(gotEv, wantEv) {
+						t.Fatalf("step %d monitor %d: events %v, want %v", step, m.ID(), gotEv, wantEv)
+					}
+				}
+			}
+			c := r.Counts()
+			if c.PrefsDiffEvaluated > c.PrefsDiffFullCost {
+				t.Fatalf("diff examined %d preference vectors, full-recompute baseline %d",
+					c.PrefsDiffEvaluated, c.PrefsDiffFullCost)
+			}
+			if c.Lagged != 0 {
+				t.Fatalf("unexpected lagged monitors: %+v", c)
+			}
+		})
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	mo := &model{ps: [][]float64{{0.5, 0.5}}, ws: [][]float64{{0.5, 0.5}}}
+	r := NewRegistry(0)
+	if _, err := r.Subscribe([]float64{0.5, 0.5}, 0, KindTopK, 8, mo.snapshot(0)); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := r.Subscribe([]float64{0.5, 0.5}, 1, Kind(9), 8, mo.snapshot(0)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSubscriberLimit(t *testing.T) {
+	mo := &model{ps: [][]float64{{0.5, 0.5}}, ws: [][]float64{{0.5, 0.5}}}
+	r := NewRegistry(1)
+	m, err := r.Subscribe([]float64{0.5, 0.5}, 1, KindTopK, 8, mo.snapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Subscribe([]float64{0.5, 0.5}, 1, KindTopK, 8, mo.snapshot(0)); err == nil {
+		t.Fatal("second subscribe above the limit accepted")
+	}
+	r.SetLimit(2)
+	if _, err := r.Subscribe([]float64{0.5, 0.5}, 1, KindTopK, 8, mo.snapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Unsubscribe(m.ID()) {
+		t.Fatal("unsubscribe of a live monitor reported false")
+	}
+	if r.Unsubscribe(m.ID()) {
+		t.Fatal("double unsubscribe reported true")
+	}
+	if _, ok := <-m.Events(); ok {
+		t.Fatal("channel still open after unsubscribe")
+	}
+	if m.Lagged() {
+		t.Fatal("unsubscribed monitor reports lagged")
+	}
+	if c := r.Counts(); c.Monitors != 1 || c.Subscribed != 2 || c.Unsubscribed != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+// TestLaggedConsumerCancelled pins the overflow policy: a full buffer
+// cancels the monitor instead of dropping events silently.
+func TestLaggedConsumerCancelled(t *testing.T) {
+	mo := &model{
+		ps: [][]float64{{0.9, 0.9}},
+		ws: [][]float64{{0.5, 0.5}, {0.3, 0.7}},
+	}
+	r := NewRegistry(0)
+	// Monitor a point every preference ranks first; buffer of one.
+	m, err := r.Subscribe([]float64{0.1, 0.1}, 1, KindTopK, 1, mo.snapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Members(m.ID()); len(got) != 2 {
+		t.Fatalf("initial members %v, want both preferences", got)
+	}
+	// A product strictly below the query point evicts both members: two
+	// leave events into a one-slot buffer.
+	p := []float64{0.01, 0.01}
+	mo.ps = append(mo.ps, p)
+	r.OnProductMutation(mo.snapshot(1), p, true)
+	if !m.Lagged() {
+		t.Fatal("overflowed monitor not lagged")
+	}
+	if _, ok := r.Members(m.ID()); ok {
+		t.Fatal("lagged monitor still registered")
+	}
+	// The buffered prefix is still readable, then the channel closes.
+	if ev, ok := <-m.Events(); !ok || ev.Type != Leave {
+		t.Fatalf("buffered event = %v, %v", ev, ok)
+	}
+	if _, ok := <-m.Events(); ok {
+		t.Fatal("channel open after lag cancellation")
+	}
+	c := r.Counts()
+	if c.Lagged != 1 || c.Monitors != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindTopK.String() != "reverse-topk" || KindKRanks.String() != "reverse-kranks" {
+		t.Fatal("kind names drifted from the wire protocol")
+	}
+	if Enter.String() != "enter" || Leave.String() != "leave" {
+		t.Fatal("event type names drifted from the wire protocol")
+	}
+	if Kind(7).String() == "" {
+		t.Fatal("unknown kind must still print")
+	}
+}

@@ -111,11 +111,15 @@ func nextPointEpoch(e *epoch, pm *vec.Matrix, derive func() *algo.GIR) *epoch {
 	return rebuildEpoch(e.seq+1, pm, e.wm, e.partitions(), e.layout())
 }
 
-// storeRebuilt publishes a from-scratch epoch over (pm, wm) and flushes
-// the answer cache — the shared tail of every batch mutation.
+// storeRebuilt publishes a from-scratch epoch over (pm, wm), flushes
+// the answer cache and recomputes subscriptions — the shared tail of
+// every batch mutation. Hook order is fixed: cache first, then the
+// subscription fan-out, both against the epoch just stored.
 func (ix *Index) storeRebuilt(e *epoch, pm, wm *vec.Matrix) {
-	ix.cur.Store(rebuildEpoch(e.seq+1, pm, wm, e.partitions(), e.layout()))
-	ix.cacheFlush(e.seq + 1)
+	ne := rebuildEpoch(e.seq+1, pm, wm, e.partitions(), e.layout())
+	ix.cur.Store(ne)
+	ix.cacheFlush(ne.seq)
+	ix.subOnRebuild(ne)
 }
 
 // InsertProduct appends product p to the index and returns its id
@@ -143,6 +147,7 @@ func (ix *Index) InsertProductCtx(ctx context.Context, p Vector) (int, error) {
 	ne := nextPointEpoch(e, pm, func() *algo.GIR { return e.gir.WithAppendedPoint(pm) })
 	ix.cur.Store(ne)
 	ix.cacheOnProduct(ne.seq, p)
+	ix.subOnProduct(ne, p, true)
 	return id, nil
 }
 
@@ -175,6 +180,7 @@ func (ix *Index) DeleteProductCtx(ctx context.Context, i int) error {
 	ne := nextPointEpoch(e, pm, func() *algo.GIR { return e.gir.WithRemovedPoint(pm, i) })
 	ix.cur.Store(ne)
 	ix.cacheOnProduct(ne.seq, removed)
+	ix.subOnProduct(ne, removed, false)
 	return nil
 }
 
@@ -213,6 +219,7 @@ func (ix *Index) InsertPreferenceCtx(ctx context.Context, w Vector) (int, error)
 	}
 	ix.cur.Store(ne)
 	ix.cacheOnPrefInsert(ne, id)
+	ix.subOnPrefInsert(ne, id)
 	return id, nil
 }
 
@@ -238,11 +245,13 @@ func (ix *Index) DeletePreferenceCtx(ctx context.Context, i int) error {
 	}
 	oldCount := e.wm.Len()
 	wm := e.wm.WithRemoved(i)
-	ix.cur.Store(&epoch{
+	ne := &epoch{
 		seq: e.seq + 1, pm: e.pm, wm: wm, rangeP: e.rangeP,
 		gir: e.gir.WithRemovedWeight(wm, i),
-	})
-	ix.cacheOnPrefDelete(e.seq+1, i, oldCount)
+	}
+	ix.cur.Store(ne)
+	ix.cacheOnPrefDelete(ne.seq, i, oldCount)
+	ix.subOnPrefDelete(ne, i, oldCount)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package gridrank
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -155,4 +156,87 @@ func BenchmarkGIRMutationUnderQueryLoad(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	<-done
+}
+
+// BenchmarkGIRMutationSubscriberFanout measures the marginal cost live
+// subscriptions add to a mutation epoch: the same insert/delete pairs
+// under query load as BenchmarkGIRMutationUnderQueryLoad, with N
+// monitors registered whose diff pass runs inside each publish. The
+// sub-benchmark at 0 subscribers is the baseline; the spread across
+// counts is the fan-out price per epoch.
+//
+// The base is deliberately smaller than the other mutation benchmarks:
+// random mid-range churn is the diff pass's worst case (nearly every
+// epoch moves preferences under every monitor), so a hot monitor-epoch
+// costs on the order of one bounded reverse query, and the benchmark's
+// point is the per-monitor spread of that price, not the absolute cost
+// of a query at catalog scale (the query suite already tracks that).
+func BenchmarkGIRMutationSubscriberFanout(b *testing.B) {
+	if testing.Short() {
+		b.Skip("contention benchmark skipped in short mode")
+	}
+	for _, nsubs := range []int{0, 4, 16, 64} {
+		b.Run(fmt.Sprintf("subs=%d", nsubs), func(b *testing.B) {
+			ix := mutationBenchIndex(b, 1000, 500)
+			products := ix.Products()
+			q := products[0]
+			var subs []*Subscription
+			for i := 0; i < nsubs; i++ {
+				kind := SubReverseTopK
+				if i%2 == 1 {
+					kind = SubReverseKRanks
+				}
+				s, err := ix.Subscribe(products[i%len(products)], 10, kind, 1<<16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				subs = append(subs, s)
+				// Drain each stream in the background so buffers never
+				// fill: the benchmark measures the diff pass, not a
+				// stalled consumer.
+				go func(s *Subscription) {
+					for range s.Events() {
+					}
+				}(s)
+			}
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := ix.ReverseTopK(q, 10); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+			rng := rand.New(rand.NewSource(77))
+			p := make(Vector, 6)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range p {
+					p[j] = rng.Float64() * 50
+				}
+				id, err := ix.InsertProduct(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ix.DeleteProduct(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+			for _, s := range subs {
+				s.Close()
+			}
+		})
+	}
 }

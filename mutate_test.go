@@ -415,3 +415,99 @@ func TestConcurrentMutationsAndQueries(t *testing.T) {
 		t.Fatalf("Epoch() = %d after %d mutations", got, 2*mutations)
 	}
 }
+
+// TestBatchRejectionIsAllOrNothing pins the batch validation seam: a
+// batch with duplicate or partially-invalid ids is rejected before any
+// epoch work — no partial delete, no epoch bump, no cache flush, no
+// subscription events. Ids are always interpreted against the pre-batch
+// epoch, never against a half-applied one.
+func TestBatchRejectionIsAllOrNothing(t *testing.T) {
+	P, err := GenerateProducts(91, Uniform, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := GeneratePreferences(92, Uniform, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(P, W, &Options{CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Populate one cache entry and one subscription: both must survive
+	// every rejected batch untouched.
+	q := P[0]
+	if _, err := ix.ReverseTopKCtx(ctx, q, 3); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ix.Subscribe(q, 3, SubReverseTopK, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	rejected := []struct {
+		name string
+		call func() error
+		want error
+	}{
+		{"duplicate preference ids", func() error { return ix.DeletePreferences([]int{3, 3, 5}) }, nil},
+		{"mixed valid and unknown preference ids", func() error { return ix.DeletePreferences([]int{2, 99}) }, ErrOutOfRange},
+		{"duplicate product ids", func() error { return ix.DeleteProducts([]int{1, 1, 4}) }, nil},
+		{"mixed valid and unknown product ids", func() error { return ix.DeleteProducts([]int{0, -1}) }, ErrOutOfRange},
+		{"invalid element mid-batch", func() error { _, err := ix.InsertProducts([]Vector{{0.1, 0.1}, {math.NaN(), 0}}); return err }, nil},
+	}
+	for _, c := range rejected {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.call()
+			if err == nil {
+				t.Fatal("invalid batch accepted")
+			}
+			if c.want != nil && !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+			if ix.Epoch() != 0 {
+				t.Fatalf("rejected batch bumped the epoch to %d", ix.Epoch())
+			}
+			if ix.NumProducts() != len(P) || ix.NumPreferences() != len(W) {
+				t.Fatal("rejected batch changed the element counts")
+			}
+			cs, _ := ix.CacheStats()
+			if cs.Flushes != 0 || cs.Entries != 1 {
+				t.Fatalf("rejected batch touched the cache: %+v", cs)
+			}
+			select {
+			case ev := <-sub.Events():
+				t.Fatalf("rejected batch emitted a subscription event: %+v", ev)
+			default:
+			}
+		})
+	}
+
+	// The seams still work after the rejections: a valid batch applies,
+	// flushes the cache, and its ids resolve against the pre-batch epoch
+	// — [0, 5] removes the original rows 0 and 5, not renumbered ones.
+	want := []Vector{P[1], P[2], P[3], P[4], P[6], P[7]}
+	if err := ix.DeleteProducts([]int{0, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Epoch() != 1 || ix.NumProducts() != len(want) {
+		t.Fatalf("epoch %d, %d products after batch delete", ix.Epoch(), ix.NumProducts())
+	}
+	for i, w := range want {
+		got, err := ix.Product(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range w {
+			if got[j] != w[j] {
+				t.Fatalf("product %d = %v, want %v (ids must bind pre-batch)", i, got, w)
+			}
+		}
+	}
+	cs, _ := ix.CacheStats()
+	if cs.Flushes != 1 {
+		t.Fatalf("valid batch did not flush the cache: %+v", cs)
+	}
+}

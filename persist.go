@@ -302,6 +302,11 @@ func (ix *Index) Close() error {
 	return first
 }
 
+// checkpointLoad remaps the just-saved checkpoint file. A package
+// variable so the failure-path tests can inject a remap error and
+// assert the index keeps serving its old epoch untouched.
+var checkpointLoad = LoadMmap
+
 // Checkpoint saves the current epoch to path (atomically and durably,
 // like Save) and republishes the index from a mapping of the newly
 // written file: subsequent queries serve from page-cache-backed memory
@@ -311,6 +316,16 @@ func (ix *Index) Close() error {
 // of the group renumbering a save may perform. Mutations, queries and
 // Checkpoint may interleave freely; on platforms without memory
 // mapping the index republishes from a heap reload instead.
+//
+// Failure is clean at every stage. A failed Save removes its own
+// temporary file and never touches path (and a post-rename fsync
+// failure leaves path holding the complete new file). A failed remap
+// returns with the index untouched: the current epoch, its mappings
+// and the answer cache all keep serving — existing mappings are never
+// unmapped here at all (in-flight queries may hold epochs backed by
+// them; only Close unmaps, when the caller asserts nothing is). The
+// saved file remains either way — it is complete and durable, so a
+// later Load/Checkpoint can use it.
 func (ix *Index) Checkpoint(path string) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -318,12 +333,14 @@ func (ix *Index) Checkpoint(path string) error {
 	if err := ix.Save(path); err != nil {
 		return err
 	}
-	m, err := LoadMmap(path)
+	m, err := checkpointLoad(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("gridrank: checkpoint remap: %w", err)
 	}
 	ne := m.snap()
 	ne.seq = seq // same data, same epoch: cached answers stay valid
+	// Adopt the new mapping before the swap; the old mappings stay —
+	// published epochs alias them until Close.
 	ix.mapped = append(ix.mapped, m.mapped...)
 	ix.cur.Store(ne)
 	return nil

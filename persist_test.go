@@ -224,3 +224,105 @@ func TestProductAccessor(t *testing.T) {
 		t.Error("out-of-range index accepted")
 	}
 }
+
+// TestCheckpointFailurePaths is the error-injection audit of the
+// Checkpoint seam: a failure in either stage — the durable save or the
+// remap of the just-written file — must leave the index exactly as it
+// was (same epoch, same answers, same mappings, no temp litter) and
+// must stay retryable.
+func TestCheckpointFailurePaths(t *testing.T) {
+	ix := persistIndex(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ix.gri3")
+	ctx := context.Background()
+	q := Vector{0.3, 0.4, 0.2, 0.6, 0.5}
+	want, err := ix.ReverseTopKCtx(ctx, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUntouched := func(t *testing.T, wantMapped int) {
+		t.Helper()
+		if got := len(ix.mapped); got != wantMapped {
+			t.Fatalf("mappings = %d, want %d", got, wantMapped)
+		}
+		if ix.Epoch() != 0 {
+			t.Fatalf("failed checkpoint moved the epoch to %d", ix.Epoch())
+		}
+		got, err := ix.ReverseTopKCtx(ctx, q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameInts(got, want) {
+			t.Fatalf("answers changed after failed checkpoint: %v vs %v", got, want)
+		}
+		tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tmps) != 0 {
+			t.Fatalf("failed checkpoint left temp files: %v", tmps)
+		}
+	}
+
+	// Stage 1: the save's directory sync fails. The rename has happened
+	// (the file at path is complete), but Checkpoint must report the
+	// error and republish nothing.
+	origSync := fsyncDir
+	boomSync := errors.New("injected dir sync failure")
+	fsyncDir = func(string) error { return boomSync }
+	if err := ix.Checkpoint(ckpt); !errors.Is(err, boomSync) {
+		t.Fatalf("Checkpoint swallowed the sync failure: %v", err)
+	}
+	fsyncDir = origSync
+	checkUntouched(t, 0)
+
+	// Stage 2: the save succeeds but the remap fails. The index keeps
+	// serving its heap epoch; the saved file remains complete on disk.
+	origLoad := checkpointLoad
+	boomLoad := errors.New("injected remap failure")
+	checkpointLoad = func(string) (*Index, error) { return nil, boomLoad }
+	if err := ix.Checkpoint(ckpt); !errors.Is(err, boomLoad) {
+		t.Fatalf("Checkpoint swallowed the remap failure: %v", err)
+	}
+	checkpointLoad = origLoad
+	checkUntouched(t, 0)
+	// The file the failed checkpoint wrote is complete: it loads.
+	re, err := Load(ckpt)
+	if err != nil {
+		t.Fatalf("file from failed checkpoint does not load: %v", err)
+	}
+	if re.NumProducts() != ix.NumProducts() {
+		t.Fatal("file from failed checkpoint lost elements")
+	}
+
+	// Both seams restored: the retry succeeds and republishes from the
+	// new mapping.
+	if err := ix.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	mapped := len(ix.mapped)
+	if mapped == 0 {
+		t.Fatal("successful checkpoint adopted no mapping")
+	}
+
+	// A failed re-checkpoint after a successful one must not disturb the
+	// live mapping the published epoch is backed by.
+	checkpointLoad = func(string) (*Index, error) { return nil, boomLoad }
+	if err := ix.Checkpoint(ckpt); !errors.Is(err, boomLoad) {
+		t.Fatalf("re-checkpoint swallowed the remap failure: %v", err)
+	}
+	checkpointLoad = origLoad
+	if got := len(ix.mapped); got != mapped {
+		t.Fatalf("failed re-checkpoint changed mappings: %d, want %d", got, mapped)
+	}
+	got, err := ix.ReverseTopKCtx(ctx, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameInts(got, want) {
+		t.Fatalf("answers changed after failed re-checkpoint: %v vs %v", got, want)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,7 +15,10 @@
 # high-dimensional run and the intra-query parallel sweep — plus the
 # mutation-throughput suite (BenchmarkGIRMutation*) from
 # mutate_bench_test.go: single insert/delete epoch derivation, batch
-# rebuild, and mutation latency under concurrent query load — and the
+# rebuild, mutation latency under concurrent query load, and the
+# subscriber fan-out sweep (BenchmarkGIRMutationSubscriberFanout),
+# which prices the per-epoch subscription diff pass at 0/4/16/64 live
+# monitors — and the
 # tracing-overhead suite (BenchmarkGIRTraceOverhead) from
 # trace_bench_test.go, whose off/noop/sampled sub-benchmarks price the
 # span instrumentation so a regression on the untraced path is caught

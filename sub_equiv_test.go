@@ -1,0 +1,330 @@
+package gridrank
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The subscription-equivalence harness: the proof standard for the
+// continuous subscription diff pass, mirroring TestCacheEquivalence.
+// Random mutation histories run against an index with live monitors of
+// both kinds, mirrored into plain model slices; after every epoch the
+// emitted enter/leave events are cross-validated against brute-force
+// before/after membership, and the diff pass must have examined
+// strictly fewer preference vectors than full per-monitor recomputes
+// would have (the forced dominated insert at step 0 guarantees the gap).
+
+// subBruteRank is the exact scan: |{p : <w,p> < <w,q>}|.
+func subBruteRank(ps []Vector, w, q Vector) int {
+	var fq float64
+	for j := range q {
+		fq += w[j] * q[j]
+	}
+	r := 0
+	for _, p := range ps {
+		var fp float64
+		for j := range p {
+			fp += w[j] * p[j]
+		}
+		if fp < fq {
+			r++
+		}
+	}
+	return r
+}
+
+// subBruteMembers computes a monitor's answer set from the model
+// slices: TopK membership is rank < k; KRanks is the k best by
+// ascending (rank, id), reported ascending by id.
+func subBruteMembers(ps, ws []Vector, s *Subscription) []SubMember {
+	if s.Kind() == SubReverseTopK {
+		var out []SubMember
+		for wi := range ws {
+			if subBruteRank(ps, ws[wi], s.Query()) < s.K() {
+				out = append(out, SubMember{Pref: wi})
+			}
+		}
+		return out
+	}
+	ms := make([]SubMember, len(ws))
+	for wi := range ws {
+		ms[wi] = SubMember{Pref: wi, Rank: subBruteRank(ps, ws[wi], s.Query())}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Rank != ms[j].Rank {
+			return ms[i].Rank < ms[j].Rank
+		}
+		return ms[i].Pref < ms[j].Pref
+	})
+	if s.K() < len(ms) {
+		ms = ms[:s.K()]
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Pref < ms[j].Pref })
+	return ms
+}
+
+type subEvKey struct {
+	t  string
+	id int
+}
+
+func drainSubEvents(s *Subscription) map[subEvKey]int {
+	out := map[subEvKey]int{}
+	for {
+		select {
+		case ev, ok := <-s.Events():
+			if !ok {
+				return out
+			}
+			out[subEvKey{ev.Type.String(), ev.Pref}]++
+		default:
+			return out
+		}
+	}
+}
+
+// subExpectedEvents is the membership delta old→fresh. prefDelete >= 0
+// applies the delete renumbering: the deleted preference leaves under
+// its pre-delete id, survivors are compared under their new ids.
+func subExpectedEvents(old, fresh []SubMember, prefDelete int) map[subEvKey]int {
+	oldSet := map[int]bool{}
+	for _, m := range old {
+		oldSet[m.Pref] = true
+	}
+	newSet := map[int]bool{}
+	for _, m := range fresh {
+		newSet[m.Pref] = true
+	}
+	out := map[subEvKey]int{}
+	if prefDelete >= 0 {
+		remapped := map[int]bool{}
+		for p := range oldSet {
+			switch {
+			case p == prefDelete:
+				out[subEvKey{"leave", p}]++
+			case p > prefDelete:
+				remapped[p-1] = true
+			default:
+				remapped[p] = true
+			}
+		}
+		oldSet = remapped
+	}
+	for p := range oldSet {
+		if !newSet[p] {
+			out[subEvKey{"leave", p}]++
+		}
+	}
+	for p := range newSet {
+		if !oldSet[p] {
+			out[subEvKey{"enter", p}]++
+		}
+	}
+	return out
+}
+
+func sameSubEvents(a, b map[subEvKey]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSubMembers(a, b []SubMember, ranks bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Pref != b[i].Pref {
+			return false
+		}
+		if ranks && a[i].Rank != b[i].Rank {
+			return false
+		}
+	}
+	return true
+}
+
+// subTrialMutate applies one random mutation to the index, mirrors it
+// into the model slices, and returns the deleted preference id (or -1).
+func subTrialMutate(t *testing.T, rng *rand.Rand, ix *Index, ps, ws *[]Vector) int {
+	t.Helper()
+	d := ix.Dim()
+	switch op := rng.Intn(7); {
+	case op == 0 && len(*ps) > 3: // delete product
+		i := rng.Intn(len(*ps))
+		if err := ix.DeleteProduct(i); err != nil {
+			t.Fatal(err)
+		}
+		*ps = append((*ps)[:i:i], (*ps)[i+1:]...)
+	case op == 1 && len(*ws) > 3: // delete preference (renumbering path)
+		i := rng.Intn(len(*ws))
+		if err := ix.DeletePreference(i); err != nil {
+			t.Fatal(err)
+		}
+		*ws = append((*ws)[:i:i], (*ws)[i+1:]...)
+		return i
+	case op == 2: // insert preference
+		w := randPreference(rng, d)
+		if _, err := ix.InsertPreference(w); err != nil {
+			t.Fatal(err)
+		}
+		*ws = append(*ws, w)
+	case op == 3 && len(*ps) > 6: // batch product delete (rebuild path)
+		ids := []int{rng.Intn(len(*ps) / 2), len(*ps)/2 + rng.Intn(len(*ps)/2)}
+		if err := ix.DeleteProducts(ids); err != nil {
+			t.Fatal(err)
+		}
+		*ps = append((*ps)[:ids[0]:ids[0]], (*ps)[ids[0]+1:]...)
+		*ps = append((*ps)[:ids[1]-1:ids[1]-1], (*ps)[ids[1]:]...)
+	case op == 4: // batch preference insert (rebuild path)
+		batch := []Vector{randPreference(rng, d), randPreference(rng, d)}
+		if _, err := ix.InsertPreferences(batch); err != nil {
+			t.Fatal(err)
+		}
+		*ws = append(*ws, batch...)
+	default: // insert product, sometimes growing rangeP
+		p := randProduct(rng, d, []float64{0.9, 1.0, 1.4}[rng.Intn(3)])
+		if _, err := ix.InsertProduct(p); err != nil {
+			t.Fatal(err)
+		}
+		*ps = append(*ps, p)
+	}
+	return -1
+}
+
+// TestSubscriptionEquivalence is the headline subscription harness: 50
+// random mutation histories with live monitors of both kinds; every
+// emitted event must match the brute-force membership delta at every
+// epoch, and the diff pass must examine strictly fewer preference
+// vectors than full recomputes on the single-mutation epochs.
+func TestSubscriptionEquivalence(t *testing.T) {
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(63000 + trial)))
+			d := 2 + rng.Intn(3)
+			dist := Uniform
+			if trial%2 == 1 {
+				dist = Clustered
+			}
+			P, err := GenerateProducts(int64(700+trial), dist, 15+rng.Intn(40), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			W, err := GeneratePreferences(int64(1700+trial), Uniform, 10+rng.Intn(25), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := &Options{GridPartitions: 8}
+			if trial%2 == 0 {
+				// Half the trials run with the answer cache enabled: the
+				// subscription hook must coexist with the cache hooks under
+				// the same publish ordering.
+				opts.CacheSize = 16
+			}
+			ix, err := New(P, W, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps := append([]Vector{}, P...)
+			ws := append([]Vector{}, W...)
+			var subs []*Subscription
+			for i := 0; i < 3; i++ {
+				kind := SubReverseTopK
+				if i%2 == 1 {
+					kind = SubReverseKRanks
+				}
+				q := ps[rng.Intn(len(ps))]
+				s, err := ix.Subscribe(q, 1+rng.Intn(5), kind, 4096)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := subBruteMembers(ps, ws, s); !sameSubMembers(s.Initial(), want, kind == SubReverseKRanks) {
+					t.Fatalf("subscription %d initial %v, brute force %v", s.ID(), s.Initial(), want)
+				}
+				subs = append(subs, s)
+			}
+			ctx := context.Background()
+			members := make([][]SubMember, len(subs))
+			for i, s := range subs {
+				members[i] = s.Initial()
+			}
+			for step := 0; step < 13; step++ {
+				prefDelete := -1
+				if step == 0 {
+					// Forced: a product componentwise above every monitored
+					// point. The dominance gate must skip every monitor, and
+					// that saving makes the strictly-fewer assertion below
+					// immune to later epochs (diff never exceeds full cost).
+					maxc := 0.0
+					for _, p := range ps {
+						for _, c := range p {
+							if c > maxc {
+								maxc = c
+							}
+						}
+					}
+					dom := make(Vector, d)
+					for j := range dom {
+						dom[j] = maxc + 0.5
+					}
+					if _, err := ix.InsertProduct(dom); err != nil {
+						t.Fatal(err)
+					}
+					ps = append(ps, dom)
+				} else {
+					prefDelete = subTrialMutate(t, rng, ix, &ps, &ws)
+				}
+				for i, s := range subs {
+					want := subBruteMembers(ps, ws, s)
+					gotEv := drainSubEvents(s)
+					wantEv := subExpectedEvents(members[i], want, prefDelete)
+					if !sameSubEvents(gotEv, wantEv) {
+						t.Fatalf("step %d sub %d (%v, k=%d): events %v, want %v (members %v -> %v)",
+							step, s.ID(), s.Kind(), s.K(), gotEv, wantEv, members[i], want)
+					}
+					if s.Lagged() {
+						t.Fatalf("step %d sub %d lagged with a 4096 buffer", step, s.ID())
+					}
+					members[i] = want
+				}
+				if opts.CacheSize > 0 {
+					// Exercise the cache alongside the subscriptions.
+					if _, err := ix.ReverseTopKCtx(ctx, subs[0].Query(), subs[0].K()); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			st := ix.SubscriptionStats()
+			if st.GatedSkips < int64(len(subs)) {
+				t.Fatalf("dominated insert gated %d monitors, want >= %d", st.GatedSkips, len(subs))
+			}
+			if st.PrefsDiffEvaluated >= st.PrefsDiffFullCost {
+				t.Fatalf("diff pass examined %d preference vectors, full recompute baseline %d: no saving",
+					st.PrefsDiffEvaluated, st.PrefsDiffFullCost)
+			}
+			if st.Lagged != 0 || st.Monitors != int64(len(subs)) {
+				t.Fatalf("stats = %+v", st)
+			}
+			for _, s := range subs {
+				s.Close()
+				if _, ok := <-s.Events(); ok {
+					t.Fatalf("sub %d channel open after Close", s.ID())
+				}
+			}
+			if st := ix.SubscriptionStats(); st.Monitors != 0 {
+				t.Fatalf("monitors remain after Close: %+v", st)
+			}
+		})
+	}
+}
