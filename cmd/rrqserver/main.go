@@ -9,8 +9,10 @@
 // POST /v1/reverse-topk, /v1/reverse-kranks, /v1/batch, /v1/topk,
 // /v1/rank, the /v1/subscriptions continuous-monitor endpoints
 // (register with POST, stream enter/leave events as SSE from
-// /v1/subscriptions/{id}/events), and — when tracing is on —
-// GET /debug/traces and GET /debug/traces/{id}.
+// /v1/subscriptions/{id}/events), the forensic endpoints
+// GET /debug/flight (flight-recorder digests) and GET /debug/bundle
+// (one-shot diagnostics tar.gz, also fetchable with rrqdiag), and —
+// when tracing is on — GET /debug/traces and GET /debug/traces/{id}.
 //
 //	curl -s localhost:8080/v1/reverse-kranks \
 //	  -d '{"product": 42, "k": 10, "stats": true, "timeoutMs": 500}'
@@ -23,6 +25,13 @@
 // are served by the /debug/traces endpoints.
 //
 //	rrqserver -demo -trace-sample 0.01 -slow-query 250ms
+//
+// With -otlp-endpoint set, every kept trace is also exported to an
+// OpenTelemetry collector as OTLP/HTTP-JSON — batched, retried with
+// backoff, and dropped (with a counter) rather than ever blocking a
+// query when the collector stalls:
+//
+//	rrqserver -demo -trace-sample 0.05 -otlp-endpoint http://localhost:4318
 //
 // The server shuts down gracefully: on SIGINT/SIGTERM it stops
 // accepting connections, ends every live subscription stream with a
@@ -74,6 +83,8 @@ func main() {
 		cacheTTL = flag.Duration("cache-ttl", 0, "max age of served cache entries, e.g. 30s (0 = until invalidated; requires -cache)")
 		maxSubs  = flag.Int("max-subscribers", 0, "max live continuous subscriptions (0 = default, negative = unlimited)")
 		evBuf    = flag.Int("event-buffer", 0, "per-subscription event buffer; a subscriber that lets it fill is cancelled as lagged (0 = default)")
+		otlpEp   = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL, e.g. http://localhost:4318; kept traces are exported there (requires -trace-sample or -slow-query)")
+		otlpSvc  = flag.String("otlp-service", "", "resource service.name for exported spans (default gridrank)")
 	)
 	flag.Parse()
 	if *sample < 0 || *sample > 1 {
@@ -82,6 +93,10 @@ func main() {
 	}
 	if *cacheSz < 0 || *cacheTTL < 0 || (*cacheTTL > 0 && *cacheSz == 0) {
 		fmt.Fprintln(os.Stderr, "rrqserver: -cache must be >= 0, -cache-ttl >= 0 and only set with -cache")
+		os.Exit(1)
+	}
+	if *otlpEp != "" && *sample == 0 && *slowQ == 0 {
+		fmt.Fprintln(os.Stderr, "rrqserver: -otlp-endpoint exports kept traces; enable -trace-sample or -slow-query too")
 		os.Exit(1)
 	}
 	logger, err := buildLogger(*logFmt)
@@ -124,6 +139,8 @@ func main() {
 		CacheTTL:        *cacheTTL,
 		MaxSubscribers:  *maxSubs,
 		EventBuffer:     *evBuf,
+		OTLPEndpoint:    *otlpEp,
+		OTLPServiceName: *otlpSvc,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -65,6 +65,7 @@ import (
 	"gridrank/internal/algo"
 	"gridrank/internal/bits"
 	"gridrank/internal/dataset"
+	"gridrank/internal/flight"
 	"gridrank/internal/grid"
 	"gridrank/internal/vec"
 )
@@ -626,7 +627,7 @@ func readIndexV3(br io.Reader, first8 []byte, sizeHint int64) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{dim: dim, format: formatGRI3}
+	ix := &Index{dim: dim, format: formatGRI3, fr: flight.New(0)}
 	ix.cur.Store(e)
 	return ix, nil
 }

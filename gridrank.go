@@ -46,6 +46,7 @@ import (
 
 	"gridrank/internal/algo"
 	"gridrank/internal/cache"
+	"gridrank/internal/flight"
 	"gridrank/internal/model"
 	"gridrank/internal/stats"
 	"gridrank/internal/sub"
@@ -153,6 +154,14 @@ type Options struct {
 	// — only speed and memory change. 1<<PackedBits must be at least the
 	// grid partition count, so the default n=32 grid needs PackedBits ≥ 5.
 	PackedBits int
+
+	// FlightCapacity sizes the always-on flight recorder's ring (rounded
+	// up to a power of two). 0 selects the default
+	// (flight.DefaultCapacity); a negative value disables the recorder
+	// entirely — intended for measurements, since recording costs zero
+	// allocations and a few atomic operations per query (see DESIGN.md
+	// §16).
+	FlightCapacity int
 }
 
 // Layout reports the physical representation an index was built with,
@@ -209,6 +218,12 @@ type Index struct {
 	// subTracer, when set, records diff-pass traces; guarded by mu
 	// (the hooks and SetSubscriptionTracer both hold it).
 	subTracer *trace.Tracer
+	// fr is the always-on flight recorder: a bounded ring of fixed-size
+	// digests, one per query / mutation / subscription event, recorded
+	// unconditionally (see internal/flight and flightrecorder.go). nil
+	// only when Options.FlightCapacity is negative — every recording
+	// site is nil-safe. Immutable after construction.
+	fr *flight.Recorder
 	// format is the on-disk format version the index came from, "" for a
 	// fresh build (see Format). Immutable after construction.
 	format string
@@ -357,6 +372,13 @@ func New(products, preferences []Vector, opts *Options) (*Index, error) {
 	pm := vec.NewMatrix(products)
 	wm := vec.NewMatrix(preferences)
 	ix := &Index{dim: d}
+	flightCap := 0
+	if opts != nil {
+		flightCap = opts.FlightCapacity
+	}
+	if flightCap >= 0 {
+		ix.fr = flight.New(flightCap)
+	}
 	ix.par.Store(int32(parallelism))
 	ix.cur.Store(&epoch{
 		pm:     pm,

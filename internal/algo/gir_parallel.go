@@ -3,7 +3,9 @@ package algo
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -154,6 +156,26 @@ func (wm *rankWatermark) cutoff(local int) int {
 // cancelChunk weights), so cancellation stops every worker within one
 // chunk; the coordinator then joins them all and returns ctx.Err() —
 // cancellation never leaks a goroutine.
+// layoutLabel names the scan layout for profiler labels.
+func (gr *GIR) layoutLabel() string {
+	if gr.pk != nil {
+		return "packed"
+	}
+	return "float64"
+}
+
+// scanLabels builds the pprof label set stamped on every scan worker
+// goroutine, so a goroutine or CPU profile taken during an incident
+// attributes worker time to the query kind, its k and the index layout
+// (go tool pprof -tagfocus rrq_query=reverse_topk ...).
+func (gr *GIR) scanLabels(kind string, k int) pprof.LabelSet {
+	return pprof.Labels(
+		"rrq_query", kind,
+		"rrq_k", strconv.Itoa(k),
+		"rrq_layout", gr.layoutLabel(),
+	)
+}
+
 func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers int, c *stats.Counters, tr *trace.Trace, ref bool) ([]int, error) {
 	shared := newSharedDomin(gr.pm.Len())
 	var cursor atomic.Int64
@@ -166,11 +188,13 @@ func (gr *GIR) reverseTopKParallel(ctx context.Context, q vec.Vector, k, workers
 		c   stats.Counters
 	}
 	outs := make([]workerOut, workers)
+	lbls := gr.scanLabels("reverse_topk", k)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(widx int, out *workerOut) {
 			defer wg.Done()
+			pprof.SetGoroutineLabels(pprof.WithLabels(ctx, lbls))
 			wsp := sp.Child("scan.worker")
 			wsp.SetInt("worker", int64(widx))
 			scanned := 0
@@ -268,11 +292,13 @@ func (gr *GIR) reverseKRanksParallel(ctx context.Context, q vec.Vector, k, worke
 		c       stats.Counters
 	}
 	outs := make([]workerOut, workers)
+	lbls := gr.scanLabels("reverse_kranks", k)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(widx int, out *workerOut) {
 			defer wg.Done()
+			pprof.SetGoroutineLabels(pprof.WithLabels(ctx, lbls))
 			wsp := sp.Child("scan.worker")
 			wsp.SetInt("worker", int64(widx))
 			scanned := 0

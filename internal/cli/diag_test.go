@@ -1,0 +1,144 @@
+package cli
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridrank"
+	"gridrank/internal/diag"
+)
+
+// savedIndex builds a small index and saves it under t.TempDir.
+func savedIndex(t *testing.T) string {
+	t.Helper()
+	P, err := gridrank.GenerateProducts(7, gridrank.Uniform, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	W, err := gridrank.GeneratePreferences(8, gridrank.Uniform, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := gridrank.New(P, W, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ix.gri")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// readBundleFile opens, parses and manifest-validates a bundle on disk.
+func readBundleFile(t *testing.T, path string) (diag.Manifest, map[string][]byte) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, files, err := diag.ReadBundle(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("bundle unreadable: %v", err)
+	}
+	if err := diag.Validate(m, files); err != nil {
+		t.Fatalf("bundle invalid: %v", err)
+	}
+	return m, files
+}
+
+func TestRunDiagIndexMode(t *testing.T) {
+	ixPath := savedIndex(t)
+	out := filepath.Join(t.TempDir(), "bundle.tar.gz")
+	var sb strings.Builder
+	if err := RunDiag(&sb, []string{"-index", ixPath, "-out", out}); err != nil {
+		t.Fatalf("RunDiag: %v", err)
+	}
+	m, files := readBundleFile(t, out)
+	if m.Source != "index" {
+		t.Errorf("source = %q, want index", m.Source)
+	}
+	for _, name := range []string{"goroutines.txt", "runtime.json", "index.json", "flight.json"} {
+		if files[name] == nil {
+			t.Errorf("bundle missing %s", name)
+		}
+	}
+	if !strings.Contains(string(files["index.json"]), `"products": 200`) {
+		t.Errorf("index.json missing product count: %s", files["index.json"])
+	}
+	if !strings.Contains(sb.String(), "wrote "+out) {
+		t.Errorf("missing confirmation line: %q", sb.String())
+	}
+
+	// The same bundle must pass -inspect.
+	sb.Reset()
+	if err := RunDiag(&sb, []string{"-inspect", out}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if !strings.Contains(sb.String(), "valid") || !strings.Contains(sb.String(), "index.json") {
+		t.Errorf("inspect output incomplete: %q", sb.String())
+	}
+}
+
+func TestRunDiagServerMode(t *testing.T) {
+	// A fake rrqserver serving a canned, well-formed bundle.
+	var canned bytes.Buffer
+	if err := diag.WriteBundle(&canned, "server", []diag.File{
+		{Name: "goroutines.txt", Data: diag.Goroutines()},
+		{Name: "config.json", Data: []byte(`{"otlpConfigured":false}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/bundle" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Write(canned.Bytes())
+	}))
+	defer srv.Close()
+
+	out := filepath.Join(t.TempDir(), "fetched.tar.gz")
+	var sb strings.Builder
+	if err := RunDiag(&sb, []string{"-server", srv.URL, "-out", out}); err != nil {
+		t.Fatalf("RunDiag -server: %v", err)
+	}
+	m, files := readBundleFile(t, out)
+	if m.Source != "server" || files["config.json"] == nil {
+		t.Errorf("fetched bundle malformed: %+v", m)
+	}
+}
+
+func TestRunDiagRejectsCorruptDownload(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("this is not a tar.gz"))
+	}))
+	defer srv.Close()
+	out := filepath.Join(t.TempDir(), "bad.tar.gz")
+	var sb strings.Builder
+	if err := RunDiag(&sb, []string{"-server", srv.URL, "-out", out}); err == nil {
+		t.Fatal("corrupt download accepted")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("corrupt download written to disk anyway")
+	}
+}
+
+func TestRunDiagModeValidation(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{},
+		{"-server", "http://x", "-index", "y"},
+		{"-mmap"},
+	} {
+		if err := RunDiag(&sb, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

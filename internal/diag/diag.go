@@ -1,0 +1,296 @@
+// Package diag builds and validates one-shot diagnostics bundles: a
+// tar.gz capture of a process's observable state (goroutine dump,
+// runtime telemetry, metrics scrape, flight-recorder digests, kept
+// traces, index metadata) taken at a single point in time, for attaching
+// to an incident ticket or inspecting offline with rrqdiag.
+//
+// Bundle layout: the first tar entry is manifest.json — capture time,
+// source ("server" or "index"), Go version, and for every other entry
+// its byte size and SHA-256 — so a consumer can verify a capture is
+// complete and untampered before trusting it. The remaining entries
+// follow in manifest order.
+//
+// Redaction: bundles are built only from content the producer passes in;
+// this package never reads config files or the environment. Producers
+// must sanitize what they include — the server's /debug/bundle handler,
+// for example, replaces its collector endpoint URL (which may embed
+// credentials) with a boolean.
+package diag
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/metrics"
+	"sort"
+	"time"
+)
+
+// ManifestName is the bundle's first tar entry.
+const ManifestName = "manifest.json"
+
+// ManifestVersion identifies the bundle layout; readers reject versions
+// they do not understand rather than misinterpreting entries.
+const ManifestVersion = 1
+
+// maxEntryBytes bounds one decompressed entry on read, so a corrupt or
+// hostile bundle cannot balloon memory (a gzip bomb inside the tar).
+const maxEntryBytes = 64 << 20
+
+// Entry describes one bundled file.
+type Entry struct {
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the bundle's self-description.
+type Manifest struct {
+	Version   int       `json:"version"`
+	CreatedAt time.Time `json:"createdAt"`
+	Source    string    `json:"source"` // "server" or "index"
+	GoVersion string    `json:"goVersion"`
+	Entries   []Entry   `json:"entries"`
+}
+
+// File is one named payload to bundle.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// WriteBundle writes a tar.gz bundle of files to w: manifest.json first,
+// then the files in the given order. Names must be unique, non-empty and
+// not ManifestName.
+func WriteBundle(w io.Writer, source string, files []File) error {
+	m := Manifest{
+		Version:   ManifestVersion,
+		CreatedAt: time.Now().UTC(),
+		Source:    source,
+		GoVersion: runtime.Version(),
+	}
+	seen := map[string]bool{ManifestName: true}
+	for _, f := range files {
+		if f.Name == "" || seen[f.Name] {
+			return fmt.Errorf("diag: duplicate or invalid entry name %q", f.Name)
+		}
+		seen[f.Name] = true
+		sum := sha256.Sum256(f.Data)
+		m.Entries = append(m.Entries, Entry{
+			Name: f.Name, Bytes: int64(len(f.Data)), SHA256: hex.EncodeToString(sum[:]),
+		})
+	}
+	mj, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	write := func(name string, data []byte) error {
+		if err := tw.WriteHeader(&tar.Header{
+			Name: name, Mode: 0o644, Size: int64(len(data)), ModTime: m.CreatedAt,
+		}); err != nil {
+			return err
+		}
+		_, err := tw.Write(data)
+		return err
+	}
+	if err := write(ManifestName, mj); err != nil {
+		return err
+	}
+	for _, f := range files {
+		if err := write(f.Name, f.Data); err != nil {
+			return err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// ReadBundle parses a tar.gz bundle, returning the manifest and the
+// entries by name. It requires manifest.json to be the first entry and
+// a version this package understands; integrity is checked separately
+// with Validate.
+func ReadBundle(r io.Reader) (Manifest, map[string][]byte, error) {
+	var m Manifest
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return m, nil, fmt.Errorf("diag: not a gzip stream: %w", err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	files := make(map[string][]byte)
+	first := true
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return m, nil, fmt.Errorf("diag: reading tar: %w", err)
+		}
+		data, err := io.ReadAll(io.LimitReader(tr, maxEntryBytes+1))
+		if err != nil {
+			return m, nil, fmt.Errorf("diag: reading entry %s: %w", hdr.Name, err)
+		}
+		if len(data) > maxEntryBytes {
+			return m, nil, fmt.Errorf("diag: entry %s exceeds %d bytes", hdr.Name, maxEntryBytes)
+		}
+		if first {
+			if hdr.Name != ManifestName {
+				return m, nil, fmt.Errorf("diag: first entry is %s, want %s", hdr.Name, ManifestName)
+			}
+			if err := json.Unmarshal(data, &m); err != nil {
+				return m, nil, fmt.Errorf("diag: parsing manifest: %w", err)
+			}
+			if m.Version != ManifestVersion {
+				return m, nil, fmt.Errorf("diag: unsupported manifest version %d", m.Version)
+			}
+			first = false
+			continue
+		}
+		files[hdr.Name] = data
+	}
+	if first {
+		return m, nil, fmt.Errorf("diag: empty bundle")
+	}
+	return m, files, nil
+}
+
+// Validate checks the files against the manifest: every listed entry
+// must be present with the declared size and SHA-256, and no unlisted
+// entries may appear.
+func Validate(m Manifest, files map[string][]byte) error {
+	listed := make(map[string]bool, len(m.Entries))
+	for _, e := range m.Entries {
+		listed[e.Name] = true
+		data, ok := files[e.Name]
+		if !ok {
+			return fmt.Errorf("diag: entry %s listed in manifest but missing", e.Name)
+		}
+		if int64(len(data)) != e.Bytes {
+			return fmt.Errorf("diag: entry %s is %d bytes, manifest says %d", e.Name, len(data), e.Bytes)
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != e.SHA256 {
+			return fmt.Errorf("diag: entry %s fails its checksum", e.Name)
+		}
+	}
+	for name := range files {
+		if !listed[name] {
+			return fmt.Errorf("diag: entry %s not listed in manifest", name)
+		}
+	}
+	return nil
+}
+
+// Goroutines returns the full goroutine dump (stack traces of every
+// goroutine), the capture a hang investigation starts from.
+func Goroutines() []byte {
+	// runtime.Stack with all=true needs a buffer sized for every stack;
+	// double until it fits.
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// RuntimeSnapshot returns a JSON document of MemStats key fields plus
+// every runtime/metrics sample the toolchain exposes, keyed by metric
+// name. Histogram-valued metrics are summarized to their bucket counts'
+// total rather than serialized in full.
+func RuntimeSnapshot() []byte {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	rt := make(map[string]any, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			rt[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			rt[s.Name] = s.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var total uint64
+			for _, c := range h.Counts {
+				total += c
+			}
+			rt[s.Name] = map[string]any{"histogramTotal": total, "buckets": len(h.Counts)}
+		}
+	}
+	// Sorted key order keeps captures diffable across runs.
+	keys := make([]string, 0, len(rt))
+	for k := range rt {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]any, len(rt))
+	for _, k := range keys {
+		ordered[k] = rt[k]
+	}
+
+	doc := map[string]any{
+		"memStats": map[string]any{
+			"heapAlloc":    ms.HeapAlloc,
+			"heapInuse":    ms.HeapInuse,
+			"heapObjects":  ms.HeapObjects,
+			"stackInuse":   ms.StackInuse,
+			"sys":          ms.Sys,
+			"numGC":        ms.NumGC,
+			"pauseTotalNs": ms.PauseTotalNs,
+			"lastGC":       ms.LastGC,
+		},
+		"goroutines": runtime.NumGoroutine(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"numCPU":     runtime.NumCPU(),
+		"goVersion":  runtime.Version(),
+		"metrics":    ordered,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		// Every value above is a JSON-marshalable builtin; a failure here
+		// is a programming error worth surfacing in the bundle itself.
+		return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return out
+}
+
+// MustJSON marshals v with indentation for bundling, embedding the
+// error as a JSON document instead of failing the whole capture.
+func MustJSON(v any) []byte {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return out
+}
+
+// Buffer is a small helper for producers assembling bundle files from
+// io.Writer-based renderers.
+func Buffer(render func(io.Writer) error) []byte {
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		return []byte(fmt.Sprintf("render error: %v", err))
+	}
+	return buf.Bytes()
+}

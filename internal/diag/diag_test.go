@@ -1,0 +1,136 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	files := []File{
+		{Name: "goroutines.txt", Data: Goroutines()},
+		{Name: "runtime.json", Data: RuntimeSnapshot()},
+		{Name: "empty.txt", Data: nil},
+	}
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, "server", files); err != nil {
+		t.Fatalf("WriteBundle: %v", err)
+	}
+	m, got, err := ReadBundle(&buf)
+	if err != nil {
+		t.Fatalf("ReadBundle: %v", err)
+	}
+	if err := Validate(m, got); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.Version != ManifestVersion || m.Source != "server" || m.GoVersion == "" {
+		t.Errorf("manifest malformed: %+v", m)
+	}
+	if m.CreatedAt.IsZero() {
+		t.Error("manifest missing creation time")
+	}
+	if len(m.Entries) != len(files) || len(got) != len(files) {
+		t.Fatalf("entry count: manifest %d, files %d, want %d", len(m.Entries), len(got), len(files))
+	}
+	for i, f := range files {
+		if m.Entries[i].Name != f.Name {
+			t.Errorf("entry %d = %s, want %s (manifest must preserve order)", i, m.Entries[i].Name, f.Name)
+		}
+		if !bytes.Equal(got[f.Name], f.Data) {
+			t.Errorf("entry %s: content mismatch", f.Name)
+		}
+	}
+}
+
+func TestValidateCatchesTampering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, "index", []File{{Name: "a.txt", Data: []byte("hello")}}); err != nil {
+		t.Fatal(err)
+	}
+	m, files, err := ReadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flipped content fails the checksum.
+	files["a.txt"] = []byte("jello")
+	if err := Validate(m, files); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("tampered content not caught: %v", err)
+	}
+	// Changed size is reported as a size mismatch.
+	files["a.txt"] = []byte("hello!")
+	if err := Validate(m, files); err == nil || !strings.Contains(err.Error(), "bytes") {
+		t.Errorf("size change not caught: %v", err)
+	}
+	// A missing entry fails.
+	delete(files, "a.txt")
+	if err := Validate(m, files); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing entry not caught: %v", err)
+	}
+	// An extra unlisted entry fails.
+	files["a.txt"] = []byte("hello")
+	files["sneaky.txt"] = []byte("x")
+	if err := Validate(m, files); err == nil || !strings.Contains(err.Error(), "not listed") {
+		t.Errorf("unlisted entry not caught: %v", err)
+	}
+}
+
+func TestWriteBundleRejectsBadNames(t *testing.T) {
+	for _, files := range [][]File{
+		{{Name: "", Data: nil}},
+		{{Name: ManifestName, Data: nil}},
+		{{Name: "a", Data: nil}, {Name: "a", Data: nil}},
+	} {
+		var buf bytes.Buffer
+		if err := WriteBundle(&buf, "server", files); err == nil {
+			t.Errorf("WriteBundle accepted invalid names %v", files)
+		}
+	}
+}
+
+func TestReadBundleRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadBundle(strings.NewReader("not a gzip stream")); err == nil {
+		t.Error("garbage accepted as a bundle")
+	}
+	// A tar.gz whose first entry is not the manifest is rejected.
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, "server", []File{{Name: "a.txt", Data: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	m, files, err := ReadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("control bundle unreadable: %v", err)
+	}
+	_ = m
+}
+
+func TestGoroutinesContainsThisTest(t *testing.T) {
+	dump := string(Goroutines())
+	if !strings.Contains(dump, "TestGoroutinesContainsThisTest") {
+		t.Error("goroutine dump does not contain the calling frame")
+	}
+	if !strings.Contains(dump, "goroutine ") {
+		t.Error("goroutine dump missing stack headers")
+	}
+}
+
+func TestRuntimeSnapshotIsValidJSON(t *testing.T) {
+	var doc struct {
+		MemStats   map[string]any `json:"memStats"`
+		Goroutines int            `json:"goroutines"`
+		Metrics    map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(RuntimeSnapshot(), &doc); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if doc.Goroutines < 1 {
+		t.Error("goroutine count below 1")
+	}
+	if doc.MemStats["heapAlloc"] == nil {
+		t.Error("memStats missing heapAlloc")
+	}
+	if len(doc.Metrics) == 0 {
+		t.Error("runtime/metrics samples missing")
+	}
+}

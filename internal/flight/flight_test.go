@@ -1,0 +1,218 @@
+package flight
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Record(Record{Class: ClassQuery, Op: OpReverseTopK}) // must not panic
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil Snapshot = %v, want nil", got)
+	}
+	if got := r.Counts(); got != (Counts{}) {
+		t.Fatalf("nil Counts = %+v, want zero", got)
+	}
+	if got := r.Capacity(); got != 0 {
+		t.Fatalf("nil Capacity = %d, want 0", got)
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultCapacity}, {-5, DefaultCapacity},
+		{1, 1}, {2, 2}, {3, 4}, {100, 128}, {4096, 4096},
+	} {
+		if got := New(tc.in).Capacity(); got != tc.want {
+			t.Errorf("New(%d).Capacity() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRecordSnapshotOrderAndWrap(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 20; i++ {
+		r.Record(Record{Class: ClassQuery, Op: OpReverseTopK, K: int32(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("Snapshot len = %d, want 8 (ring capacity)", len(got))
+	}
+	// Newest first: K 19 down to 12, Seq 19 down to 12.
+	for i, rec := range got {
+		if want := int32(19 - i); rec.K != want {
+			t.Errorf("rec[%d].K = %d, want %d", i, rec.K, want)
+		}
+		if want := uint64(19 - i); rec.Seq != want {
+			t.Errorf("rec[%d].Seq = %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestSnapshotSkipsUnwrittenSlots(t *testing.T) {
+	r := New(16)
+	r.Record(Record{Class: ClassMutation, Op: OpInsertProduct})
+	if got := r.Snapshot(); len(got) != 1 {
+		t.Fatalf("Snapshot len = %d, want 1", len(got))
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r := New(4)
+	r.Record(Record{Class: ClassQuery, Op: OpReverseTopK})
+	r.Record(Record{Class: ClassQuery, Op: OpReverseKRanks})
+	r.Record(Record{Class: ClassMutation, Op: OpInsertProduct})
+	r.Record(Record{Class: ClassSub, Op: OpSubscribe})
+	got := r.Counts()
+	want := Counts{Recorded: 4, Queries: 2, Mutations: 1, Subscriptions: 1, Capacity: 4}
+	if got != want {
+		t.Fatalf("Counts = %+v, want %+v", got, want)
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	r := New(64)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader: must never see a torn record
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, rec := range r.Snapshot() {
+				if rec.Class != ClassQuery || rec.Op != OpReverseTopK {
+					t.Errorf("torn record: %+v", rec)
+					return
+				}
+				if rec.Epoch != uint64(rec.K) {
+					t.Errorf("torn record: K=%d Epoch=%d", rec.K, rec.Epoch)
+					return
+				}
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				k := int32(i % 97)
+				r.Record(Record{Class: ClassQuery, Op: OpReverseTopK, K: k, Epoch: uint64(k)})
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	wg.Wait()
+	c := r.Counts()
+	if c.Recorded != writers*perWriter || c.Queries != writers*perWriter {
+		t.Fatalf("Counts = %+v, want %d recorded queries", c, writers*perWriter)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("Snapshot len = %d, want 64", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Seq <= snap[i].Seq {
+			t.Fatalf("snapshot not newest-first at %d: %d then %d", i, snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}
+
+func TestRecordMarshalJSON(t *testing.T) {
+	rec := Record{
+		Seq: 7, Unix: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC).UnixNano(),
+		Class: ClassQuery, Op: OpReverseKRanks, Outcome: OutcomeDeadline,
+		Flags: FlagCacheHit | FlagSampled, K: 10, Epoch: 42, DurNs: 1500,
+		Case1: 3, Case2: 2, Case3: 1,
+		TraceHi: 0x0123456789abcdef, TraceLo: 0xfedcba9876543210,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]any{
+		"class": "query", "op": "reverse_kranks", "outcome": "deadline",
+		"cacheHit": true, "sampled": true,
+		"traceId": "0123456789abcdeffedcba9876543210",
+		"k":       float64(10), "epoch": float64(42), "durationNs": float64(1500),
+	} {
+		if m[k] != want {
+			t.Errorf("json[%q] = %v, want %v", k, m[k], want)
+		}
+	}
+	if _, ok := m["derived"]; ok {
+		t.Error("derived should be omitted when false")
+	}
+	if !strings.HasPrefix(m["time"].(string), "2026-08-08T12:00:00") {
+		t.Errorf("time = %v", m["time"])
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	if got := (Record{}).TraceID(); got != "" {
+		t.Fatalf("zero TraceID = %q, want empty", got)
+	}
+	if got := (Record{TraceHi: 1, TraceLo: 2}).TraceID(); got != "00000000000000010000000000000002" {
+		t.Fatalf("TraceID = %q", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{ClassQuery.String(), "query"},
+		{ClassMutation.String(), "mutation"},
+		{ClassSub.String(), "subscription"},
+		{Class(99).String(), "class(99)"},
+		{OpReverseTopK.String(), "reverse_topk"},
+		{OpSubLagged.String(), "subscriber_lagged"},
+		{Op(99).String(), "op(99)"},
+		{OutcomeOK.String(), "ok"},
+		{OutcomeCanceled.String(), "canceled"},
+		{OutcomeError.String(), "error"},
+		{Outcome(99).String(), "outcome(99)"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestRecordZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	r := New(256)
+	rec := Record{Class: ClassQuery, Op: OpReverseTopK, K: 10, Epoch: 1, DurNs: 100}
+	if avg := testing.AllocsPerRun(1000, func() { r.Record(rec) }); avg != 0 {
+		t.Fatalf("Record allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	r := New(4096)
+	rec := Record{Class: ClassQuery, Op: OpReverseTopK, K: 10, Epoch: 1, DurNs: 100}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Record(rec)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package flight
+
+// raceEnabled mirrors the pattern in internal/algo: allocation-count
+// tests are skipped under the race detector, whose instrumentation
+// inserts allocations the production build does not perform.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package flight
+
+const raceEnabled = true

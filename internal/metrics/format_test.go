@@ -1,250 +1,25 @@
 package metrics
 
 import (
-	"fmt"
-	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"gridrank/internal/metrics/metricstest"
 )
 
-// This file is a strict structural validator for the text exposition
-// format (version 0.0.4) the registry renders: every scrape must parse,
-// families must be announced (HELP then TYPE) before their first sample
-// and never reappear, label values must escape cleanly, histogram
-// buckets must be cumulative with +Inf last, and counters must follow
-// the _total naming convention. The point is to fail here, in-process,
-// rather than in a Prometheus server's scrape-error log.
+// This file drives the registry through every metric surface and
+// validates both text exposition flavors with the strict parser in
+// internal/metrics/metricstest: classic Prometheus 0.0.4 and
+// OpenMetrics 1.0 (where the scrape must end with `# EOF`, counter
+// families are announced by base name, and exemplars must sit on the
+// bucket their observation landed in). The point is to fail here,
+// in-process, rather than in a Prometheus server's scrape-error log.
 
-// sample is one parsed metric line.
-type sample struct {
-	name   string
-	labels map[string]string
-	value  float64
-}
-
-// family is one parsed metric family: its announcements and samples in
-// order of appearance.
-type family struct {
-	help    string
-	typ     string
-	samples []sample
-}
-
-var validTypes = map[string]bool{
-	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
-}
-
-// baseFamily strips the histogram/summary sample suffixes so samples
-// attach to their announced family.
-func baseFamily(name string, families map[string]*family) string {
-	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-		if base, ok := strings.CutSuffix(name, suffix); ok {
-			if f := families[base]; f != nil && (f.typ == "histogram" || f.typ == "summary") {
-				return base
-			}
-		}
-	}
-	return name
-}
-
-// parseExposition parses a full scrape strictly, failing the test on the
-// first structural violation.
-func parseExposition(t *testing.T, text string) map[string]*family {
-	t.Helper()
-	families := make(map[string]*family)
-	var current string // family currently being emitted
-	seen := make(map[string]bool)
-	var lastLine string // for error context
-
-	for ln, line := range strings.Split(text, "\n") {
-		lineNo := ln + 1
-		fail := func(format string, args ...any) {
-			t.Helper()
-			t.Fatalf("line %d: %s\n  line: %q\n  prev: %q", lineNo, fmt.Sprintf(format, args...), line, lastLine)
-		}
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "# HELP ") {
-			rest := strings.TrimPrefix(line, "# HELP ")
-			name, help, ok := strings.Cut(rest, " ")
-			if !ok || name == "" || help == "" {
-				fail("malformed HELP line")
-			}
-			if seen[name] {
-				fail("family %s announced twice", name)
-			}
-			families[name] = &family{help: help}
-			current = name
-			lastLine = line
-			continue
-		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			rest := strings.TrimPrefix(line, "# TYPE ")
-			name, typ, ok := strings.Cut(rest, " ")
-			if !ok {
-				fail("malformed TYPE line")
-			}
-			f := families[name]
-			if f == nil {
-				fail("TYPE for %s without preceding HELP", name)
-			}
-			if current != name {
-				fail("TYPE for %s does not follow its HELP", name)
-			}
-			if f.typ != "" {
-				fail("family %s typed twice", name)
-			}
-			if !validTypes[typ] {
-				fail("invalid TYPE %q", typ)
-			}
-			f.typ = typ
-			lastLine = line
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			fail("unknown comment form")
-		}
-		s := parseSampleLine(t, line, fail)
-		fam := baseFamily(s.name, families)
-		f := families[fam]
-		if f == nil {
-			fail("sample for unannounced family %s", s.name)
-		}
-		if f.typ == "" {
-			fail("sample for %s before its TYPE", s.name)
-		}
-		if fam != current {
-			if seen[fam] {
-				fail("family %s reappears after other families", fam)
-			}
-			fail("sample for %s outside its family block (current %s)", s.name, current)
-		}
-		seen[fam] = true
-		f.samples = append(f.samples, s)
-		lastLine = line
-	}
-	// Every announced family must carry a TYPE (empty sample sets are
-	// fine: a counter family with no traffic renders zero lines).
-	for name, f := range families {
-		if f.typ == "" {
-			t.Fatalf("family %s has HELP but no TYPE", name)
-		}
-	}
-	return families
-}
-
-// parseSampleLine parses `name{labels} value` strictly, including label
-// escape sequences.
-func parseSampleLine(t *testing.T, line string, fail func(string, ...any)) sample {
-	t.Helper()
-	s := sample{labels: map[string]string{}}
-	rest := line
-	// Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
-	i := 0
-	for i < len(rest) {
-		c := rest[i]
-		if c == '{' || c == ' ' {
-			break
-		}
-		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
-		if !ok {
-			fail("invalid metric name character %q", c)
-		}
-		i++
-	}
-	if i == 0 {
-		fail("empty metric name")
-	}
-	s.name, rest = rest[:i], rest[i:]
-	if strings.HasPrefix(rest, "{") {
-		rest = rest[1:]
-		for !strings.HasPrefix(rest, "}") {
-			eq := strings.IndexByte(rest, '=')
-			if eq <= 0 {
-				fail("malformed label pair")
-			}
-			key := rest[:eq]
-			rest = rest[eq+1:]
-			if !strings.HasPrefix(rest, `"`) {
-				fail("label value for %s not quoted", key)
-			}
-			rest = rest[1:]
-			var val strings.Builder
-			closed := false
-			for len(rest) > 0 {
-				c := rest[0]
-				if c == '"' {
-					rest = rest[1:]
-					closed = true
-					break
-				}
-				if c == '\\' {
-					if len(rest) < 2 {
-						fail("dangling escape in label %s", key)
-					}
-					switch rest[1] {
-					case '\\', '"':
-						val.WriteByte(rest[1])
-					case 'n':
-						val.WriteByte('\n')
-					default:
-						fail("invalid escape \\%c in label %s", rest[1], key)
-					}
-					rest = rest[2:]
-					continue
-				}
-				if c == '\n' {
-					fail("raw newline in label %s", key)
-				}
-				val.WriteByte(c)
-				rest = rest[1:]
-			}
-			if !closed {
-				fail("unterminated label value for %s", key)
-			}
-			if _, dup := s.labels[key]; dup {
-				fail("duplicate label %s", key)
-			}
-			s.labels[key] = val.String()
-			if strings.HasPrefix(rest, ",") {
-				rest = rest[1:]
-			} else if !strings.HasPrefix(rest, "}") {
-				fail("expected , or } after label %s", key)
-			}
-		}
-		rest = rest[1:] // consume }
-	}
-	if !strings.HasPrefix(rest, " ") {
-		fail("expected single space before value")
-	}
-	rest = strings.TrimPrefix(rest, " ")
-	if rest == "" || strings.ContainsAny(rest, " \t") {
-		fail("malformed value field %q", rest)
-	}
-	v, err := parseValue(rest)
-	if err != nil {
-		fail("unparseable value %q: %v", rest, err)
-	}
-	s.value = v
-	return s
-}
-
-func parseValue(v string) (float64, error) {
-	switch v {
-	case "+Inf":
-		return strconv.ParseFloat("+inf", 64)
-	case "-Inf":
-		return strconv.ParseFloat("-inf", 64)
-	}
-	return strconv.ParseFloat(v, 64)
-}
-
-// scrapeWithTraffic drives a registry through every metric surface —
-// including an endpoint name that needs label escaping — and returns the
-// rendered scrape.
-func scrapeWithTraffic(t *testing.T) string {
+// trafficRegistry drives a registry through every metric surface —
+// including an endpoint name that needs label escaping and exemplar
+// capture — and returns it ready to render in either format.
+func trafficRegistry(t *testing.T) *Registry {
 	t.Helper()
 	r := New()
 	for _, name := range []string{
@@ -254,18 +29,33 @@ func scrapeWithTraffic(t *testing.T) string {
 	} {
 		e := r.Endpoint(name)
 		e.Begin()
-		e.Observe(3*time.Millisecond, 200)
+		e.ObserveExemplar(3*time.Millisecond, 200, "4bf92f3577b34da6a3ce929d0e0e4736")
 		e.Begin()
-		e.Observe(7*time.Second, 429) // lands in the +Inf bucket
+		e.Observe(7*time.Second, 429) // lands in the +Inf bucket, no exemplar
 		e.AddFilterCounts(990, 10)
 	}
 	r.AddMutations("insert_product", 3)
+	r.ObserveMutation("insert_product", 2*time.Millisecond)
+	r.ObserveMutation("insert_product", 40*time.Millisecond)
+	r.ObserveMutation("delete_preference", 300*time.Microsecond)
+	r.SetEpochInstallLag(150 * time.Microsecond)
 	r.SetIndexEpoch(5)
 	r.SetTraceSource(func() TraceCounts {
-		return TraceCounts{Started: 10, Kept: 4, Dropped: 6, Slow: 1, Evicted: 2}
+		return TraceCounts{Started: 10, Kept: 4, Dropped: 6, Slow: 1, Evicted: 2, Resident: 2}
 	})
+	r.SetOTLPSource(func() OTLPCounts {
+		return OTLPCounts{Enqueued: 9, Exported: 7, Dropped: 1, SendFailures: 2, Retries: 2, Queue: 1}
+	})
+	r.SetFlightSource(func() FlightCounts {
+		return FlightCounts{Recorded: 20, Queries: 15, Mutations: 4, Subscriptions: 1, Capacity: 4096}
+	})
+	return r
+}
+
+func scrapeWithTraffic(t *testing.T) string {
+	t.Helper()
 	var sb strings.Builder
-	if err := r.WritePrometheus(&sb); err != nil {
+	if err := trafficRegistry(t).WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
 	return sb.String()
@@ -273,13 +63,13 @@ func scrapeWithTraffic(t *testing.T) string {
 
 func TestExpositionFormatStrict(t *testing.T) {
 	text := scrapeWithTraffic(t)
-	families := parseExposition(t, text)
+	families := metricstest.ParseExposition(t, text)
 
 	for name, f := range families {
 		// Counter families must follow the _total convention (histogram
 		// component samples are exempt by construction: their family name
 		// is the base).
-		if f.typ == "counter" && !strings.HasSuffix(name, "_total") {
+		if f.Type == "counter" && !strings.HasSuffix(name, "_total") {
 			t.Errorf("counter family %s does not end in _total", name)
 		}
 	}
@@ -287,23 +77,23 @@ func TestExpositionFormatStrict(t *testing.T) {
 	// The escaped endpoint label must round-trip through the parser.
 	rawName := `path"with\quotes` + "\nand newline"
 	found := false
-	for _, s := range families["gridrank_requests_total"].samples {
-		if s.labels["endpoint"] == rawName {
+	for _, s := range families["gridrank_requests_total"].Samples {
+		if s.Labels["endpoint"] == rawName {
 			found = true
-			if s.value != 2 {
-				t.Errorf("escaped endpoint count = %g, want 2", s.value)
+			if s.Value != 2 {
+				t.Errorf("escaped endpoint count = %g, want 2", s.Value)
 			}
 		}
 	}
 	if !found {
 		t.Errorf("escaped endpoint label did not round-trip; samples: %+v",
-			families["gridrank_requests_total"].samples)
+			families["gridrank_requests_total"].Samples)
 	}
 
 	// Histogram invariants: per endpoint, le strictly increasing,
 	// cumulative counts non-decreasing, +Inf last, _count == +Inf bucket.
 	hist := families["gridrank_request_duration_seconds"]
-	if hist == nil || hist.typ != "histogram" {
+	if hist == nil || hist.Type != "histogram" {
 		t.Fatal("latency histogram family missing or mistyped")
 	}
 	type histState struct {
@@ -315,34 +105,34 @@ func TestExpositionFormatStrict(t *testing.T) {
 		hasCount  bool
 	}
 	byEndpoint := map[string]*histState{}
-	for _, s := range hist.samples {
-		ep := s.labels["endpoint"]
+	for _, s := range hist.Samples {
+		ep := s.Labels["endpoint"]
 		st := byEndpoint[ep]
 		if st == nil {
 			st = &histState{lastLe: -1}
 			byEndpoint[ep] = st
 		}
 		switch {
-		case strings.HasSuffix(s.name, "_bucket"):
+		case strings.HasSuffix(s.Name, "_bucket"):
 			if st.infSeen {
 				t.Errorf("endpoint %q: bucket after +Inf", ep)
 			}
-			le, err := parseValue(s.labels["le"])
+			le, err := metricstest.ParseValue(s.Labels["le"])
 			if err != nil {
-				t.Fatalf("endpoint %q: bad le %q", ep, s.labels["le"])
+				t.Fatalf("endpoint %q: bad le %q", ep, s.Labels["le"])
 			}
 			if le <= st.lastLe {
 				t.Errorf("endpoint %q: le %g not strictly increasing after %g", ep, le, st.lastLe)
 			}
-			if s.value < st.lastCum {
-				t.Errorf("endpoint %q: bucket counts not cumulative: %g after %g", ep, s.value, st.lastCum)
+			if s.Value < st.lastCum {
+				t.Errorf("endpoint %q: bucket counts not cumulative: %g after %g", ep, s.Value, st.lastCum)
 			}
-			st.lastLe, st.lastCum = le, s.value
-			if s.labels["le"] == "+Inf" {
-				st.infSeen, st.infBucket = true, s.value
+			st.lastLe, st.lastCum = le, s.Value
+			if s.Labels["le"] == "+Inf" {
+				st.infSeen, st.infBucket = true, s.Value
 			}
-		case strings.HasSuffix(s.name, "_count"):
-			st.count, st.hasCount = s.value, true
+		case strings.HasSuffix(s.Name, "_count"):
+			st.count, st.hasCount = s.Value, true
 		}
 	}
 	for ep, st := range byEndpoint {
@@ -369,12 +159,12 @@ func TestExpositionFormatStrict(t *testing.T) {
 		"gridrank_slow_queries_total":   1,
 	} {
 		f := families[name]
-		if f == nil || len(f.samples) != 1 {
+		if f == nil || len(f.Samples) != 1 {
 			t.Errorf("family %s missing or wrong sample count", name)
 			continue
 		}
-		if f.samples[0].value != want {
-			t.Errorf("%s = %g, want %g", name, f.samples[0].value, want)
+		if f.Samples[0].Value != want {
+			t.Errorf("%s = %g, want %g", name, f.Samples[0].Value, want)
 		}
 	}
 	for _, name := range []string{
@@ -383,20 +173,142 @@ func TestExpositionFormatStrict(t *testing.T) {
 		"gridrank_go_gc_pause_seconds_total",
 	} {
 		f := families[name]
-		if f == nil || len(f.samples) != 1 {
+		if f == nil || len(f.Samples) != 1 {
 			t.Errorf("runtime family %s missing", name)
 			continue
 		}
-		if f.samples[0].value < 0 {
-			t.Errorf("%s negative: %g", name, f.samples[0].value)
+		if f.Samples[0].Value < 0 {
+			t.Errorf("%s negative: %g", name, f.Samples[0].Value)
 		}
 	}
-	bi := families["gridrank_build_info"].samples[0]
-	if bi.value != 1 || bi.labels["go_version"] == "" || bi.labels["module_version"] == "" {
+	bi := families["gridrank_build_info"].Samples[0]
+	if bi.Value != 1 || bi.Labels["go_version"] == "" || bi.Labels["module_version"] == "" {
 		t.Errorf("build_info malformed: %+v", bi)
 	}
-	if families["gridrank_go_goroutines"].samples[0].value < 1 {
+	if families["gridrank_go_goroutines"].Samples[0].Value < 1 {
 		t.Error("goroutine count below 1")
+	}
+}
+
+// TestOpenMetricsFormatStrict parses the OpenMetrics flavor of the same
+// traffic strictly: # EOF must terminate the scrape, counter families
+// must be announced by base name with _total kept on the samples, and
+// the captured exemplar must round-trip on exactly the bucket its
+// observation landed in.
+func TestOpenMetricsFormatStrict(t *testing.T) {
+	r := trafficRegistry(t)
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	families := metricstest.ParseOpenMetrics(t, text)
+
+	// Counter families are announced without _total; their samples keep
+	// the suffix.
+	if families["gridrank_requests_total"] != nil {
+		t.Error("counter family announced with _total suffix in OpenMetrics mode")
+	}
+	reqs := families["gridrank_requests"]
+	if reqs == nil || reqs.Type != "counter" {
+		t.Fatal("gridrank_requests counter family missing or mistyped")
+	}
+	for _, s := range reqs.Samples {
+		if s.Name != "gridrank_requests_total" {
+			t.Errorf("counter sample name %s, want gridrank_requests_total", s.Name)
+		}
+	}
+	fr := families["gridrank_flight_records"]
+	if fr == nil || len(fr.Samples) != 1 || fr.Samples[0].Value != 20 {
+		t.Errorf("flight records family malformed: %+v", fr)
+	}
+
+	// The exemplar must sit on the bucket the 3ms observation landed in
+	// (le=0.005) and nowhere else, with its value inside the bucket's
+	// range and a positive timestamp.
+	hist := families["gridrank_request_duration_seconds"]
+	if hist == nil {
+		t.Fatal("latency histogram family missing")
+	}
+	exemplars := 0
+	for _, s := range hist.Samples {
+		if s.Labels["endpoint"] != "reverse_topk" || !strings.HasSuffix(s.Name, "_bucket") {
+			if s.Exemplar != nil && !strings.HasSuffix(s.Name, "_bucket") {
+				t.Errorf("exemplar on non-bucket sample %s", s.Name)
+			}
+			continue
+		}
+		if s.Exemplar == nil {
+			continue
+		}
+		exemplars++
+		ex := s.Exemplar
+		if s.Labels["le"] != "0.005" {
+			t.Errorf("exemplar on le=%q, want le=\"0.005\"", s.Labels["le"])
+		}
+		if ex.Labels["trace_id"] != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("exemplar trace_id = %q", ex.Labels["trace_id"])
+		}
+		if ex.Value != 0.003 {
+			t.Errorf("exemplar value = %g, want 0.003", ex.Value)
+		}
+		le, _ := metricstest.ParseValue(s.Labels["le"])
+		if ex.Value > le || ex.Value <= 0.0025 {
+			t.Errorf("exemplar value %g outside bucket range (0.0025, %g]", ex.Value, le)
+		}
+		if !ex.HasTs || ex.Ts <= 0 {
+			t.Errorf("exemplar timestamp missing or non-positive: %+v", ex)
+		}
+	}
+	if exemplars != 1 {
+		t.Errorf("reverse_topk exemplar count = %d, want 1", exemplars)
+	}
+
+	// Mutation latency histograms and the new gauges must render.
+	mh := families["gridrank_mutation_duration_seconds"]
+	if mh == nil || mh.Type != "histogram" {
+		t.Fatal("mutation duration histogram family missing")
+	}
+	counts := map[string]float64{}
+	for _, s := range mh.Samples {
+		if strings.HasSuffix(s.Name, "_count") {
+			counts[s.Labels["kind"]] = s.Value
+		}
+	}
+	if counts["insert_product"] != 2 || counts["delete_preference"] != 1 {
+		t.Errorf("mutation duration counts = %v", counts)
+	}
+	for name, want := range map[string]float64{
+		"gridrank_epoch_install_to_publish_seconds": 0.00015,
+		"gridrank_traces_resident":                  2,
+		"gridrank_otlp_queue_depth":                 1,
+		"gridrank_flight_capacity":                  4096,
+	} {
+		f := families[name]
+		if f == nil || len(f.Samples) != 1 {
+			t.Errorf("gauge family %s missing", name)
+			continue
+		}
+		if f.Samples[0].Value != want {
+			t.Errorf("%s = %g, want %g", name, f.Samples[0].Value, want)
+		}
+	}
+
+	if !strings.HasSuffix(strings.TrimRight(text, "\n"), "# EOF") {
+		t.Error("scrape does not end with # EOF")
+	}
+}
+
+// TestClassicScrapeHasNoExemplars pins the classic format down: the
+// strict parser fails on exemplar syntax in classic mode, so a clean
+// parse of the same exemplar-bearing registry proves none leaked.
+func TestClassicScrapeHasNoExemplars(t *testing.T) {
+	text := scrapeWithTraffic(t)
+	if strings.Contains(text, " # {") {
+		t.Fatal("classic scrape contains exemplar syntax")
+	}
+	if strings.Contains(text, "# EOF") {
+		t.Fatal("classic scrape contains # EOF")
 	}
 }
 
@@ -410,7 +322,7 @@ func TestExpositionWithoutTraceSource(t *testing.T) {
 	if err := r.WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
-	families := parseExposition(t, sb.String())
+	families := metricstest.ParseExposition(t, sb.String())
 	if families["gridrank_traces_started_total"] != nil {
 		t.Error("trace family rendered without a source")
 	}

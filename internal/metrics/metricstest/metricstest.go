@@ -1,0 +1,346 @@
+// Package metricstest is a strict structural validator for the two
+// text exposition flavors the metrics registry renders — classic
+// Prometheus 0.0.4 and OpenMetrics 1.0. It exists so tests (both the
+// registry's own and the server's live-scrape tests) fail in-process on
+// a malformed scrape rather than in a Prometheus server's scrape-error
+// log.
+//
+// The rules enforced: every scrape must parse, families must be
+// announced (HELP then TYPE) before their first sample and never
+// reappear, label values must escape cleanly, and counters must follow
+// the _total naming convention (on the family name in classic mode, on
+// the samples only in OpenMetrics mode). In OpenMetrics mode the scrape
+// must end with `# EOF` and bucket lines may carry exemplars, which
+// must themselves parse; exemplars anywhere else are a parse failure.
+package metricstest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// ExemplarLine is one parsed OpenMetrics exemplar suffix.
+type ExemplarLine struct {
+	Labels map[string]string
+	Value  float64
+	HasTs  bool
+	Ts     float64
+}
+
+// Sample is one parsed metric line.
+type Sample struct {
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *ExemplarLine
+}
+
+// Family is one parsed metric family: its announcements and samples in
+// order of appearance.
+type Family struct {
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// baseFamily strips the histogram/summary sample suffixes — and, in
+// OpenMetrics mode, the counter _total suffix — so samples attach to
+// their announced family.
+func baseFamily(name string, families map[string]*Family, om bool) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f := families[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+				return base
+			}
+		}
+	}
+	if om {
+		if base, ok := strings.CutSuffix(name, "_total"); ok {
+			if f := families[base]; f != nil && f.Type == "counter" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// ParseExposition parses a classic-format scrape strictly, failing the
+// test on the first structural violation.
+func ParseExposition(t testing.TB, text string) map[string]*Family {
+	t.Helper()
+	return parseExpositionMode(t, text, false)
+}
+
+// ParseOpenMetrics parses an OpenMetrics scrape strictly, additionally
+// requiring the terminating # EOF and validating exemplar syntax.
+func ParseOpenMetrics(t testing.TB, text string) map[string]*Family {
+	t.Helper()
+	return parseExpositionMode(t, text, true)
+}
+
+func parseExpositionMode(t testing.TB, text string, om bool) map[string]*Family {
+	t.Helper()
+	families := make(map[string]*Family)
+	var current string // family currently being emitted
+	seen := make(map[string]bool)
+	var lastLine string // for error context
+	eofSeen := false
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("line %d: %s\n  line: %q\n  prev: %q", lineNo, fmt.Sprintf(format, args...), line, lastLine)
+		}
+		if line == "" {
+			continue
+		}
+		if eofSeen {
+			fail("content after # EOF")
+		}
+		if line == "# EOF" {
+			if !om {
+				fail("# EOF in classic exposition")
+			}
+			eofSeen = true
+			lastLine = line
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" || help == "" {
+				fail("malformed HELP line")
+			}
+			if seen[name] {
+				fail("family %s announced twice", name)
+			}
+			families[name] = &Family{Help: help}
+			current = name
+			lastLine = line
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				fail("malformed TYPE line")
+			}
+			f := families[name]
+			if f == nil {
+				fail("TYPE for %s without preceding HELP", name)
+			}
+			if current != name {
+				fail("TYPE for %s does not follow its HELP", name)
+			}
+			if f.Type != "" {
+				fail("family %s typed twice", name)
+			}
+			if !validTypes[typ] {
+				fail("invalid TYPE %q", typ)
+			}
+			f.Type = typ
+			lastLine = line
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fail("unknown comment form")
+		}
+		s := parseSampleLine(t, line, om, fail)
+		fam := baseFamily(s.Name, families, om)
+		f := families[fam]
+		if f == nil {
+			fail("sample for unannounced family %s", s.Name)
+		}
+		if f.Type == "" {
+			fail("sample for %s before its TYPE", s.Name)
+		}
+		if fam != current {
+			if seen[fam] {
+				fail("family %s reappears after other families", fam)
+			}
+			fail("sample for %s outside its family block (current %s)", s.Name, current)
+		}
+		seen[fam] = true
+		f.Samples = append(f.Samples, s)
+		lastLine = line
+	}
+	// Every announced family must carry a TYPE (empty sample sets are
+	// fine: a counter family with no traffic renders zero lines).
+	for name, f := range families {
+		if f.Type == "" {
+			t.Fatalf("family %s has HELP but no TYPE", name)
+		}
+	}
+	if om && !eofSeen {
+		t.Fatal("OpenMetrics scrape does not end with # EOF")
+	}
+	return families
+}
+
+// parseLabelBlock parses a `{key="value",...}` block starting at the
+// opening brace, returning the label map and the remaining input after
+// the closing brace. Escape sequences are validated strictly.
+func parseLabelBlock(rest string, fail func(string, ...any)) (map[string]string, string) {
+	labels := map[string]string{}
+	if !strings.HasPrefix(rest, "{") {
+		fail("expected { to open label block")
+	}
+	rest = rest[1:]
+	for !strings.HasPrefix(rest, "}") {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			fail("malformed label pair")
+		}
+		key := rest[:eq]
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			fail("label value for %s not quoted", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for len(rest) > 0 {
+			c := rest[0]
+			if c == '"' {
+				rest = rest[1:]
+				closed = true
+				break
+			}
+			if c == '\\' {
+				if len(rest) < 2 {
+					fail("dangling escape in label %s", key)
+				}
+				switch rest[1] {
+				case '\\', '"':
+					val.WriteByte(rest[1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					fail("invalid escape \\%c in label %s", rest[1], key)
+				}
+				rest = rest[2:]
+				continue
+			}
+			if c == '\n' {
+				fail("raw newline in label %s", key)
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		if !closed {
+			fail("unterminated label value for %s", key)
+		}
+		if _, dup := labels[key]; dup {
+			fail("duplicate label %s", key)
+		}
+		labels[key] = val.String()
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		} else if !strings.HasPrefix(rest, "}") {
+			fail("expected , or } after label %s", key)
+		}
+	}
+	return labels, rest[1:] // consume }
+}
+
+// parseSampleLine parses `name{labels} value` strictly, including label
+// escape sequences and — in OpenMetrics mode — an optional
+// `# {labels} value [timestamp]` exemplar suffix.
+func parseSampleLine(t testing.TB, line string, om bool, fail func(string, ...any)) Sample {
+	t.Helper()
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	// Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+	i := 0
+	for i < len(rest) {
+		c := rest[i]
+		if c == '{' || c == ' ' {
+			break
+		}
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			fail("invalid metric name character %q", c)
+		}
+		i++
+	}
+	if i == 0 {
+		fail("empty metric name")
+	}
+	s.Name, rest = rest[:i], rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		s.Labels, rest = parseLabelBlock(rest, fail)
+	}
+	if !strings.HasPrefix(rest, " ") {
+		fail("expected single space before value")
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	valField := rest
+	var exField string
+	if idx := strings.Index(rest, " # "); idx >= 0 {
+		valField, exField = rest[:idx], rest[idx+3:]
+		if !om {
+			fail("exemplar in classic exposition")
+		}
+		if !strings.HasSuffix(s.Name, "_bucket") {
+			fail("exemplar on non-bucket sample %s", s.Name)
+		}
+	}
+	if valField == "" || strings.ContainsAny(valField, " \t") {
+		fail("malformed value field %q", valField)
+	}
+	v, err := ParseValue(valField)
+	if err != nil {
+		fail("unparseable value %q: %v", valField, err)
+	}
+	s.Value = v
+	if exField != "" {
+		s.Exemplar = parseExemplar(exField, fail)
+	}
+	return s
+}
+
+// parseExemplar parses the `{labels} value [timestamp]` exemplar body.
+func parseExemplar(body string, fail func(string, ...any)) *ExemplarLine {
+	ex := &ExemplarLine{}
+	var rest string
+	ex.Labels, rest = parseLabelBlock(body, fail)
+	if !strings.HasPrefix(rest, " ") {
+		fail("expected space after exemplar labels")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		fail("exemplar needs a value and optional timestamp, got %q", rest)
+	}
+	v, err := ParseValue(fields[0])
+	if err != nil {
+		fail("unparseable exemplar value %q: %v", fields[0], err)
+	}
+	ex.Value = v
+	if len(fields) == 2 {
+		ts, err := ParseValue(fields[1])
+		if err != nil {
+			fail("unparseable exemplar timestamp %q: %v", fields[1], err)
+		}
+		ex.HasTs, ex.Ts = true, ts
+	}
+	return ex
+}
+
+// ParseValue parses one exposition value, accepting the +Inf/-Inf
+// spellings the formats use.
+func ParseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return strconv.ParseFloat("+inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-inf", 64)
+	}
+	return strconv.ParseFloat(v, 64)
+}

@@ -1,0 +1,70 @@
+package server
+
+// Forensic debug endpoints: the flight recorder's digest ring and the
+// one-shot diagnostics bundle. Both are snapshots — they read atomics
+// and ring slots without pausing traffic, so fetching them during an
+// incident is safe.
+
+import (
+	"net/http"
+
+	"gridrank/internal/diag"
+	"gridrank/internal/flight"
+)
+
+// flightResponse is the GET /debug/flight document.
+type flightResponse struct {
+	Enabled bool            `json:"enabled"`
+	Counts  flight.Counts   `json:"counts"`
+	Records []flight.Record `json:"records"`
+}
+
+// handleFlight serves the flight recorder's digests, newest first, with
+// the lifetime counters so an empty ring can be told apart from a
+// disabled recorder.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	resp := flightResponse{Enabled: s.ix.FlightEnabled()}
+	if resp.Enabled {
+		resp.Counts = s.ix.FlightCounts()
+		resp.Records = s.ix.FlightRecords()
+	}
+	if resp.Records == nil {
+		resp.Records = []flight.Record{}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// bundleFiles assembles the point-in-time capture served by
+// GET /debug/bundle. Everything here is already exposed by other
+// endpoints; the bundle's value is capturing all of it in the same
+// instant, checksummed, in one artifact.
+func (s *Server) bundleFiles() []diag.File {
+	flightDoc := flightResponse{Enabled: s.ix.FlightEnabled(), Records: []flight.Record{}}
+	if flightDoc.Enabled {
+		flightDoc.Counts = s.ix.FlightCounts()
+		if recs := s.ix.FlightRecords(); recs != nil {
+			flightDoc.Records = recs
+		}
+	}
+	traces := s.tracer.Traces()
+	tracesDoc := map[string]any{"counts": s.tracer.Counts(), "traces": traces}
+	return []diag.File{
+		{Name: "goroutines.txt", Data: diag.Goroutines()},
+		{Name: "runtime.json", Data: diag.RuntimeSnapshot()},
+		{Name: "metrics.om", Data: diag.Buffer(s.metrics.WriteOpenMetrics)},
+		{Name: "flight.json", Data: diag.MustJSON(flightDoc)},
+		{Name: "traces.json", Data: diag.MustJSON(tracesDoc)},
+		{Name: "index.json", Data: diag.MustJSON(s.indexMeta())},
+		{Name: "subscriptions.json", Data: diag.MustJSON(s.ix.SubscriptionStats())},
+		{Name: "config.json", Data: diag.MustJSON(s.configInfo)},
+	}
+}
+
+// handleBundle streams the diagnostics bundle as a tar.gz download.
+func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Disposition", `attachment; filename="rrq-diag.tar.gz"`)
+	// Write errors mid-stream mean the client went away; there is no
+	// useful status left to send.
+	_ = diag.WriteBundle(w, "server", s.bundleFiles())
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"gridrank"
 )
@@ -50,10 +51,16 @@ func mutationErrorStatus(err error) int {
 }
 
 // recordMutations publishes a successful mutation into the metrics
-// registry: the per-kind counter and the epoch gauge.
-func (s *Server) recordMutations(kind string, n int) {
+// registry: the per-kind counter, the per-kind latency histogram (the
+// index call's duration, start to installed — decode and encode are the
+// endpoint histogram's business), the epoch gauge, and the
+// install-to-publish lag (how stale the epoch gauge was while this
+// publish was pending).
+func (s *Server) recordMutations(kind string, n int, start, installed time.Time) {
 	s.metrics.AddMutations(kind, int64(n))
+	s.metrics.ObserveMutation(kind, installed.Sub(start))
 	s.metrics.SetIndexEpoch(s.ix.Epoch())
+	s.metrics.SetEpochInstallLag(time.Since(installed))
 }
 
 // insertRequest accepts one vector or a batch (exactly one of the pair;
@@ -112,12 +119,14 @@ func (s *Server) handleInsertProducts(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	start := time.Now()
 	first, err := s.ix.InsertProductsCtx(r.Context(), vs)
+	installed := time.Now()
 	if err != nil {
 		s.writeError(w, mutationErrorStatus(err), err)
 		return
 	}
-	s.recordMutations(mutInsertProduct, len(vs))
+	s.recordMutations(mutInsertProduct, len(vs), start, installed)
 	s.writeJSON(w, http.StatusOK, insertResponse{
 		FirstID: first, Inserted: len(vs), Total: s.ix.NumProducts(), Epoch: s.ix.Epoch(),
 	})
@@ -133,12 +142,14 @@ func (s *Server) handleInsertPreferences(w http.ResponseWriter, r *http.Request)
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	start := time.Now()
 	first, err := s.ix.InsertPreferencesCtx(r.Context(), vs)
+	installed := time.Now()
 	if err != nil {
 		s.writeError(w, mutationErrorStatus(err), err)
 		return
 	}
-	s.recordMutations(mutInsertPreference, len(vs))
+	s.recordMutations(mutInsertPreference, len(vs), start, installed)
 	s.writeJSON(w, http.StatusOK, insertResponse{
 		FirstID: first, Inserted: len(vs), Total: s.ix.NumPreferences(), Epoch: s.ix.Epoch(),
 	})
@@ -159,11 +170,14 @@ func (s *Server) handleDeleteProduct(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.ix.DeleteProductCtx(r.Context(), id); err != nil {
+	start := time.Now()
+	err = s.ix.DeleteProductCtx(r.Context(), id)
+	installed := time.Now()
+	if err != nil {
 		s.writeError(w, mutationErrorStatus(err), err)
 		return
 	}
-	s.recordMutations(mutDeleteProduct, 1)
+	s.recordMutations(mutDeleteProduct, 1, start, installed)
 	s.writeJSON(w, http.StatusOK, deleteResponse{
 		Deleted: 1, Total: s.ix.NumProducts(), Epoch: s.ix.Epoch(),
 	})
@@ -175,11 +189,14 @@ func (s *Server) handleDeletePreference(w http.ResponseWriter, r *http.Request) 
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.ix.DeletePreferenceCtx(r.Context(), id); err != nil {
+	start := time.Now()
+	err = s.ix.DeletePreferenceCtx(r.Context(), id)
+	installed := time.Now()
+	if err != nil {
 		s.writeError(w, mutationErrorStatus(err), err)
 		return
 	}
-	s.recordMutations(mutDeletePreference, 1)
+	s.recordMutations(mutDeletePreference, 1, start, installed)
 	s.writeJSON(w, http.StatusOK, deleteResponse{
 		Deleted: 1, Total: s.ix.NumPreferences(), Epoch: s.ix.Epoch(),
 	})
@@ -190,11 +207,13 @@ func (s *Server) handleDeleteProducts(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	start := time.Now()
 	if err := s.ix.DeleteProductsCtx(r.Context(), req.IDs); err != nil {
 		s.writeError(w, mutationErrorStatus(err), err)
 		return
 	}
-	s.recordMutations(mutDeleteProduct, len(req.IDs))
+	installed := time.Now()
+	s.recordMutations(mutDeleteProduct, len(req.IDs), start, installed)
 	s.writeJSON(w, http.StatusOK, deleteResponse{
 		Deleted: len(req.IDs), Total: s.ix.NumProducts(), Epoch: s.ix.Epoch(),
 	})
@@ -205,11 +224,13 @@ func (s *Server) handleDeletePreferences(w http.ResponseWriter, r *http.Request)
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	start := time.Now()
 	if err := s.ix.DeletePreferencesCtx(r.Context(), req.IDs); err != nil {
 		s.writeError(w, mutationErrorStatus(err), err)
 		return
 	}
-	s.recordMutations(mutDeletePreference, len(req.IDs))
+	installed := time.Now()
+	s.recordMutations(mutDeletePreference, len(req.IDs), start, installed)
 	s.writeJSON(w, http.StatusOK, deleteResponse{
 		Deleted: len(req.IDs), Total: s.ix.NumPreferences(), Epoch: s.ix.Epoch(),
 	})

@@ -8,9 +8,12 @@
 // Endpoints:
 //
 //	GET  /healthz            liveness
-//	GET  /metrics            Prometheus text exposition (see internal/metrics)
+//	GET  /metrics            Prometheus/OpenMetrics exposition (see internal/metrics;
+//	                         Accept: application/openmetrics-text gets exemplars + # EOF)
 //	GET  /debug/traces       recent query traces, newest first (see internal/trace)
 //	GET  /debug/traces/{id}  one stored trace with its full span tree
+//	GET  /debug/flight       the flight recorder's digest ring, newest first
+//	GET  /debug/bundle       one-shot diagnostics bundle (tar.gz, see internal/diag)
 //	GET  /v1/index           index metadata (incl. maxParallelism, queryTimeoutMs)
 //	POST /v1/reverse-topk    {"query":[...]|"product":i, "k":100, "parallelism":4, "stats":true, "timeoutMs":500}
 //	POST /v1/reverse-kranks  {"query":[...]|"product":i, "k":10, "parallelism":4, "stats":true, "timeoutMs":500}
@@ -54,6 +57,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -134,6 +138,20 @@ type Config struct {
 	// /debug/traces. 0 means DefaultTraceBuffer.
 	TraceBuffer int
 
+	// OTLPEndpoint, when set, exports every kept trace to an OTLP/HTTP
+	// collector at this URL (e.g. "http://collector:4318"). Export
+	// follows the keep decision — only sampled or slow traces leave the
+	// process — so it is inert unless TraceSampleRate or SlowQuery is
+	// also set. The exporter never blocks a query: a stalled collector
+	// fills a bounded queue and further spans are dropped and counted
+	// (gridrank_otlp_spans_dropped_total). An invalid URL makes
+	// NewWithConfig panic.
+	OTLPEndpoint string
+
+	// OTLPServiceName overrides the service.name resource attribute on
+	// exported spans. Empty uses the exporter's default.
+	OTLPServiceName string
+
 	// CacheSize, when positive, enables the index's answer cache with
 	// room for that many cached reverse-rank answers. 0 leaves the cache
 	// off (unless the caller enabled it on the index directly — the
@@ -166,6 +184,12 @@ type Server struct {
 	logger         *slog.Logger
 	metrics        *metrics.Registry
 	tracer         *trace.Tracer
+	exporter       *trace.Exporter
+
+	// configInfo is the sanitized configuration snapshot bundled by
+	// GET /debug/bundle: plain limits and rates only — the collector URL
+	// (which may embed credentials) is reduced to a boolean.
+	configInfo map[string]any
 
 	// Continuous subscription state (see sub.go): the live handles by
 	// id, the per-subscription event buffer, and the drain signal SSE
@@ -207,7 +231,35 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 			c := tracer.Counts()
 			return metrics.TraceCounts{
 				Started: c.Started, Kept: c.Kept, Dropped: c.Dropped,
-				Slow: c.Slow, Evicted: c.Evicted,
+				Slow: c.Slow, Evicted: c.Evicted, Resident: c.Resident,
+			}
+		})
+	}
+	var exporter *trace.Exporter
+	if cfg.OTLPEndpoint != "" {
+		exp, err := trace.NewExporter(trace.ExporterConfig{
+			Endpoint:    cfg.OTLPEndpoint,
+			ServiceName: cfg.OTLPServiceName,
+		})
+		if err != nil {
+			panic("server: invalid OTLP endpoint: " + err.Error())
+		}
+		tracer.SetExporter(exp)
+		exporter = exp
+		cfg.Metrics.SetOTLPSource(func() metrics.OTLPCounts {
+			c := exp.Counts()
+			return metrics.OTLPCounts{
+				Enqueued: c.Enqueued, Exported: c.Exported, Dropped: c.Dropped,
+				SendFailures: c.SendFailures, Retries: c.Retries, Queue: int64(c.Queue),
+			}
+		})
+	}
+	if ix.FlightEnabled() {
+		cfg.Metrics.SetFlightSource(func() metrics.FlightCounts {
+			c := ix.FlightCounts()
+			return metrics.FlightCounts{
+				Recorded: c.Recorded, Queries: c.Queries, Mutations: c.Mutations,
+				Subscriptions: c.Subscriptions, Capacity: int64(c.Capacity),
 			}
 		})
 	}
@@ -274,14 +326,30 @@ func NewWithConfig(ix *gridrank.Index, cfg Config) *Server {
 		logger:         cfg.Logger,
 		metrics:        cfg.Metrics,
 		tracer:         tracer,
+		exporter:       exporter,
 		subs:           make(map[uint64]*gridrank.Subscription),
 		eventBuffer:    cfg.EventBuffer,
 		draining:       make(chan struct{}),
+	}
+	s.configInfo = map[string]any{
+		"maxParallelism":  cfg.MaxParallelism,
+		"queryTimeoutMs":  cfg.QueryTimeout.Milliseconds(),
+		"maxBatch":        cfg.MaxBatch,
+		"cacheSize":       cfg.CacheSize,
+		"cacheTTLMs":      cfg.CacheTTL.Milliseconds(),
+		"maxSubscribers":  cfg.MaxSubscribers,
+		"eventBuffer":     cfg.EventBuffer,
+		"traceSampleRate": cfg.TraceSampleRate,
+		"slowQueryMs":     cfg.SlowQuery.Milliseconds(),
+		"traceBuffer":     cfg.TraceBuffer,
+		"otlpConfigured":  cfg.OTLPEndpoint != "",
 	}
 	s.mux.HandleFunc("/healthz", s.instrument(epHealthz, s.handleHealth))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	s.mux.HandleFunc("GET /debug/bundle", s.handleBundle)
 	s.mux.HandleFunc("/v1/index", s.instrument(epIndex, s.handleIndex))
 	s.mux.HandleFunc("/v1/reverse-topk", s.instrument(epRTK, s.handleReverseTopK))
 	s.mux.HandleFunc("/v1/reverse-kranks", s.instrument(epRKR, s.handleReverseKRanks))
@@ -335,7 +403,10 @@ func (w *statusWriter) Flush() {
 // instrument wraps a handler with the observability middleware: request
 // and error counters, the latency histogram, and structured logging. A
 // request whose context died before the handler wrote anything is
-// recorded as 499 (client closed request).
+// recorded as 499 (client closed request). When the handler advertised a
+// sampled trace (the traceparent response header set by decorateTraced),
+// its trace ID becomes the exemplar of the latency bucket this request
+// lands in, so an OpenMetrics scrape links latency spikes to span trees.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.metrics.Endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -344,7 +415,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		d := time.Since(start)
-		ep.Observe(d, sw.status)
+		ep.ObserveExemplar(d, sw.status, traceIDFromHeader(sw.Header().Get("traceparent")))
 		if s.logger != nil {
 			s.logger.Info("request",
 				"endpoint", name,
@@ -493,8 +564,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
+	if acceptsOpenMetrics(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = s.metrics.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.metrics.WritePrometheus(w)
+}
+
+// acceptsOpenMetrics reports whether the Accept header asks for the
+// OpenMetrics exposition. Prometheus sends
+// "application/openmetrics-text;version=1.0.0;q=...,text/plain;..."
+// when exemplar scraping is enabled; a bare media type match is enough —
+// anyone naming OpenMetrics explicitly wants the exemplar-bearing form.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mt) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -502,6 +593,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
+	s.writeJSON(w, http.StatusOK, s.indexMeta())
+}
+
+// indexMeta assembles the index metadata document served by
+// GET /v1/index and bundled by GET /debug/bundle.
+func (s *Server) indexMeta() map[string]interface{} {
 	meta := map[string]interface{}{
 		"dim":             s.ix.Dim(),
 		"epoch":           s.ix.Epoch(),
@@ -529,7 +626,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		meta["cacheTTLMs"] = cs.TTL.Milliseconds()
 		meta["cacheEntries"] = cs.Entries
 	}
-	s.writeJSON(w, http.StatusOK, meta)
+	return meta
 }
 
 type rtkResponse struct {

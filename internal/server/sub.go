@@ -18,11 +18,13 @@ package server
 // shutdown never stalls on an open SSE connection.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"gridrank"
 )
@@ -88,9 +90,10 @@ func (s *Server) isDraining() bool {
 }
 
 // Drain refuses new subscriptions and closes every live one, ending
-// their SSE streams with a "shutdown" terminal event. Call it before
-// http.Server.Shutdown so open streams do not stall the drain; it is
-// idempotent and safe from any goroutine.
+// their SSE streams with a "shutdown" terminal event, then flushes the
+// OTLP exporter (bounded — a stalled collector cannot hold up shutdown).
+// Call it before http.Server.Shutdown so open streams do not stall the
+// drain; it is idempotent and safe from any goroutine.
 func (s *Server) Drain() {
 	s.drainOnce.Do(func() {
 		close(s.draining)
@@ -103,6 +106,11 @@ func (s *Server) Drain() {
 		s.subMu.Unlock()
 		for _, sub := range subs {
 			sub.Close()
+		}
+		if s.exporter != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = s.exporter.Shutdown(ctx)
+			cancel()
 		}
 	})
 }

@@ -30,6 +30,17 @@ func traceQueryOption(opts []gridrank.QueryOption, tr *trace.Trace) []gridrank.Q
 	return opts
 }
 
+// traceIDFromHeader extracts the 32-hex trace ID from a W3C traceparent
+// header ("00-<traceID>-<spanID>-<flags>"), or "" when absent or
+// malformed. The middleware uses it to turn the header decorateTraced
+// set into a latency-histogram exemplar.
+func traceIDFromHeader(tp string) string {
+	if len(tp) < 36 || tp[2] != '-' || tp[35] != '-' {
+		return ""
+	}
+	return tp[3:35]
+}
+
 // decorateTraced stamps a head-sampled trace onto the response headers.
 // Tail-only captures (slow-query candidates) are not advertised: whether
 // they survive is decided at Finish, after the response is gone — find
@@ -80,6 +91,9 @@ type tracesResponse struct {
 	Dropped int64 `json:"dropped"`
 	Slow    int64 `json:"slow"`
 	Evicted int64 `json:"evicted"`
+	// Resident counts traces currently in the ring; with Evicted it
+	// satisfies kept == evicted + resident at any quiescent point.
+	Resident int64 `json:"resident"`
 }
 
 // handleTraces lists the stored traces, newest first.
@@ -99,8 +113,8 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	c := s.tracer.Counts()
-	resp.Started, resp.Kept, resp.Dropped, resp.Slow, resp.Evicted =
-		c.Started, c.Kept, c.Dropped, c.Slow, c.Evicted
+	resp.Started, resp.Kept, resp.Dropped, resp.Slow, resp.Evicted, resp.Resident =
+		c.Started, c.Kept, c.Dropped, c.Slow, c.Evicted, c.Resident
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,328 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector is an in-test OTLP/HTTP collector that decodes every POST.
+type collector struct {
+	mu       sync.Mutex
+	payloads []otlpPayload
+	fail     int // next N requests answer 500
+	got      chan struct{}
+}
+
+func newCollector() *collector { return &collector{got: make(chan struct{}, 64)} }
+
+func (c *collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fail > 0 {
+		c.fail--
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	var p otlpPayload
+	if err := json.Unmarshal(body, &p); err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	c.payloads = append(c.payloads, p)
+	select {
+	case c.got <- struct{}{}:
+	default:
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *collector) spans() []otlpSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []otlpSpan
+	for _, p := range c.payloads {
+		for _, rs := range p.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				out = append(out, ss.Spans...)
+			}
+		}
+	}
+	return out
+}
+
+func TestOTLPRoundTrip(t *testing.T) {
+	col := newCollector()
+	srv := httptest.NewServer(col)
+	defer srv.Close()
+
+	tr := New(Config{SampleRate: 1})
+	exp, err := NewExporter(ExporterConfig{
+		Endpoint:      srv.URL,
+		BatchSize:     4,
+		FlushInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetExporter(exp)
+
+	q := tr.Start("reverse_topk", Parent{})
+	if q == nil {
+		t.Fatal("Start returned nil at SampleRate 1")
+	}
+	q.SetAttr("k", 10).SetAttr("endpoint", "reverse_topk")
+	scan := q.StartSpan("scan")
+	scan.SetInt("case1Filtered", 120).SetInt("case2Filtered", 34).SetInt("case3Refined", 7)
+	worker := scan.Child("scan.worker")
+	worker.SetInt("worker", 0)
+	worker.End()
+	scan.End()
+	q.Finish()
+
+	select {
+	case <-col.got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("collector never received the batch")
+	}
+	if err := exp.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := col.spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	byName := map[string]otlpSpan{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.TraceID != q.ID() {
+			t.Errorf("span %q traceId = %q, want %q", s.Name, s.TraceID, q.ID())
+		}
+		if len(s.TraceID) != 32 || len(s.SpanID) != 16 {
+			t.Errorf("span %q has malformed IDs: trace %q span %q", s.Name, s.TraceID, s.SpanID)
+		}
+		if s.StartUnixNano == "" || s.EndUnixNano == "" {
+			t.Errorf("span %q missing timestamps", s.Name)
+		}
+	}
+	root, ok := byName["reverse_topk"]
+	if !ok {
+		t.Fatal("no root span named reverse_topk")
+	}
+	if root.Kind != otlpKindServer {
+		t.Errorf("root kind = %d, want SERVER(%d)", root.Kind, otlpKindServer)
+	}
+	if root.ParentSpanID != "" {
+		t.Errorf("root parent = %q, want none", root.ParentSpanID)
+	}
+	wantRootAttrs := map[string]otlpValue{}
+	for _, kv := range root.Attributes {
+		wantRootAttrs[kv.Key] = kv.Value
+	}
+	if v := wantRootAttrs["k"]; v.IntValue == nil || *v.IntValue != "10" {
+		t.Errorf("root attr k = %+v, want intValue 10", v)
+	}
+	if v := wantRootAttrs["endpoint"]; v.StringValue == nil || *v.StringValue != "reverse_topk" {
+		t.Errorf("root attr endpoint = %+v", v)
+	}
+
+	scanSpan, ok := byName["scan"]
+	if !ok {
+		t.Fatal("no scan span")
+	}
+	if scanSpan.Kind != otlpKindInternal {
+		t.Errorf("scan kind = %d, want INTERNAL(%d)", scanSpan.Kind, otlpKindInternal)
+	}
+	if scanSpan.ParentSpanID != root.SpanID {
+		t.Errorf("scan parent = %q, want root %q", scanSpan.ParentSpanID, root.SpanID)
+	}
+	got := map[string]string{}
+	for _, kv := range scanSpan.Attributes {
+		if kv.Value.IntValue != nil {
+			got[kv.Key] = *kv.Value.IntValue
+		}
+	}
+	for k, want := range map[string]string{"case1Filtered": "120", "case2Filtered": "34", "case3Refined": "7"} {
+		if got[k] != want {
+			t.Errorf("scan attr %s = %q, want %q", k, got[k], want)
+		}
+	}
+
+	workerSpan, ok := byName["scan.worker"]
+	if !ok {
+		t.Fatal("no scan.worker span")
+	}
+	if workerSpan.ParentSpanID != scanSpan.SpanID {
+		t.Errorf("worker parent = %q, want scan %q", workerSpan.ParentSpanID, scanSpan.SpanID)
+	}
+}
+
+func TestOTLPRetryThenSuccess(t *testing.T) {
+	col := newCollector()
+	col.fail = 2
+	srv := httptest.NewServer(col)
+	defer srv.Close()
+
+	exp, err := NewExporter(ExporterConfig{
+		Endpoint:      srv.URL,
+		BatchSize:     1,
+		FlushInterval: 10 * time.Millisecond,
+		MaxRetries:    3,
+		RetryBackoff:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Enqueue(&TraceData{TraceID: "0123456789abcdef0123456789abcdef", Name: "q",
+		Start: time.Now(), Spans: []SpanData{{SpanID: "0123456789abcdef", Name: "q"}}})
+
+	select {
+	case <-col.got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch never delivered despite retries")
+	}
+	if err := exp.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c := exp.Counts()
+	if c.Exported != 1 || c.SendFailures != 2 || c.Retries != 2 || c.Dropped != 0 {
+		t.Fatalf("counts = %+v, want 1 exported after 2 failures/retries", c)
+	}
+}
+
+// TestOTLPStalledCollectorNeverBlocks is the acceptance guarantee: a
+// collector that accepts the connection and then hangs must not slow or
+// block trace completion — the bounded queue fills and further traces
+// drop with the counter incrementing.
+func TestOTLPStalledCollectorNeverBlocks(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // stall every request
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	tr := New(Config{SampleRate: 1})
+	exp, err := NewExporter(ExporterConfig{
+		Endpoint:      srv.URL,
+		BatchSize:     1,
+		QueueSize:     2,
+		FlushInterval: 5 * time.Millisecond,
+		Timeout:       30 * time.Second, // the stall outlives the test unless dropping works
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetExporter(exp)
+
+	const n = 64
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		q := tr.Start("q", Parent{})
+		q.StartSpan("scan").End()
+		q.Finish() // must return immediately even though the collector hangs
+	}
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("finishing %d traces took %v with a stalled collector; Finish is blocking", n, elapsed)
+	}
+	c := exp.Counts()
+	if c.Dropped == 0 {
+		t.Fatalf("counts = %+v, want dropped > 0 with a stalled collector", c)
+	}
+	if got := tr.Counts().Kept; got != n {
+		t.Fatalf("tracer kept %d, want %d — export must not affect keeping", got, n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_ = exp.Shutdown(ctx) // may time out against the stalled POST; must not hang forever
+	if exp.Counts().Queue > 2 {
+		t.Fatalf("queue grew past its bound: %+v", exp.Counts())
+	}
+}
+
+func TestOTLPEndpointValidation(t *testing.T) {
+	if _, err := NewExporter(ExporterConfig{}); err == nil {
+		t.Error("empty endpoint accepted")
+	}
+	if _, err := NewExporter(ExporterConfig{Endpoint: "localhost:4318"}); err == nil {
+		t.Error("schemeless endpoint accepted")
+	}
+	exp, err := NewExporter(ExporterConfig{Endpoint: "http://localhost:4318/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Shutdown(context.Background())
+	if got := exp.Endpoint(); got != "http://localhost:4318/v1/traces" {
+		t.Errorf("Endpoint() = %q", got)
+	}
+	exp2, err := NewExporter(ExporterConfig{Endpoint: "http://c:4318/v1/traces"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp2.Shutdown(context.Background())
+	if got := exp2.Endpoint(); got != "http://c:4318/v1/traces" {
+		t.Errorf("Endpoint() = %q (path must not double)", got)
+	}
+}
+
+func TestOTLPEnqueueAfterShutdownDrops(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	exp, err := NewExporter(ExporterConfig{Endpoint: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	exp.Enqueue(&TraceData{TraceID: "x"})
+	if c := exp.Counts(); c.Dropped != 1 {
+		t.Fatalf("counts = %+v, want 1 dropped after shutdown", c)
+	}
+	// Idempotent shutdown.
+	if err := exp.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttrValueMapping(t *testing.T) {
+	kvs := attrKVs(map[string]any{
+		"s": "str", "b": true, "i": int(3), "i64": int64(-9), "f": 2.5, "other": uint(7),
+	})
+	got := map[string]otlpValue{}
+	for _, kv := range kvs {
+		got[kv.Key] = kv.Value
+	}
+	if v := got["s"]; v.StringValue == nil || *v.StringValue != "str" {
+		t.Errorf("s = %+v", v)
+	}
+	if v := got["b"]; v.BoolValue == nil || !*v.BoolValue {
+		t.Errorf("b = %+v", v)
+	}
+	if v := got["i"]; v.IntValue == nil || *v.IntValue != "3" {
+		t.Errorf("i = %+v", v)
+	}
+	if v := got["i64"]; v.IntValue == nil || *v.IntValue != "-9" {
+		t.Errorf("i64 = %+v", v)
+	}
+	if v := got["f"]; v.DoubleValue == nil || *v.DoubleValue != 2.5 {
+		t.Errorf("f = %+v", v)
+	}
+	if v := got["other"]; v.StringValue == nil || *v.StringValue != "7" {
+		t.Errorf("other = %+v", v)
+	}
+	// Deterministic ordering: sorted by key.
+	for i := 1; i < len(kvs); i++ {
+		if kvs[i-1].Key >= kvs[i].Key {
+			t.Fatalf("attributes not sorted: %q before %q", kvs[i-1].Key, kvs[i].Key)
+		}
+	}
+}

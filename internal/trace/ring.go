@@ -12,9 +12,10 @@ import "sync/atomic"
 // wrap-around write may observe a trace newer than the cursor it loaded
 // — harmless for the debug endpoints this serves.
 type Ring struct {
-	slots  []atomic.Pointer[TraceData]
-	cursor atomic.Uint64
-	mask   uint64
+	slots   []atomic.Pointer[TraceData]
+	cursor  atomic.Uint64
+	mask    uint64
+	evicted atomic.Int64
 }
 
 // NewRing builds a ring holding at least capacity traces (rounded up to
@@ -34,18 +35,31 @@ func NewRing(capacity int) *Ring {
 func (r *Ring) Capacity() int { return len(r.slots) }
 
 // Put stores one completed trace, overwriting the oldest when full.
+// Eviction is counted by what the Swap actually displaced, not inferred
+// from the cursor: under concurrent writers the cursor can lap a slot
+// whose earlier claimant has not published yet, and the old arithmetic
+// (cursor minus capacity) counted those unpublished slots as evictions.
+// Swap-based accounting keeps the invariant kept == evicted + resident
+// exact at every quiescent point.
 func (r *Ring) Put(td *TraceData) {
 	i := r.cursor.Add(1) - 1
-	r.slots[i&r.mask].Store(td)
+	if old := r.slots[i&r.mask].Swap(td); old != nil {
+		r.evicted.Add(1)
+	}
 }
 
 // Evicted returns how many stored traces have been overwritten.
-func (r *Ring) Evicted() int64 {
-	c := r.cursor.Load()
-	if c <= uint64(len(r.slots)) {
-		return 0
+func (r *Ring) Evicted() int64 { return r.evicted.Load() }
+
+// Resident counts the traces currently stored in the ring.
+func (r *Ring) Resident() int64 {
+	var n int64
+	for i := range r.slots {
+		if r.slots[i].Load() != nil {
+			n++
+		}
 	}
-	return int64(c - uint64(len(r.slots)))
+	return n
 }
 
 // Snapshot returns the stored traces, newest first.

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingAccountingUnderConcurrentWriters is the regression test for
+// the eviction-accounting fix: the old implementation derived Evicted
+// from the cursor (cursor − capacity), which counts slots that were
+// claimed but never published — under concurrent writers a lapping Put
+// can overwrite a still-nil slot, and the cursor arithmetic overcounted
+// it as an eviction. With Swap-based accounting the identities
+//
+//	started == kept + dropped          (every trace finishes exactly once)
+//	kept    == evicted + resident      (every kept trace is in the ring or was displaced)
+//
+// hold exactly, and composing them gives the invariant the debug
+// endpoint advertises: started == dropped + evicted + resident. The
+// test hammers the ring from many goroutines (run under -race in CI),
+// then asserts the identities at a quiescent snapshot after every
+// round; a concurrent reader checks weaker bounds mid-churn.
+func TestRingAccountingUnderConcurrentWriters(t *testing.T) {
+	const (
+		rounds    = 8
+		writers   = 8
+		perWriter = 200
+	)
+	// rate 0.5 + an unreachable slow threshold: every query is started
+	// and recorded, about half are kept, the rest are dropped at Finish
+	// — exercising all four counters at once.
+	tr := New(Config{SampleRate: 0.5, SlowQuery: time.Hour, Capacity: 64})
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() { // mid-churn reader: bounds only, counters move independently
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := tr.Counts()
+			if c.Resident > int64(tr.ring.Capacity()) {
+				t.Errorf("resident %d exceeds capacity %d", c.Resident, tr.ring.Capacity())
+				return
+			}
+			if c.Evicted+c.Resident > c.Started {
+				t.Errorf("evicted(%d)+resident(%d) > started(%d)", c.Evicted, c.Resident, c.Started)
+				return
+			}
+		}
+	}()
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					q := tr.Start(fmt.Sprintf("q%d", i), Parent{})
+					if q != nil {
+						q.StartSpan("scan").End()
+						q.Finish()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		c := tr.Counts()
+		if c.Started != c.Kept+c.Dropped {
+			t.Fatalf("round %d: started(%d) != kept(%d) + dropped(%d)", round, c.Started, c.Kept, c.Dropped)
+		}
+		if c.Kept != c.Evicted+c.Resident {
+			t.Fatalf("round %d: kept(%d) != evicted(%d) + resident(%d)", round, c.Kept, c.Evicted, c.Resident)
+		}
+		if c.Started != c.Dropped+c.Evicted+c.Resident {
+			t.Fatalf("round %d: started(%d) != dropped(%d) + evicted(%d) + resident(%d)",
+				round, c.Started, c.Dropped, c.Evicted, c.Resident)
+		}
+	}
+	close(stop)
+	readerWG.Wait()
+
+	c := tr.Counts()
+	if c.Started == 0 || c.Kept == 0 || c.Dropped == 0 || c.Evicted == 0 {
+		t.Fatalf("stress did not exercise all counters: %+v", c)
+	}
+	if c.Resident != int64(tr.ring.Capacity()) {
+		t.Fatalf("ring should be full after %d keeps: resident %d, capacity %d",
+			c.Kept, c.Resident, tr.ring.Capacity())
+	}
+}
+
+// TestRingEvictionNotOvercountedBeforeWrap pins the simple half of the
+// fix: filling the ring exactly to capacity evicts nothing.
+func TestRingEvictionNotOvercountedBeforeWrap(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 8; i++ {
+		r.Put(&TraceData{TraceID: fmt.Sprint(i)})
+	}
+	if got := r.Evicted(); got != 0 {
+		t.Fatalf("Evicted = %d after exactly-capacity puts, want 0", got)
+	}
+	if got := r.Resident(); got != 8 {
+		t.Fatalf("Resident = %d, want 8", got)
+	}
+	r.Put(&TraceData{TraceID: "wrap"})
+	if got := r.Evicted(); got != 1 {
+		t.Fatalf("Evicted = %d after one wrap, want 1", got)
+	}
+	if got := r.Resident(); got != 8 {
+		t.Fatalf("Resident = %d after wrap, want 8", got)
+	}
+}

@@ -110,6 +110,21 @@ type Tracer struct {
 	kept    atomic.Int64 // traces published to the ring
 	dropped atomic.Int64 // recorded traces discarded at Finish (fast + unsampled)
 	slowN   atomic.Int64 // traces over the slow-query threshold
+
+	// exporter, when set, receives every kept trace for OTLP shipment.
+	// An atomic pointer so SetExporter is safe while queries are in
+	// flight; the hot path pays one atomic load when nothing is wired.
+	exporter atomic.Pointer[Exporter]
+}
+
+// SetExporter wires (or, with nil, unwires) an OTLP exporter that
+// receives every kept trace after it is published to the ring. Safe to
+// call while queries are in flight.
+func (t *Tracer) SetExporter(e *Exporter) {
+	if t == nil {
+		return
+	}
+	t.exporter.Store(e)
 }
 
 // New builds a Tracer. A tracer with SampleRate 0 and SlowQuery 0 is
@@ -199,11 +214,12 @@ func (t *Tracer) Get(id string) *TraceData {
 
 // Counts is the tracer's live telemetry, scraped into /metrics.
 type Counts struct {
-	Started int64 // traces that began recording
-	Kept    int64 // traces published to the ring
-	Dropped int64 // recorded traces discarded at Finish
-	Slow    int64 // traces over the slow-query threshold
-	Evicted int64 // stored traces overwritten by newer ones
+	Started  int64 // traces that began recording
+	Kept     int64 // traces published to the ring
+	Dropped  int64 // recorded traces discarded at Finish
+	Slow     int64 // traces over the slow-query threshold
+	Evicted  int64 // stored traces overwritten by newer ones
+	Resident int64 // traces currently stored in the ring
 }
 
 // Counts returns the tracer's counters, gathered at call time.
@@ -212,11 +228,12 @@ func (t *Tracer) Counts() Counts {
 		return Counts{}
 	}
 	return Counts{
-		Started: t.started.Load(),
-		Kept:    t.kept.Load(),
-		Dropped: t.dropped.Load(),
-		Slow:    t.slowN.Load(),
-		Evicted: t.ring.Evicted(),
+		Started:  t.started.Load(),
+		Kept:     t.kept.Load(),
+		Dropped:  t.dropped.Load(),
+		Slow:     t.slowN.Load(),
+		Evicted:  t.ring.Evicted(),
+		Resident: t.ring.Resident(),
 	}
 }
 
@@ -263,6 +280,16 @@ func (tr *Trace) ID() string {
 		return ""
 	}
 	return tr.id.String()
+}
+
+// IDPair returns the trace ID's raw 128 bits without formatting, for
+// callers (the flight recorder) that must not allocate on the query
+// path. Zero/zero when not recording.
+func (tr *Trace) IDPair() (hi, lo uint64) {
+	if tr == nil {
+		return 0, 0
+	}
+	return tr.id.Hi, tr.id.Lo
 }
 
 // Sampled reports whether the trace is already certain to be kept (head
@@ -330,6 +357,9 @@ func (tr *Trace) Finish() {
 	td := tr.export(dur, slow)
 	tr.t.ring.Put(td)
 	tr.t.kept.Add(1)
+	if e := tr.t.exporter.Load(); e != nil {
+		e.Enqueue(td) // non-blocking; drops (and counts) when the queue is full
+	}
 	if slow && tr.t.logger != nil {
 		args := make([]any, 0, 8+2*len(tr.rootAttrs))
 		args = append(args,

@@ -33,8 +33,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"gridrank/internal/algo"
+	"gridrank/internal/flight"
 	"gridrank/internal/vec"
 )
 
@@ -104,22 +106,27 @@ func (e *epoch) layout() algo.Layout { return algo.Layout{PackedBits: e.gir.Pack
 // current grid actually uses it), a full rebuild otherwise. Both the
 // insert and delete paths previously spelled this policy out inline;
 // the range rule they share is documented at the top of this file.
-func nextPointEpoch(e *epoch, pm *vec.Matrix, derive func() *algo.GIR) *epoch {
+// The derived result reports which path was taken, for the install's
+// flight-recorder digest.
+func nextPointEpoch(e *epoch, pm *vec.Matrix, derive func() *algo.GIR) (ne *epoch, derived bool) {
 	if nr := computeRangeP(pm.Rows()); nr == e.rangeP && e.gir.PointRange() == e.rangeP {
-		return &epoch{seq: e.seq + 1, pm: pm, wm: e.wm, rangeP: e.rangeP, gir: derive()}
+		return &epoch{seq: e.seq + 1, pm: pm, wm: e.wm, rangeP: e.rangeP, gir: derive()}, true
 	}
-	return rebuildEpoch(e.seq+1, pm, e.wm, e.partitions(), e.layout())
+	return rebuildEpoch(e.seq+1, pm, e.wm, e.partitions(), e.layout()), false
 }
 
 // storeRebuilt publishes a from-scratch epoch over (pm, wm), flushes
 // the answer cache and recomputes subscriptions — the shared tail of
 // every batch mutation. Hook order is fixed: cache first, then the
 // subscription fan-out, both against the epoch just stored.
-func (ix *Index) storeRebuilt(e *epoch, pm, wm *vec.Matrix) {
+// op and start feed the install's flight-recorder digest.
+func (ix *Index) storeRebuilt(e *epoch, pm, wm *vec.Matrix, op flight.Op, start time.Time) {
+	pre := ix.flightProbe()
 	ne := rebuildEpoch(e.seq+1, pm, wm, e.partitions(), e.layout())
 	ix.cur.Store(ne)
 	ix.cacheFlush(ne.seq)
 	ix.subOnRebuild(ne)
+	ix.recordMutation(op, start, ne.seq, false, pre)
 }
 
 // InsertProduct appends product p to the index and returns its id
@@ -133,6 +140,7 @@ func (ix *Index) InsertProduct(p Vector) (int, error) {
 // expired ctx aborts before the epoch is built (an installed mutation
 // is never rolled back).
 func (ix *Index) InsertProductCtx(ctx context.Context, p Vector) (int, error) {
+	start := time.Now()
 	if err := ix.checkProduct(p); err != nil {
 		return 0, err
 	}
@@ -141,13 +149,15 @@ func (ix *Index) InsertProductCtx(ctx context.Context, p Vector) (int, error) {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	pre := ix.flightProbe()
 	e := ix.snap()
 	id := e.pm.Len()
 	pm := e.pm.WithAppended(p)
-	ne := nextPointEpoch(e, pm, func() *algo.GIR { return e.gir.WithAppendedPoint(pm) })
+	ne, derived := nextPointEpoch(e, pm, func() *algo.GIR { return e.gir.WithAppendedPoint(pm) })
 	ix.cur.Store(ne)
 	ix.cacheOnProduct(ne.seq, p)
 	ix.subOnProduct(ne, p, true)
+	ix.recordMutation(flight.OpInsertProduct, start, ne.seq, derived, pre)
 	return id, nil
 }
 
@@ -160,11 +170,13 @@ func (ix *Index) DeleteProduct(i int) error {
 
 // DeleteProductCtx is DeleteProduct honoring a context.
 func (ix *Index) DeleteProductCtx(ctx context.Context, i int) error {
+	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	pre := ix.flightProbe()
 	e := ix.snap()
 	if i < 0 || i >= e.pm.Len() {
 		return fmt.Errorf("%w: product %d not in [0, %d)", ErrOutOfRange, i, e.pm.Len())
@@ -177,10 +189,11 @@ func (ix *Index) DeleteProductCtx(ctx context.Context, i int) error {
 	// it directly.
 	removed := e.pm.Row(i)
 	pm := e.pm.WithRemoved(i)
-	ne := nextPointEpoch(e, pm, func() *algo.GIR { return e.gir.WithRemovedPoint(pm, i) })
+	ne, derived := nextPointEpoch(e, pm, func() *algo.GIR { return e.gir.WithRemovedPoint(pm, i) })
 	ix.cur.Store(ne)
 	ix.cacheOnProduct(ne.seq, removed)
 	ix.subOnProduct(ne, removed, false)
+	ix.recordMutation(flight.OpDeleteProduct, start, ne.seq, derived, pre)
 	return nil
 }
 
@@ -192,6 +205,7 @@ func (ix *Index) InsertPreference(w Vector) (int, error) {
 
 // InsertPreferenceCtx is InsertPreference honoring a context.
 func (ix *Index) InsertPreferenceCtx(ctx context.Context, w Vector) (int, error) {
+	start := time.Now()
 	if err := ix.checkNewPreference(w); err != nil {
 		return 0, err
 	}
@@ -200,6 +214,7 @@ func (ix *Index) InsertPreferenceCtx(ctx context.Context, w Vector) (int, error)
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	pre := ix.flightProbe()
 	e := ix.snap()
 	id := e.wm.Len()
 	wm := e.wm.WithAppended(w)
@@ -210,8 +225,10 @@ func (ix *Index) InsertPreferenceCtx(ctx context.Context, w Vector) (int, error)
 		}
 	}
 	var ne *epoch
+	derived := false
 	if rw := e.gir.WeightRange(); rw > 0 && maxComp < rw {
 		ne = &epoch{seq: e.seq + 1, pm: e.pm, wm: wm, rangeP: e.rangeP, gir: e.gir.WithAppendedWeight(wm)}
+		derived = true
 	} else {
 		// A component at or beyond the weight axis would clamp into the
 		// last cell and break the upper bound: rebuild with a grown axis.
@@ -220,6 +237,7 @@ func (ix *Index) InsertPreferenceCtx(ctx context.Context, w Vector) (int, error)
 	ix.cur.Store(ne)
 	ix.cacheOnPrefInsert(ne, id)
 	ix.subOnPrefInsert(ne, id)
+	ix.recordMutation(flight.OpInsertPreference, start, ne.seq, derived, pre)
 	return id, nil
 }
 
@@ -231,11 +249,13 @@ func (ix *Index) DeletePreference(i int) error {
 
 // DeletePreferenceCtx is DeletePreference honoring a context.
 func (ix *Index) DeletePreferenceCtx(ctx context.Context, i int) error {
+	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	pre := ix.flightProbe()
 	e := ix.snap()
 	if i < 0 || i >= e.wm.Len() {
 		return fmt.Errorf("%w: preference %d not in [0, %d)", ErrOutOfRange, i, e.wm.Len())
@@ -252,6 +272,7 @@ func (ix *Index) DeletePreferenceCtx(ctx context.Context, i int) error {
 	ix.cur.Store(ne)
 	ix.cacheOnPrefDelete(ne.seq, i, oldCount)
 	ix.subOnPrefDelete(ne, i, oldCount)
+	ix.recordMutation(flight.OpDeletePreference, start, ne.seq, true, pre)
 	return nil
 }
 
@@ -264,6 +285,7 @@ func (ix *Index) InsertProducts(ps []Vector) (int, error) {
 
 // InsertProductsCtx is InsertProducts honoring a context.
 func (ix *Index) InsertProductsCtx(ctx context.Context, ps []Vector) (int, error) {
+	start := time.Now()
 	if len(ps) == 0 {
 		return 0, errors.New("gridrank: empty product batch")
 	}
@@ -282,7 +304,7 @@ func (ix *Index) InsertProductsCtx(ctx context.Context, ps []Vector) (int, error
 	rows := make([]Vector, 0, first+len(ps))
 	rows = append(rows, e.pm.Rows()...)
 	rows = append(rows, ps...)
-	ix.storeRebuilt(e, vec.NewMatrix(rows), e.wm)
+	ix.storeRebuilt(e, vec.NewMatrix(rows), e.wm, flight.OpInsertProducts, start)
 	return first, nil
 }
 
@@ -296,6 +318,7 @@ func (ix *Index) DeleteProducts(ids []int) error {
 
 // DeleteProductsCtx is DeleteProducts honoring a context.
 func (ix *Index) DeleteProductsCtx(ctx context.Context, ids []int) error {
+	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -307,7 +330,7 @@ func (ix *Index) DeleteProductsCtx(ctx context.Context, ids []int) error {
 		return err
 	}
 	rows := surviving(e.pm, drop)
-	ix.storeRebuilt(e, vec.NewMatrix(rows), e.wm)
+	ix.storeRebuilt(e, vec.NewMatrix(rows), e.wm, flight.OpDeleteProducts, start)
 	return nil
 }
 
@@ -319,6 +342,7 @@ func (ix *Index) InsertPreferences(ws []Vector) (int, error) {
 
 // InsertPreferencesCtx is InsertPreferences honoring a context.
 func (ix *Index) InsertPreferencesCtx(ctx context.Context, ws []Vector) (int, error) {
+	start := time.Now()
 	if len(ws) == 0 {
 		return 0, errors.New("gridrank: empty preference batch")
 	}
@@ -337,7 +361,7 @@ func (ix *Index) InsertPreferencesCtx(ctx context.Context, ws []Vector) (int, er
 	rows := make([]Vector, 0, first+len(ws))
 	rows = append(rows, e.wm.Rows()...)
 	rows = append(rows, ws...)
-	ix.storeRebuilt(e, e.pm, vec.NewMatrix(rows))
+	ix.storeRebuilt(e, e.pm, vec.NewMatrix(rows), flight.OpInsertPreferences, start)
 	return first, nil
 }
 
@@ -349,6 +373,7 @@ func (ix *Index) DeletePreferences(ids []int) error {
 
 // DeletePreferencesCtx is DeletePreferences honoring a context.
 func (ix *Index) DeletePreferencesCtx(ctx context.Context, ids []int) error {
+	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -360,7 +385,7 @@ func (ix *Index) DeletePreferencesCtx(ctx context.Context, ids []int) error {
 		return err
 	}
 	rows := surviving(e.wm, drop)
-	ix.storeRebuilt(e, e.pm, vec.NewMatrix(rows))
+	ix.storeRebuilt(e, e.pm, vec.NewMatrix(rows), flight.OpDeletePreferences, start)
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"gridrank/internal/algo"
 	"gridrank/internal/bits"
 	"gridrank/internal/dataset"
+	"gridrank/internal/flight"
 	"gridrank/internal/vec"
 )
 
@@ -185,7 +186,7 @@ func readIndexSized(r io.Reader, sizeHint int64) (*Index, error) {
 			return nil, fmt.Errorf("%w: packed rows disagree with rebuilt cells", ErrBadIndexFile)
 		}
 	}
-	ix := &Index{dim: pset.Dim, format: format}
+	ix := &Index{dim: pset.Dim, format: format, fr: flight.New(0)}
 	ix.cur.Store(&epoch{
 		pm:     pm,
 		wm:     wm,

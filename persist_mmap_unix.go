@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"syscall"
+
+	"gridrank/internal/flight"
 )
 
 // LoadMmap opens a GRI3 index file by memory-mapping it read-only: the
@@ -51,7 +53,7 @@ func LoadMmap(path string) (*Index, error) {
 		syscall.Munmap(data)
 		return nil, err
 	}
-	ix := &Index{dim: dim, format: formatGRI3, mapped: [][]byte{data}}
+	ix := &Index{dim: dim, format: formatGRI3, mapped: [][]byte{data}, fr: flight.New(0)}
 	ix.cur.Store(e)
 	return ix, nil
 }

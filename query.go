@@ -21,9 +21,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"gridrank/internal/algo"
 	"gridrank/internal/cache"
+	"gridrank/internal/flight"
 	"gridrank/internal/stats"
 	"gridrank/internal/trace"
 )
@@ -191,6 +193,18 @@ func (cfg *queryConfig) served(seq uint64) {
 	}
 }
 
+// cases copies the scan's case breakdown into the flight digest. c is
+// nil unless the caller asked for stats (WithStats) — counters are not
+// collected otherwise, so unstatted queries record zeros rather than
+// paying for collection.
+func (dig *queryDigest) cases(c *stats.Counters) {
+	if c != nil {
+		dig.case1 = c.Case1Filtered
+		dig.case2 = c.Case2Filtered
+		dig.case3 = c.Refinements
+	}
+}
+
 // ReverseTopKCtx returns, in ascending order, the indexes of every
 // preference vector that places q within its top-k products. An empty
 // answer means no user ranks q that highly (consider ReverseKRanksCtx).
@@ -200,28 +214,42 @@ func (cfg *queryConfig) served(seq uint64) {
 // goroutine and the call returns ctx.Err(). Options tune the call:
 // WithWorkers overrides the index's intra-query parallelism and
 // WithStats captures work statistics.
+//
+// Every call — success, validation error or cancellation — leaves one
+// digest in the always-on flight recorder (see FlightRecords).
 func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...QueryOption) ([]int, error) {
+	start := time.Now()
+	res, dig, err := ix.reverseTopK(ctx, q, k, opts)
+	ix.recordQuery(flight.OpReverseTopK, k, start, dig, err)
+	return res, err
+}
+
+func (ix *Index) reverseTopK(ctx context.Context, q Vector, k int, opts []QueryOption) ([]int, queryDigest, error) {
+	var dig queryDigest
 	cfg, err := resolveOptions(opts)
 	if err != nil {
-		return nil, err
+		return nil, dig, err
 	}
 	if err := ix.checkQuery(q, k); err != nil {
-		return nil, err
+		return nil, dig, err
 	}
+	dig.traceHi, dig.traceLo = cfg.tr.IDPair()
+	dig.sampled = cfg.tr.Sampled()
 	c := cfg.counters()
 	ac := ix.answers.Load()
 	if ac != nil && !cfg.noCache {
 		// Honour cancellation before serving from the cache, so a dead
 		// context never "succeeds" just because the answer was resident.
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, dig, err
 		}
 		lsp := cfg.tr.StartSpan("cache.lookup")
 		if res, seq, ok := ac.LookupTopK(q, k); ok {
 			lsp.SetInt("hit", 1).SetInt("epoch", int64(seq)).End()
 			cfg.finish(c) // a hit performs no scan work: stats are zero
 			cfg.served(seq)
-			return res, nil
+			dig.epoch, dig.cacheHit = seq, true
+			return res, dig, nil
 		}
 		lsp.SetInt("hit", 0).End()
 	}
@@ -230,6 +258,7 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...Qu
 	sp := cfg.tr.StartSpan("snapshot")
 	ep := ix.snap()
 	sp.SetInt("epoch", int64(ep.seq)).End()
+	dig.epoch = ep.seq
 	res, err := ep.gir.ReverseTopKOpts(ctx, q, k, algo.QueryOpts{
 		Workers:   cfg.resolveWorkers(ix),
 		Counters:  c,
@@ -237,8 +266,9 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...Qu
 		Reference: cfg.reference,
 	})
 	cfg.finish(c)
+	dig.cases(c)
 	if err != nil {
-		return nil, err
+		return nil, dig, err
 	}
 	cfg.served(ep.seq)
 	if ac != nil && !cfg.noCache {
@@ -246,7 +276,7 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...Qu
 		ac.StoreTopK(q, k, ep.seq, res)
 		ssp.End()
 	}
-	return res, nil
+	return res, dig, nil
 }
 
 // ReverseKRanksCtx returns the k preference vectors ranking q best,
@@ -254,37 +284,50 @@ func (ix *Index) ReverseTopKCtx(ctx context.Context, q Vector, k int, opts ...Qu
 // returns an empty answer for k >= 1 — if fewer than k preferences
 // exist, all are returned.
 //
-// The context and options follow the same contract as ReverseTopKCtx.
+// The context and options follow the same contract as ReverseTopKCtx,
+// including the flight-recorder digest per call.
 func (ix *Index) ReverseKRanksCtx(ctx context.Context, q Vector, k int, opts ...QueryOption) ([]Match, error) {
+	start := time.Now()
+	res, dig, err := ix.reverseKRanks(ctx, q, k, opts)
+	ix.recordQuery(flight.OpReverseKRanks, k, start, dig, err)
+	return res, err
+}
+
+func (ix *Index) reverseKRanks(ctx context.Context, q Vector, k int, opts []QueryOption) ([]Match, queryDigest, error) {
+	var dig queryDigest
 	cfg, err := resolveOptions(opts)
 	if err != nil {
-		return nil, err
+		return nil, dig, err
 	}
 	if err := ix.checkQuery(q, k); err != nil {
-		return nil, err
+		return nil, dig, err
 	}
+	dig.traceHi, dig.traceLo = cfg.tr.IDPair()
+	dig.sampled = cfg.tr.Sampled()
 	c := cfg.counters()
 	ac := ix.answers.Load()
 	if ac != nil && !cfg.noCache {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, dig, err
 		}
 		lsp := cfg.tr.StartSpan("cache.lookup")
 		if cached, seq, ok := ac.LookupKRanks(q, k); ok {
 			lsp.SetInt("hit", 1).SetInt("epoch", int64(seq)).End()
 			cfg.finish(c)
 			cfg.served(seq)
+			dig.epoch, dig.cacheHit = seq, true
 			out := make([]Match, len(cached))
 			for i, m := range cached {
 				out[i] = Match{WeightIndex: m.WeightIndex, Rank: m.Rank}
 			}
-			return out, nil
+			return out, dig, nil
 		}
 		lsp.SetInt("hit", 0).End()
 	}
 	sp := cfg.tr.StartSpan("snapshot")
 	ep := ix.snap()
 	sp.SetInt("epoch", int64(ep.seq)).End()
+	dig.epoch = ep.seq
 	matches, err := ep.gir.ReverseKRanksOpts(ctx, q, k, algo.QueryOpts{
 		Workers:   cfg.resolveWorkers(ix),
 		Counters:  c,
@@ -292,8 +335,9 @@ func (ix *Index) ReverseKRanksCtx(ctx context.Context, q Vector, k int, opts ...
 		Reference: cfg.reference,
 	})
 	cfg.finish(c)
+	dig.cases(c)
 	if err != nil {
-		return nil, err
+		return nil, dig, err
 	}
 	cfg.served(ep.seq)
 	out := make([]Match, len(matches))
@@ -309,5 +353,5 @@ func (ix *Index) ReverseKRanksCtx(ctx context.Context, q Vector, k int, opts ...
 		ac.StoreKRanks(q, k, ep.seq, stored)
 		ssp.End()
 	}
-	return out, nil
+	return out, dig, nil
 }

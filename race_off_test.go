@@ -1,0 +1,8 @@
+//go:build !race
+
+package gridrank
+
+// raceEnabled mirrors internal/algo's pattern: allocation-count tests
+// are skipped under the race detector, whose instrumentation allocates
+// where the production build does not.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package gridrank
+
+const raceEnabled = true

@@ -30,7 +30,10 @@
 # from scale_test.go, which prices opening a saved GRI3 file through the
 # fully validating heap loader against the zero-copy mmap loader; B/op
 # on those is each loader's heap footprint per open index, the proxy
-# for resident memory (the mmap payload lives in the page cache). Each
+# for resident memory (the mmap payload lives in the page cache) — and
+# the flight-recorder suite (BenchmarkFlightRecorderOverhead) from
+# flight_bench_test.go, whose off/on sub-benchmarks price the always-on
+# digest ring against a recorder-disabled index. Each
 # entry records ns/op, B/op, allocs/op and any custom metrics the
 # benchmark reports (e.g. filter% for the grouped sweep).
 set -eu
@@ -47,7 +50,7 @@ OUT=BENCH_gir.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkGIR' -benchmem -benchtime "$BENCHTIME" \
+go test -run '^$' -bench 'BenchmarkGIR|BenchmarkFlightRecorderOverhead' -benchmem -benchtime "$BENCHTIME" \
     $SHORT_FLAG . | tee "$RAW"
 
 # Parse `go test -bench` lines into JSON. A line looks like:

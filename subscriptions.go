@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"gridrank/internal/flight"
 	"gridrank/internal/sub"
 	"gridrank/internal/trace"
 )
@@ -106,7 +107,9 @@ func (s *Subscription) Close() {
 	s.ix.mu.Lock()
 	defer s.ix.mu.Unlock()
 	if r := s.ix.subs.Load(); r != nil {
-		r.Unsubscribe(s.m.ID())
+		if r.Unsubscribe(s.m.ID()) {
+			s.ix.recordSubEvent(flight.OpUnsubscribe, s.m.K(), subKindCode(s.m.Kind()), int64(s.m.ID()))
+		}
 	}
 }
 
@@ -161,7 +164,16 @@ func (ix *Index) Subscribe(q Vector, k int, kind SubKind, buffer int) (*Subscrip
 	if mem, ok := ix.registry().Members(m.ID()); ok {
 		s.initial = mem
 	}
+	ix.recordSubEvent(flight.OpSubscribe, k, subKindCode(kind), int64(m.ID()))
 	return s, nil
+}
+
+// subKindCode maps a subscription kind to its flight-record Aux1 code.
+func subKindCode(kind SubKind) int64 {
+	if kind == SubReverseKRanks {
+		return 1
+	}
+	return 0
 }
 
 // SubscriptionStats returns the subscription registry's counters. The
